@@ -1,0 +1,52 @@
+// Ablation: does stress levelling help only NBTI, or every activity-driven
+// aging mechanism? (The paper evaluates NBTI because it dominates; Section
+// I lists HCI/EM/TDDB as the other accelerated mechanisms.)
+//
+// For a handful of suite benchmarks this bench re-maps once and reports
+// the per-mechanism fabric MTTF gains plus the competing-risk gain.
+#include <cstdio>
+
+#include "aging/mechanisms.h"
+#include "core/report.h"
+#include "util/ascii.h"
+
+using namespace cgraf;
+
+int main() {
+  std::printf("== Ablation: aging-mechanism sensitivity ==\n\n");
+  AsciiTable table({"bench", "config", "NBTI x", "HCI x", "EM x",
+                    "combined x", "limiter before", "limiter after"});
+  const auto specs = workloads::table1_specs(false);
+  for (const int idx : {1, 4, 12, 13, 21}) {
+    const auto& spec = specs[static_cast<std::size_t>(idx)];
+    const auto bench = workloads::generate_benchmark(spec);
+    core::RemapOptions opts;
+    const auto remap = aging_aware_remap(bench.design, bench.baseline, opts);
+
+    aging::CombinedAgingParams params;
+    const auto before =
+        compute_mttf_combined(bench.design, bench.baseline, params);
+    const auto after =
+        compute_mttf_combined(bench.design, remap.floorplan, params);
+
+    auto gain = [](double b, double a) { return a / b; };
+    table.add_row(
+        {spec.name,
+         "C" + std::to_string(spec.contexts) + "F" +
+             std::to_string(spec.fabric_dim),
+         fmt_double(gain(before.nbti_mttf_seconds, after.nbti_mttf_seconds),
+                    2),
+         fmt_double(gain(before.hci_mttf_seconds, after.hci_mttf_seconds), 2),
+         fmt_double(gain(before.em_mttf_seconds, after.em_mttf_seconds), 2),
+         fmt_double(gain(before.mttf_seconds, after.mttf_seconds), 2),
+         to_string(before.limiting_mechanism),
+         to_string(after.limiting_mechanism)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s\n", table.render().c_str());
+  std::printf("expectation: every column > 1 on improved benchmarks — the\n"
+              "balancing is mechanism-agnostic because all three models are\n"
+              "monotone in per-PE activity (and temperature follows it).\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks of the MILP substrate: basis factorization, FTRAN/BTRAN,
+// LP solves on assignment-shaped models, and small branch & bound runs.
+#include <benchmark/benchmark.h>
+
+#include "milp/branch_and_bound.h"
+#include "milp/lu.h"
+#include "milp/model.h"
+#include "milp/simplex.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cgraf;
+using namespace cgraf::milp;
+
+// ops x pes assignment feasibility model with stress rows (the shape the
+// floorplanner generates).
+Model assignment_model(int ops, int pes, int contexts, std::uint64_t seed,
+                       bool integer) {
+  Rng rng(seed);
+  Model m;
+  std::vector<std::vector<int>> vars(static_cast<size_t>(ops));
+  std::vector<double> stress(static_cast<size_t>(ops));
+  for (int j = 0; j < ops; ++j) {
+    stress[static_cast<size_t>(j)] = 0.2 + 0.6 * rng.next_double();
+    for (int k = 0; k < pes; ++k)
+      vars[static_cast<size_t>(j)].push_back(
+          integer ? m.add_binary(rng.next_double())
+                  : m.add_continuous(0, 1, rng.next_double()));
+    std::vector<std::pair<int, double>> row;
+    for (const int v : vars[static_cast<size_t>(j)]) row.emplace_back(v, 1.0);
+    m.add_eq(std::move(row), 1.0);
+  }
+  const int per_ctx = ops / contexts;
+  for (int c = 0; c < contexts; ++c) {
+    for (int k = 0; k < pes; ++k) {
+      std::vector<std::pair<int, double>> row;
+      for (int j = c * per_ctx; j < (c + 1) * per_ctx && j < ops; ++j)
+        row.emplace_back(vars[static_cast<size_t>(j)][static_cast<size_t>(k)],
+                         1.0);
+      if (row.size() > 1) m.add_le(std::move(row), 1.0);
+    }
+  }
+  double total = 0.0;
+  for (const double s : stress) total += s;
+  // The per-PE cap must admit at least one whole op, or tiny instances are
+  // trivially infeasible.
+  const double cap = std::max(1.3 * total / pes, 0.85);
+  for (int k = 0; k < pes; ++k) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < ops; ++j)
+      row.emplace_back(vars[static_cast<size_t>(j)][static_cast<size_t>(k)],
+                       stress[static_cast<size_t>(j)]);
+    m.add_le(std::move(row), cap);
+  }
+  return m;
+}
+
+// A realistic, guaranteed-factorizable basis: the optimal basis of the
+// model's LP relaxation.
+std::vector<int> optimal_basis(const Model& m) {
+  const LpResult lp = solve_lp(m);
+  std::vector<int> basis;
+  for (int j = 0; j < static_cast<int>(lp.basis.size()); ++j)
+    if (lp.basis[static_cast<size_t>(j)] == ColStatus::kBasic)
+      basis.push_back(j);
+  return basis;
+}
+
+void BM_LpAssignment(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const Model m = assignment_model(ops, 36, 4, 42, /*integer=*/false);
+  for (auto _ : state) {
+    const LpResult r = solve_lp(m);
+    benchmark::DoNotOptimize(r.obj);
+    if (r.status != SolveStatus::kOptimal) state.SkipWithError("LP failed");
+  }
+  state.counters["vars"] = m.num_vars();
+  state.counters["rows"] = m.num_constraints();
+}
+BENCHMARK(BM_LpAssignment)->Arg(24)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_MilpAssignment(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const Model m = assignment_model(ops, 16, 4, 7, /*integer=*/true);
+  MipOptions opts;
+  opts.stop_at_first_incumbent = true;
+  for (auto _ : state) {
+    const MipResult r = solve_milp(m, opts);
+    benchmark::DoNotOptimize(r.nodes);
+    if (!r.has_solution()) state.SkipWithError("MILP failed");
+  }
+}
+BENCHMARK(BM_MilpAssignment)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_LuFactorize(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const Model m = assignment_model(ops, 36, 4, 3, false);
+  const CscMatrix a = build_computational_form(m);
+  const std::vector<int> basis = optimal_basis(m);
+  if (static_cast<int>(basis.size()) != a.rows) {
+    state.SkipWithError("unexpected basis size");
+    return;
+  }
+  BasisLu lu;
+  for (auto _ : state) {
+    const bool ok = lu.factorize(a, basis);
+    if (!ok) state.SkipWithError("factorization failed");
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["dim"] = a.rows;
+  state.counters["factor_nnz"] = lu.factor_nnz();
+}
+BENCHMARK(BM_LuFactorize)->Arg(48)->Arg(96)->Unit(benchmark::kMicrosecond);
+
+void BM_FtranBtran(benchmark::State& state) {
+  const Model m = assignment_model(96, 36, 4, 3, false);
+  const CscMatrix a = build_computational_form(m);
+  const std::vector<int> basis = optimal_basis(m);
+  BasisLu lu;
+  if (static_cast<int>(basis.size()) != a.rows || !lu.factorize(a, basis)) {
+    state.SkipWithError("factorization failed");
+    return;
+  }
+  std::vector<double> x(static_cast<size_t>(a.rows), 1.0);
+  for (auto _ : state) {
+    lu.ftran(x);
+    lu.btran(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_FtranBtran)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

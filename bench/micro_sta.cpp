@@ -1,0 +1,93 @@
+// Micro-benchmarks of the analysis substrates: STA, monitored-path
+// enumeration, stress maps, the HotSpot-lite thermal solve, and the
+// baseline placer.
+#include <benchmark/benchmark.h>
+
+#include "aging/mttf.h"
+#include "cgrra/stress.h"
+#include "hls/placer.h"
+#include "thermal/hotspot_lite.h"
+#include "timing/paths.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace cgraf;
+
+workloads::GeneratedBenchmark make_bench(int contexts, int dim,
+                                         double usage) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "micro";
+  spec.contexts = contexts;
+  spec.fabric_dim = dim;
+  spec.usage = usage;
+  spec.seed = 99;
+  return workloads::generate_benchmark(spec);
+}
+
+void BM_Sta(benchmark::State& state) {
+  const auto bench = make_bench(8, static_cast<int>(state.range(0)), 0.5);
+  const timing::CombGraph graph(bench.design);
+  for (auto _ : state) {
+    const auto sta = run_sta(graph, bench.baseline);
+    benchmark::DoNotOptimize(sta.cpd_ns);
+  }
+  state.counters["ops"] = bench.total_ops;
+}
+BENCHMARK(BM_Sta)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_MonitoredPaths(benchmark::State& state) {
+  const auto bench = make_bench(8, 8, 0.6);
+  const timing::CombGraph graph(bench.design);
+  for (auto _ : state) {
+    const auto paths = timing::monitored_paths(graph, bench.baseline);
+    benchmark::DoNotOptimize(paths.size());
+  }
+}
+BENCHMARK(BM_MonitoredPaths)->Unit(benchmark::kMicrosecond);
+
+void BM_StressMap(benchmark::State& state) {
+  const auto bench = make_bench(16, 8, 0.6);
+  for (auto _ : state) {
+    const auto map = compute_stress(bench.design, bench.baseline);
+    benchmark::DoNotOptimize(map.accumulated.data());
+  }
+}
+BENCHMARK(BM_StressMap)->Unit(benchmark::kMicrosecond);
+
+void BM_ThermalSolve(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const Fabric fabric(dim, dim);
+  std::vector<double> activity(static_cast<size_t>(fabric.num_pes()));
+  for (int i = 0; i < fabric.num_pes(); ++i)
+    activity[static_cast<size_t>(i)] = (i * 37 % 100) / 100.0;
+  for (auto _ : state) {
+    const auto t = thermal::steady_state_temperature(fabric, activity);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_ThermalSolve)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_MttfReport(benchmark::State& state) {
+  const auto bench = make_bench(8, 6, 0.5);
+  for (auto _ : state) {
+    const auto report = aging::compute_mttf(bench.design, bench.baseline);
+    benchmark::DoNotOptimize(report.mttf_seconds);
+  }
+}
+BENCHMARK(BM_MttfReport)->Unit(benchmark::kMicrosecond);
+
+void BM_BaselinePlacer(benchmark::State& state) {
+  const auto bench = make_bench(4, static_cast<int>(state.range(0)), 0.5);
+  hls::PlacerOptions opts;
+  opts.seed = 5;
+  for (auto _ : state) {
+    const Floorplan fp = place_baseline(bench.design, opts);
+    benchmark::DoNotOptimize(fp.op_to_pe.data());
+  }
+}
+BENCHMARK(BM_BaselinePlacer)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

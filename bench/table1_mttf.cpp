@@ -1,0 +1,53 @@
+// Reproduces Table I: MTTF increase (x) of the aging-aware floorplan over
+// the aging-unaware baseline for the 27-benchmark suite, with the Freeze
+// and Rotate variants and the per-usage-band averages.
+//
+// Usage: table1_mttf [--paper-scale] [--band low|medium|high] [--max-dim N]
+//   --paper-scale  use the paper's fabrics {4x4, 8x8, 16x16} (slow; see
+//                  DESIGN.md §5) instead of the default {4x4, 6x6, 8x8}.
+//   --max-dim N    skip benchmarks with fabric dimension > N.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  bool paper_scale = false;
+  int max_dim = 1 << 30;
+  std::string band_filter;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-scale") == 0) paper_scale = true;
+    else if (std::strcmp(argv[i], "--band") == 0 && i + 1 < argc)
+      band_filter = argv[++i];
+    else if (std::strcmp(argv[i], "--max-dim") == 0 && i + 1 < argc)
+      max_dim = std::atoi(argv[++i]);
+  }
+
+  std::printf("== Table I: MTTF increase for the B1-B27 suite ==\n");
+  std::printf("(fabrics %s; MTTF metric: first-PE-failure under the NBTI "
+              "model, Section III)\n\n",
+              paper_scale ? "4x4/8x8/16x16 (paper scale)"
+                          : "4x4/6x6/8x8 (default scale, DESIGN.md §5)");
+
+  std::vector<cgraf::core::BenchmarkRun> runs;
+  for (const auto& spec : cgraf::workloads::table1_specs(paper_scale)) {
+    if (spec.fabric_dim > max_dim) continue;
+    if (!band_filter.empty() &&
+        band_filter != cgraf::workloads::to_string(spec.band))
+      continue;
+    const auto bench = cgraf::workloads::generate_benchmark(spec);
+    cgraf::core::RemapOptions opts;
+    const auto run = cgraf::core::run_benchmark(bench, opts);
+    std::printf("  %s: ops=%d freeze=%.2fx rotate=%.2fx (%.1fs + %.1fs)\n",
+                spec.name.c_str(), run.total_ops, run.freeze.mttf_gain,
+                run.rotate.mttf_gain, run.freeze.seconds,
+                run.rotate.seconds);
+    std::fflush(stdout);
+    runs.push_back(run);
+  }
+
+  std::printf("\n%s\n", cgraf::core::format_table1(runs).c_str());
+  return 0;
+}

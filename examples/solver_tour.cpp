@@ -1,0 +1,78 @@
+// Tour of the standalone MILP substrate (cgraf::milp): the library the
+// floorplanner is built on is a general bounded-variable LP/MILP solver and
+// can be used directly.
+//
+// Build & run:  ./build/examples/solver_tour
+#include <cstdio>
+
+#include "milp/branch_and_bound.h"
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+int main() {
+  using namespace cgraf::milp;
+
+  // --- 1. A small production-planning LP.
+  //     maximize 25 x1 + 30 x2
+  //     s.t.     x1/200 + x2/140 <= 40   (hours)
+  //              0 <= x1 <= 6000, 0 <= x2 <= 4000
+  {
+    Model m;
+    m.set_sense(Sense::kMaximize);
+    const int x1 = m.add_continuous(0, 6000, 25);
+    const int x2 = m.add_continuous(0, 4000, 30);
+    m.add_le({{x1, 1.0 / 200}, {x2, 1.0 / 140}}, 40.0);
+    const LpResult r = solve_lp(m);
+    std::printf("LP  : %s obj=%.0f x1=%.0f x2=%.0f (%ld iterations)\n",
+                to_string(r.status), r.obj, r.x[0], r.x[1], r.iterations);
+  }
+
+  // --- 2. A 0/1 knapsack MILP.
+  {
+    Model m;
+    m.set_sense(Sense::kMaximize);
+    const double value[] = {10, 13, 7, 8, 12, 5};
+    const double weight[] = {5, 8, 3, 4, 7, 2};
+    std::vector<std::pair<int, double>> row;
+    for (int i = 0; i < 6; ++i) row.emplace_back(m.add_binary(value[i]), weight[i]);
+    m.add_le(std::move(row), 15.0);
+    const MipResult r = solve_milp(m);
+    std::printf("MILP: %s obj=%.0f picks=", to_string(r.status), r.obj);
+    for (int i = 0; i < 6; ++i) std::printf("%d", r.x[static_cast<size_t>(i)] > 0.5);
+    std::printf(" (%ld nodes)\n", r.nodes);
+  }
+
+  // --- 3. Ranged rows, warm starts, and re-solves with tightened bounds.
+  {
+    Model m;
+    const int x = m.add_continuous(0, 10, 1);
+    const int y = m.add_continuous(0, 10, 2);
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, 4.0, 8.0);  // 4 <= x+y <= 8
+    SimplexEngine engine(m);
+    LpResult first = engine.solve();
+    std::printf("warm: first solve obj=%.1f (%ld iterations)\n", first.obj,
+                first.iterations);
+    // Tighten x's bounds and re-solve from the previous basis.
+    std::vector<double> lb = engine.model_lb();
+    std::vector<double> ub = engine.model_ub();
+    lb[static_cast<size_t>(x)] = 3.0;
+    const LpResult second = engine.solve(lb, ub, &first.basis);
+    std::printf("warm: re-solve  obj=%.1f (%ld iterations)\n", second.obj,
+                second.iterations);
+  }
+
+  // --- 4. Infeasibility and unboundedness are first-class statuses.
+  {
+    Model m;
+    const int x = m.add_continuous(0, 1, 1);
+    m.add_ge({{x, 1.0}}, 2.0);
+    std::printf("edge: %s (expected infeasible)\n",
+                to_string(solve_lp(m).status));
+    Model u;
+    u.set_sense(Sense::kMaximize);
+    u.add_continuous(0, kInf, 1);
+    std::printf("edge: %s (expected unbounded)\n",
+                to_string(solve_lp(u).status));
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "aging/mechanisms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cgraf::aging {
+
+double hci_shift_v(const HciParams& p, double sr, double temp_k,
+                   double t_seconds) {
+  CGRAF_ASSERT(sr >= 0.0 && sr <= 1.0 + 1e-9);
+  CGRAF_ASSERT(temp_k > 0.0);
+  if (sr <= 0.0 || t_seconds <= 0.0) return 0.0;
+  const double arrhenius = std::exp(-p.ea_ev / (p.boltzmann_ev * temp_k));
+  // Effective stress: toggling time accumulated over the busy fraction; the
+  // absolute cycle count is absorbed into a_hci's calibration, and a
+  // sqrt-frequency factor keeps clock scaling physical (more injections
+  // per second at higher f).
+  const double eff = p.toggle_factor * sr * t_seconds;
+  const double freq_scale = std::sqrt(std::max(1e-12, p.clock_hz / 200e6));
+  return p.a_hci * std::pow(eff, p.n) * arrhenius * freq_scale * p.vth0_v;
+}
+
+double hci_mttf_seconds(const HciParams& p, double sr, double temp_k) {
+  CGRAF_ASSERT(temp_k > 0.0);
+  if (sr <= 0.0) return std::numeric_limits<double>::infinity();
+  const double arrhenius = std::exp(-p.ea_ev / (p.boltzmann_ev * temp_k));
+  const double freq_scale =
+      std::sqrt(std::max(1e-12, p.clock_hz / 200e6));
+  const double rhs =
+      p.fail_shift_frac / (p.a_hci * arrhenius * freq_scale);
+  return std::pow(rhs, 1.0 / p.n) / (p.toggle_factor * sr);
+}
+
+double em_mttf_seconds(const EmParams& p, double sr, double temp_k) {
+  CGRAF_ASSERT(temp_k > 0.0);
+  const double j = p.j_leak + p.j_active * std::clamp(sr, 0.0, 1.0);
+  if (j <= 0.0) return std::numeric_limits<double>::infinity();
+  return p.a_em / std::pow(j, p.current_exponent) *
+         std::exp(p.ea_ev / (p.boltzmann_ev * temp_k));
+}
+
+const char* to_string(Mechanism m) {
+  switch (m) {
+    case Mechanism::kNbti: return "NBTI";
+    case Mechanism::kHci: return "HCI";
+    case Mechanism::kEm: return "EM";
+  }
+  return "?";
+}
+
+CombinedMttfReport compute_mttf_combined(
+    const Design& design, const Floorplan& fp,
+    const CombinedAgingParams& params,
+    const thermal::ThermalParams& thermal_params) {
+  const StressMap stress = compute_stress(design, fp);
+  const int n = design.fabric.num_pes();
+
+  std::vector<double> activity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    activity[static_cast<std::size_t>(i)] = std::clamp(
+        stress.accumulated[static_cast<std::size_t>(i)] /
+            design.num_contexts,
+        0.0, 1.0);
+  }
+
+  CombinedMttfReport report;
+  report.pe_temperature_k =
+      thermal::steady_state_temperature(design.fabric, activity,
+                                        thermal_params);
+  report.pe_mttf_seconds.resize(static_cast<std::size_t>(n));
+  report.mttf_seconds = std::numeric_limits<double>::infinity();
+  report.nbti_mttf_seconds = std::numeric_limits<double>::infinity();
+  report.hci_mttf_seconds = std::numeric_limits<double>::infinity();
+  report.em_mttf_seconds = std::numeric_limits<double>::infinity();
+
+  for (int i = 0; i < n; ++i) {
+    const double sr = activity[static_cast<std::size_t>(i)];
+    const double t = report.pe_temperature_k[static_cast<std::size_t>(i)];
+    double worst = std::numeric_limits<double>::infinity();
+    Mechanism worst_mechanism = Mechanism::kNbti;
+    if (params.enable_nbti) {
+      const double v = mttf_seconds(params.nbti, sr, t);
+      report.nbti_mttf_seconds = std::min(report.nbti_mttf_seconds, v);
+      if (v < worst) {
+        worst = v;
+        worst_mechanism = Mechanism::kNbti;
+      }
+    }
+    if (params.enable_hci) {
+      const double v = hci_mttf_seconds(params.hci, sr, t);
+      report.hci_mttf_seconds = std::min(report.hci_mttf_seconds, v);
+      if (v < worst) {
+        worst = v;
+        worst_mechanism = Mechanism::kHci;
+      }
+    }
+    if (params.enable_em) {
+      const double v = em_mttf_seconds(params.em, sr, t);
+      report.em_mttf_seconds = std::min(report.em_mttf_seconds, v);
+      if (v < worst) {
+        worst = v;
+        worst_mechanism = Mechanism::kEm;
+      }
+    }
+    report.pe_mttf_seconds[static_cast<std::size_t>(i)] = worst;
+    if (worst < report.mttf_seconds) {
+      report.mttf_seconds = worst;
+      report.limiting_pe = i;
+      report.limiting_mechanism = worst_mechanism;
+    }
+  }
+  report.mttf_years = report.mttf_seconds / kSecondsPerYear;
+  return report;
+}
+
+}  // namespace cgraf::aging

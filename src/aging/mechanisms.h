@@ -1,0 +1,85 @@
+// Additional aging mechanisms beyond NBTI (paper Section I lists NBTI, HCI,
+// EM and TDDB as the dominant degradation factors; the evaluation models
+// NBTI because it dominates, but the re-mapper's stress levelling helps all
+// activity-driven mechanisms).
+//
+//  - HCI (hot-carrier injection): Vth drift driven by switching activity,
+//    dVth = A_hci * (f * SR * t)^n * exp(-Ea/kT). Its effective activation
+//    energy is small and *negative* (HCI worsens slightly when cold),
+//    unlike NBTI.
+//  - EM (electromigration), Black's equation: MTTF = A / J^m * exp(Ea/kT),
+//    with the current density J proportional to the PE's duty cycle.
+//
+// compute_mttf_combined() treats the mechanisms as competing risks: a PE
+// fails when its first mechanism fails, and the fabric fails with its
+// first PE.
+#pragma once
+
+#include "aging/mttf.h"
+
+namespace cgraf::aging {
+
+struct HciParams {
+  // Technology factor, calibrated (like NBTI's) so a ~30% duty PE at the
+  // model's operating point fails in O(10 years) — HCI is secondary to
+  // NBTI at these conditions, as the paper assumes.
+  double a_hci = 4.5e-6;
+  double n = 0.5;                 // HCI time exponent (~sqrt(t))
+  double ea_ev = -0.05;           // slightly negative: worse when cold
+  double boltzmann_ev = 8.617e-5;
+  double clock_hz = 200e6;
+  double vth0_v = 0.40;
+  double fail_shift_frac = 0.10;
+  // Fraction of a PE's busy time its gates actually toggle.
+  double toggle_factor = 0.15;
+};
+
+// Vth drift (V) after t_seconds at duty cycle `sr` and temperature temp_k.
+double hci_shift_v(const HciParams& p, double sr, double temp_k,
+                   double t_seconds);
+// Closed-form inversion; +inf at sr == 0.
+double hci_mttf_seconds(const HciParams& p, double sr, double temp_k);
+
+struct EmParams {
+  double a_em = 3.0e-6;  // scale factor (seconds at J = 1, T -> inf)
+  double current_exponent = 2.0;  // Black's exponent m
+  double ea_ev = 0.85;
+  double boltzmann_ev = 8.617e-5;
+  // Current density model: J = j_leak + j_active * duty (normalized units).
+  double j_leak = 0.05;
+  double j_active = 1.0;
+};
+
+double em_mttf_seconds(const EmParams& p, double sr, double temp_k);
+
+enum class Mechanism { kNbti, kHci, kEm };
+const char* to_string(Mechanism m);
+
+struct CombinedAgingParams {
+  NbtiParams nbti{};
+  HciParams hci{};
+  EmParams em{};
+  bool enable_nbti = true;
+  bool enable_hci = true;
+  bool enable_em = true;
+};
+
+struct CombinedMttfReport {
+  double mttf_seconds = 0.0;
+  double mttf_years = 0.0;
+  int limiting_pe = -1;
+  Mechanism limiting_mechanism = Mechanism::kNbti;
+  // Fabric-level MTTF per mechanism (min over PEs, that mechanism alone).
+  double nbti_mttf_seconds = 0.0;
+  double hci_mttf_seconds = 0.0;
+  double em_mttf_seconds = 0.0;
+  std::vector<double> pe_mttf_seconds;  // competing-risk per-PE failure time
+  std::vector<double> pe_temperature_k;
+};
+
+CombinedMttfReport compute_mttf_combined(
+    const Design& design, const Floorplan& fp,
+    const CombinedAgingParams& params = {},
+    const thermal::ThermalParams& thermal = {});
+
+}  // namespace cgraf::aging

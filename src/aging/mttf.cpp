@@ -1,0 +1,51 @@
+#include "aging/mttf.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cgraf::aging {
+
+MttfReport compute_mttf(const Design& design, const Floorplan& fp,
+                        const NbtiParams& nbti,
+                        const thermal::ThermalParams& thermal_params) {
+  MttfReport report;
+  report.stress = compute_stress(design, fp);
+
+  const int n = design.fabric.num_pes();
+  CGRAF_ASSERT(design.num_contexts > 0);
+
+  // Average duty cycle of each PE across one full context round: the
+  // accumulated stress time divided by the number of cycles in the round.
+  std::vector<double> activity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    activity[static_cast<std::size_t>(i)] = std::clamp(
+        report.stress.accumulated[static_cast<std::size_t>(i)] /
+            design.num_contexts,
+        0.0, 1.0);
+  }
+  report.pe_temperature_k =
+      thermal::steady_state_temperature(design.fabric, activity,
+                                        thermal_params);
+
+  report.pe_mttf_seconds.resize(static_cast<std::size_t>(n));
+  report.mttf_seconds = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const double sr = activity[static_cast<std::size_t>(i)];
+    const double t = report.pe_temperature_k[static_cast<std::size_t>(i)];
+    const double mttf = mttf_seconds(nbti, sr, t);
+    report.pe_mttf_seconds[static_cast<std::size_t>(i)] = mttf;
+    report.max_temp_k = std::max(report.max_temp_k, t);
+    if (mttf < report.mttf_seconds) {
+      report.mttf_seconds = mttf;
+      report.limiting_pe = i;
+      report.limiting_sr = sr;
+      report.limiting_temp_k = t;
+    }
+  }
+  report.mttf_years = report.mttf_seconds / kSecondsPerYear;
+  return report;
+}
+
+}  // namespace cgraf::aging

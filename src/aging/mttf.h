@@ -1,0 +1,32 @@
+// Fabric-level MTTF evaluation of a floorplan (paper Section III, Phase 1
+// and Step 3 of Algorithm 1): stress map -> thermal map -> per-PE NBTI
+// failure time -> fabric MTTF (first PE failure kills the fabric).
+#pragma once
+
+#include <vector>
+
+#include "aging/nbti.h"
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+#include "cgrra/stress.h"
+#include "thermal/hotspot_lite.h"
+
+namespace cgraf::aging {
+
+struct MttfReport {
+  double mttf_seconds = 0.0;
+  double mttf_years = 0.0;
+  int limiting_pe = -1;          // the PE that fails first
+  double limiting_sr = 0.0;      // its average duty cycle
+  double limiting_temp_k = 0.0;  // its steady-state temperature
+  double max_temp_k = 0.0;
+  std::vector<double> pe_mttf_seconds;  // +inf for unstressed PEs
+  std::vector<double> pe_temperature_k;
+  StressMap stress;
+};
+
+MttfReport compute_mttf(const Design& design, const Floorplan& fp,
+                        const NbtiParams& nbti = {},
+                        const thermal::ThermalParams& thermal = {});
+
+}  // namespace cgraf::aging

@@ -1,0 +1,29 @@
+#include "aging/nbti.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cgraf::aging {
+
+double vth_shift_v(const NbtiParams& p, double sr, double temp_k,
+                   double t_seconds) {
+  CGRAF_ASSERT(sr >= 0.0 && sr <= 1.0 + 1e-9);
+  CGRAF_ASSERT(temp_k > 0.0);
+  CGRAF_ASSERT(t_seconds >= 0.0);
+  if (sr <= 0.0 || t_seconds <= 0.0) return 0.0;
+  const double arrhenius = std::exp(-p.ea_ev / (p.boltzmann_ev * temp_k));
+  return p.a_nbti * std::pow(sr * t_seconds, p.n) * arrhenius * p.vth0_v;
+}
+
+double mttf_seconds(const NbtiParams& p, double sr, double temp_k) {
+  CGRAF_ASSERT(temp_k > 0.0);
+  if (sr <= 0.0) return std::numeric_limits<double>::infinity();
+  const double arrhenius = std::exp(-p.ea_ev / (p.boltzmann_ev * temp_k));
+  // (sr * t)^n = fail_shift_frac / (A * arrhenius)   [Vth0 cancels]
+  const double rhs = p.fail_shift_frac / (p.a_nbti * arrhenius);
+  return std::pow(rhs, 1.0 / p.n) / sr;
+}
+
+}  // namespace cgraf::aging

@@ -1,0 +1,42 @@
+// NBTI threshold-voltage degradation model (paper Eq. (1)) and its
+// closed-form MTTF inversion.
+//
+//   Vth_shift(t) = A_NBTI * (SR * t)^n * exp(-Ea / (k*T)) * Vth0
+//
+// where SR is the stress rate (duty cycle in [0,1]), t is wall-clock time,
+// T is temperature in Kelvin. The fabric fails when the shift reaches
+// `fail_shift_frac * Vth0` (10% in the paper, after [3]); solving for t:
+//
+//   MTTF = (fail_shift_frac / (A_NBTI * exp(-Ea/kT)))^(1/n) / SR
+//
+// Note that in stress-ratio terms the exponent n cancels (MTTF is inversely
+// proportional to the stress rate) while the temperature term is amplified
+// by 1/n — matching the slope behaviour of the paper's Fig. 2(b).
+#pragma once
+
+namespace cgraf::aging {
+
+struct NbtiParams {
+  // Technology factor, calibrated so that a PE at 50% duty and ~348 K fails
+  // after ~3 years (a plausible commercial-device baseline; the evaluation
+  // metric is the before/after MTTF *ratio*, which is insensitive to this).
+  double a_nbti = 2.0e5;
+  double n = 0.20;           // fabrication-dependent time exponent
+  double ea_ev = 0.49;       // activation energy (eV)
+  double boltzmann_ev = 8.617e-5;  // eV/K
+  double vth0_v = 0.40;
+  double fail_shift_frac = 0.10;   // fail at 10% Vth increase
+};
+
+// Threshold-voltage shift (V) after `t_seconds` at stress rate `sr` and
+// temperature `temp_k`.
+double vth_shift_v(const NbtiParams& p, double sr, double temp_k,
+                   double t_seconds);
+
+// Closed-form time-to-failure (seconds) for a single PE. Returns +inf when
+// sr == 0 (an unstressed PE never fails under this model).
+double mttf_seconds(const NbtiParams& p, double sr, double temp_k);
+
+constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+
+}  // namespace cgraf::aging

@@ -1,0 +1,44 @@
+// A mapped multi-context design: the output of HLS + technology mapping
+// (paper Phase 1 input to floorplanning). Operations carry their context
+// (clock-cycle) assignment; edges are dataflow dependences.
+//
+// Edges whose endpoints share a context are *combinational* (chained inside
+// one cycle) and contribute to timing paths; edges that cross contexts go
+// through the context registers and only constrain the schedule.
+#pragma once
+
+#include <vector>
+
+#include "cgrra/fabric.h"
+#include "cgrra/operation.h"
+
+namespace cgraf {
+
+struct Edge {
+  int from = -1;  // producer op id
+  int to = -1;    // consumer op id
+};
+
+struct Design {
+  Fabric fabric;
+  int num_contexts = 0;
+  std::vector<Operation> ops;
+  std::vector<Edge> edges;
+
+  int num_ops() const { return static_cast<int>(ops.size()); }
+
+  // Ops grouped by context, in id order.
+  std::vector<std::vector<int>> ops_by_context() const {
+    std::vector<std::vector<int>> by(static_cast<std::size_t>(num_contexts));
+    for (const Operation& op : ops)
+      by[static_cast<std::size_t>(op.context)].push_back(op.id);
+    return by;
+  }
+
+  bool same_context(const Edge& e) const {
+    return ops[static_cast<std::size_t>(e.from)].context ==
+           ops[static_cast<std::size_t>(e.to)].context;
+  }
+};
+
+}  // namespace cgraf

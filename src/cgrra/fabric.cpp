@@ -1,0 +1,20 @@
+#include "cgrra/fabric.h"
+
+#include "util/check.h"
+
+namespace cgraf {
+
+Fabric::Fabric(int rows, int cols, double clock_period_ns,
+               double unit_wire_delay_ns, PeDelayModel delays)
+    : rows_(rows),
+      cols_(cols),
+      clock_period_ns_(clock_period_ns),
+      unit_wire_delay_ns_(unit_wire_delay_ns),
+      delays_(delays) {
+  CGRAF_ASSERT(rows > 0 && cols > 0);
+  CGRAF_ASSERT(clock_period_ns > 0.0);
+  CGRAF_ASSERT(unit_wire_delay_ns >= 0.0);
+  CGRAF_ASSERT(delays.alu_delay_ns > 0.0 && delays.dmu_delay_ns > 0.0);
+}
+
+}  // namespace cgraf

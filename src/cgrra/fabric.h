@@ -1,0 +1,64 @@
+// The multi-context CGRRA fabric model (paper Fig. 1).
+//
+// A fabric is an R x C array of processing elements (PEs). Each PE contains
+// an ALU and a DMU; in any given context a PE executes at most one mapped
+// operation. Inter-PE wires are buffered, so wire delay is linear in
+// Manhattan distance (paper Section V.B): delay = unit_wire_delay * dist.
+#pragma once
+
+#include "util/check.h"
+#include "util/geometry.h"
+
+namespace cgraf {
+
+// Post-characterization delays of the two functional units inside a PE at
+// the reference bitwidth (32 bit). The 0.87ns/3.14ns values are the paper's
+// own characterization numbers (Section III).
+struct PeDelayModel {
+  double alu_delay_ns = 0.87;
+  double dmu_delay_ns = 3.14;
+  // Delay scaling vs. bitwidth: delay(bw) = base * (offset + slope*bw/32).
+  // Captures that narrow operators are faster; offset+slope = 1 at 32 bit.
+  double width_offset = 0.55;
+  double width_slope = 0.45;
+};
+
+class Fabric {
+ public:
+  Fabric(int rows, int cols, double clock_period_ns = 5.0,
+         double unit_wire_delay_ns = 0.15, PeDelayModel delays = {});
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_pes() const { return rows_ * cols_; }
+
+  Point loc(int pe) const {
+    CGRAF_DCHECK(pe >= 0 && pe < num_pes());
+    return Point{pe % cols_, pe / cols_};
+  }
+  int pe_at(Point p) const {
+    CGRAF_DCHECK(in_bounds(p));
+    return p.y * cols_ + p.x;
+  }
+  bool in_bounds(Point p) const {
+    return p.x >= 0 && p.x < cols_ && p.y >= 0 && p.y < rows_;
+  }
+
+  // 200 MHz in the paper's experiments => 5 ns.
+  double clock_period_ns() const { return clock_period_ns_; }
+  double unit_wire_delay_ns() const { return unit_wire_delay_ns_; }
+  const PeDelayModel& delays() const { return delays_; }
+
+  double wire_delay_ns(Point a, Point b) const {
+    return unit_wire_delay_ns_ * manhattan(a, b);
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  double clock_period_ns_;
+  double unit_wire_delay_ns_;
+  PeDelayModel delays_;
+};
+
+}  // namespace cgraf

@@ -1,0 +1,290 @@
+#include "cgrra/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cgraf {
+namespace {
+
+// Tokenized view of the input with '#' comments and blank lines removed.
+struct Lines {
+  std::vector<std::vector<std::string>> tokens;
+  std::vector<int> line_no;
+
+  explicit Lines(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    int no = 0;
+    while (std::getline(in, line)) {
+      ++no;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream ls(line);
+      std::vector<std::string> toks;
+      std::string tok;
+      while (ls >> tok) toks.push_back(tok);
+      if (toks.empty()) continue;
+      tokens.push_back(std::move(toks));
+      line_no.push_back(no);
+    }
+  }
+};
+
+bool set_error(std::string* error, const std::string& message, int line = -1) {
+  if (error != nullptr) {
+    *error = line >= 0 ? "line " + std::to_string(line) + ": " + message
+                       : message;
+  }
+  return false;
+}
+
+bool parse_int(const std::string& s, int* out) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(s, &pos);
+    if (pos != s.size()) return false;
+    *out = static_cast<int>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_double(const std::string& s, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::optional<OpKind> op_kind_from_string(const std::string& name) {
+  static constexpr OpKind kAll[] = {
+      OpKind::kAdd, OpKind::kSub, OpKind::kAnd, OpKind::kOr,
+      OpKind::kXor, OpKind::kCmp, OpKind::kShift, OpKind::kMul,
+      OpKind::kMux, OpKind::kShuffle, OpKind::kExtract, OpKind::kMerge};
+  for (const OpKind k : kAll) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::string to_text(const Design& design) {
+  std::string out = "cgraf-design v1\n";
+  char buf[160];
+  const Fabric& f = design.fabric;
+  std::snprintf(buf, sizeof buf, "fabric %d %d %.9g %.9g %.9g %.9g %.9g %.9g\n",
+                f.rows(), f.cols(), f.clock_period_ns(),
+                f.unit_wire_delay_ns(), f.delays().alu_delay_ns,
+                f.delays().dmu_delay_ns, f.delays().width_offset,
+                f.delays().width_slope);
+  out += buf;
+  out += "contexts " + std::to_string(design.num_contexts) + "\n";
+  out += "ops " + std::to_string(design.num_ops()) + "\n";
+  for (const Operation& op : design.ops) {
+    std::snprintf(buf, sizeof buf, "op %d %s %d %d\n", op.id,
+                  to_string(op.kind), op.bitwidth, op.context);
+    out += buf;
+  }
+  out += "edges " + std::to_string(design.edges.size()) + "\n";
+  for (const Edge& e : design.edges) {
+    std::snprintf(buf, sizeof buf, "edge %d %d\n", e.from, e.to);
+    out += buf;
+  }
+  out += "end\n";
+  return out;
+}
+
+std::string to_text(const Floorplan& fp) {
+  std::string out = "cgraf-floorplan v1\n";
+  out += "ops " + std::to_string(fp.op_to_pe.size()) + "\n";
+  for (std::size_t i = 0; i < fp.op_to_pe.size(); ++i) {
+    out += "map " + std::to_string(i) + " " + std::to_string(fp.op_to_pe[i]) +
+           "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+std::optional<Design> design_from_text(const std::string& text,
+                                       std::string* error) {
+  const Lines lines(text);
+  std::size_t i = 0;
+  auto expect = [&](const std::string& what, std::size_t arity) {
+    if (i >= lines.tokens.size()) {
+      set_error(error, "unexpected end of input, expected '" + what + "'");
+      return false;
+    }
+    if (lines.tokens[i][0] != what || lines.tokens[i].size() < arity + 1) {
+      set_error(error, "expected '" + what + "' with " +
+                           std::to_string(arity) + " field(s)",
+                lines.line_no[i]);
+      return false;
+    }
+    return true;
+  };
+
+  if (i >= lines.tokens.size() || lines.tokens[i].size() < 2 ||
+      lines.tokens[i][0] != "cgraf-design" || lines.tokens[i][1] != "v1") {
+    set_error(error, "missing 'cgraf-design v1' header");
+    return std::nullopt;
+  }
+  ++i;
+
+  if (!expect("fabric", 8)) return std::nullopt;
+  int rows = 0, cols = 0;
+  double clock = 0, uwd = 0;
+  PeDelayModel delays;
+  const auto& ft = lines.tokens[i];
+  if (!parse_int(ft[1], &rows) || !parse_int(ft[2], &cols) ||
+      !parse_double(ft[3], &clock) || !parse_double(ft[4], &uwd) ||
+      !parse_double(ft[5], &delays.alu_delay_ns) ||
+      !parse_double(ft[6], &delays.dmu_delay_ns) ||
+      !parse_double(ft[7], &delays.width_offset) ||
+      !parse_double(ft[8], &delays.width_slope) || rows <= 0 || cols <= 0 ||
+      clock <= 0) {
+    set_error(error, "malformed fabric line", lines.line_no[i]);
+    return std::nullopt;
+  }
+  ++i;
+
+  if (!expect("contexts", 1)) return std::nullopt;
+  int contexts = 0;
+  if (!parse_int(lines.tokens[i][1], &contexts) || contexts <= 0) {
+    set_error(error, "malformed contexts line", lines.line_no[i]);
+    return std::nullopt;
+  }
+  ++i;
+
+  Design design{Fabric(rows, cols, clock, uwd, delays), contexts, {}, {}};
+
+  if (!expect("ops", 1)) return std::nullopt;
+  int n_ops = 0;
+  if (!parse_int(lines.tokens[i][1], &n_ops) || n_ops < 0) {
+    set_error(error, "malformed ops line", lines.line_no[i]);
+    return std::nullopt;
+  }
+  ++i;
+  design.ops.reserve(static_cast<std::size_t>(n_ops));
+  for (int k = 0; k < n_ops; ++k) {
+    if (!expect("op", 4)) return std::nullopt;
+    const auto& t = lines.tokens[i];
+    Operation op;
+    const std::optional<OpKind> kind = op_kind_from_string(t[2]);
+    if (!parse_int(t[1], &op.id) || !kind || !parse_int(t[3], &op.bitwidth) ||
+        !parse_int(t[4], &op.context) || op.id != k || op.bitwidth <= 0 ||
+        op.bitwidth > 64 || op.context < 0 || op.context >= contexts) {
+      set_error(error, "malformed op line (ids must be dense, 0-based)",
+                lines.line_no[i]);
+      return std::nullopt;
+    }
+    op.kind = *kind;
+    design.ops.push_back(op);
+    ++i;
+  }
+
+  if (!expect("edges", 1)) return std::nullopt;
+  int n_edges = 0;
+  if (!parse_int(lines.tokens[i][1], &n_edges) || n_edges < 0) {
+    set_error(error, "malformed edges line", lines.line_no[i]);
+    return std::nullopt;
+  }
+  ++i;
+  for (int k = 0; k < n_edges; ++k) {
+    if (!expect("edge", 2)) return std::nullopt;
+    Edge e;
+    if (!parse_int(lines.tokens[i][1], &e.from) ||
+        !parse_int(lines.tokens[i][2], &e.to) || e.from < 0 ||
+        e.from >= n_ops || e.to < 0 || e.to >= n_ops || e.from == e.to) {
+      set_error(error, "malformed edge line", lines.line_no[i]);
+      return std::nullopt;
+    }
+    design.edges.push_back(e);
+    ++i;
+  }
+
+  if (!expect("end", 0)) return std::nullopt;
+  return design;
+}
+
+std::optional<Floorplan> floorplan_from_text(const std::string& text,
+                                             std::string* error) {
+  const Lines lines(text);
+  std::size_t i = 0;
+  if (i >= lines.tokens.size() || lines.tokens[i].size() < 2 ||
+      lines.tokens[i][0] != "cgraf-floorplan" || lines.tokens[i][1] != "v1") {
+    set_error(error, "missing 'cgraf-floorplan v1' header");
+    return std::nullopt;
+  }
+  ++i;
+  if (i >= lines.tokens.size() || lines.tokens[i][0] != "ops" ||
+      lines.tokens[i].size() < 2) {
+    set_error(error, "expected 'ops <N>'");
+    return std::nullopt;
+  }
+  int n = 0;
+  if (!parse_int(lines.tokens[i][1], &n) || n < 0) {
+    set_error(error, "malformed ops line", lines.line_no[i]);
+    return std::nullopt;
+  }
+  ++i;
+  Floorplan fp;
+  fp.op_to_pe.assign(static_cast<std::size_t>(n), -1);
+  for (int k = 0; k < n; ++k) {
+    if (i >= lines.tokens.size() || lines.tokens[i][0] != "map" ||
+        lines.tokens[i].size() < 3) {
+      set_error(error, "expected 'map <op> <pe>'");
+      return std::nullopt;
+    }
+    int op = 0, pe = 0;
+    if (!parse_int(lines.tokens[i][1], &op) ||
+        !parse_int(lines.tokens[i][2], &pe) || op < 0 || op >= n) {
+      set_error(error, "malformed map line", lines.line_no[i]);
+      return std::nullopt;
+    }
+    fp.op_to_pe[static_cast<std::size_t>(op)] = pe;
+    ++i;
+  }
+  if (i >= lines.tokens.size() || lines.tokens[i][0] != "end") {
+    set_error(error, "expected 'end'");
+    return std::nullopt;
+  }
+  for (const int pe : fp.op_to_pe) {
+    if (pe < 0) {
+      set_error(error, "not every op was mapped");
+      return std::nullopt;
+    }
+  }
+  return fp;
+}
+
+bool write_file(const std::string& path, const std::string& content,
+                std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return set_error(error, "cannot open '" + path + "' for writing");
+  out << content;
+  out.flush();
+  if (!out) return set_error(error, "failed writing '" + path + "'");
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_error(error, "cannot open '" + path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace cgraf

@@ -1,0 +1,53 @@
+// Text serialization of designs and floorplans.
+//
+// A simple line-based format so mapped designs and floorplans can move
+// between the CLI tools, be diffed, and be checked into test fixtures:
+//
+//   cgraf-design v1
+//   fabric <rows> <cols> <clock_ns> <unit_wire_ns> <alu_ns> <dmu_ns> \
+//          <width_offset> <width_slope>
+//   contexts <C>
+//   ops <N>
+//   op <id> <kind> <bitwidth> <context>
+//   ...
+//   edges <E>
+//   edge <from> <to>
+//   ...
+//   end
+//
+//   cgraf-floorplan v1
+//   ops <N>
+//   map <op> <pe>
+//   ...
+//   end
+//
+// '#' starts a comment; blank lines are ignored. Parsers return
+// std::nullopt with a positional error message on malformed input.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+
+namespace cgraf {
+
+std::string to_text(const Design& design);
+std::string to_text(const Floorplan& fp);
+
+std::optional<Design> design_from_text(const std::string& text,
+                                       std::string* error = nullptr);
+std::optional<Floorplan> floorplan_from_text(const std::string& text,
+                                             std::string* error = nullptr);
+
+// OpKind <-> string (uses the names from to_string(OpKind)).
+std::optional<OpKind> op_kind_from_string(const std::string& name);
+
+// Small file helpers used by the CLI.
+bool write_file(const std::string& path, const std::string& content,
+                std::string* error = nullptr);
+std::optional<std::string> read_file(const std::string& path,
+                                     std::string* error = nullptr);
+
+}  // namespace cgraf

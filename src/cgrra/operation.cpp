@@ -1,0 +1,38 @@
+#include "cgrra/operation.h"
+
+#include "util/check.h"
+
+namespace cgraf {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kAnd: return "and";
+    case OpKind::kOr: return "or";
+    case OpKind::kXor: return "xor";
+    case OpKind::kCmp: return "cmp";
+    case OpKind::kShift: return "shift";
+    case OpKind::kMul: return "mul";
+    case OpKind::kMux: return "mux";
+    case OpKind::kShuffle: return "shuffle";
+    case OpKind::kExtract: return "extract";
+    case OpKind::kMerge: return "merge";
+  }
+  return "?";
+}
+
+double op_delay_ns(const Operation& op, const PeDelayModel& model) {
+  CGRAF_DCHECK(op.bitwidth > 0 && op.bitwidth <= 64);
+  const double base = is_dmu(op.kind) ? model.dmu_delay_ns : model.alu_delay_ns;
+  const double mul_penalty = op.kind == OpKind::kMul ? 1.6 : 1.0;
+  const double width =
+      model.width_offset + model.width_slope * op.bitwidth / 32.0;
+  return base * mul_penalty * width;
+}
+
+double op_stress(const Operation& op, const Fabric& fabric) {
+  return op_delay_ns(op, fabric.delays()) / fabric.clock_period_ns();
+}
+
+}  // namespace cgraf

@@ -1,0 +1,50 @@
+// Operations after HLS + technology mapping onto PEs.
+#pragma once
+
+#include <string>
+
+#include "cgrra/fabric.h"
+
+namespace cgraf {
+
+// Operation kinds. The first group maps onto a PE's ALU, the second onto
+// its (slower) DMU — matching the paper's two-unit PE characterization.
+enum class OpKind {
+  // ALU
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kCmp,
+  kShift,
+  kMul,
+  // DMU (data-manipulation unit)
+  kMux,
+  kShuffle,
+  kExtract,
+  kMerge,
+};
+
+constexpr bool is_dmu(OpKind k) { return k >= OpKind::kMux; }
+const char* to_string(OpKind k);
+
+struct Operation {
+  int id = -1;
+  OpKind kind = OpKind::kAdd;
+  int bitwidth = 32;
+  int context = -1;  // clock cycle (context index) this op executes in
+  std::string name;
+};
+
+// PE-internal delay of the operation (ns), from the fabric's delay model.
+// The multiplier is mapped on the ALU but at a 1.6x delay penalty, standard
+// for CGRA ALUs with a fused multiplier stage.
+double op_delay_ns(const Operation& op, const PeDelayModel& model);
+
+// Stress rate contributed by executing this operation for one cycle:
+// the fraction of the clock period the PE's transistors are under stress
+// (paper Section III: delay / clock period).
+double op_stress(const Operation& op, const Fabric& fabric);
+
+}  // namespace cgraf

@@ -1,0 +1,341 @@
+#include "core/remapper.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "cgrra/stress.h"
+#include "util/ascii.h"
+#include "util/check.h"
+
+namespace cgraf::core {
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
+                              const RemapOptions& opts) {
+  const double t_start = now_seconds();
+  RemapResult res;
+  std::string why;
+  CGRAF_ASSERT(is_valid(design, baseline, &why));
+
+  const timing::CombGraph graph(design);
+  const timing::StaResult sta0 = run_sta(graph, baseline);
+  res.cpd_before_ns = sta0.cpd_ns;
+
+  const StressMap stress0 = compute_stress(design, baseline);
+  res.st_max_before = stress0.max_accumulated();
+  res.st_avg = stress0.avg_accumulated();
+  res.mttf_before = aging::compute_mttf(design, baseline, opts.nbti,
+                                        opts.thermal);
+  res.floorplan = baseline;
+
+  // Fault-recovery support: PEs that may not host operations.
+  std::vector<char> blocked(static_cast<std::size_t>(design.fabric.num_pes()),
+                            0);
+  for (const int pe : opts.blocked_pes) {
+    CGRAF_ASSERT(pe >= 0 && pe < design.fabric.num_pes());
+    blocked[static_cast<std::size_t>(pe)] = 1;
+  }
+  const bool fault_mode = !opts.blocked_pes.empty();
+
+  // --- Step 2.1a: critical paths per context; their union is frozen.
+  //
+  // Fault mode: a critical path with any op on a blocked PE cannot be
+  // frozen at all — pinning its healthy ops would trap the displaced one
+  // on a zero-slack path. The whole path becomes free; its monitored-path
+  // budget (wire length <= the original) lets it shift rigidly, and the
+  // final STA check still guarantees the CPD.
+  std::vector<std::vector<int>> frozen_by_context(
+      static_cast<std::size_t>(design.num_contexts));
+  std::vector<char> frozen(static_cast<std::size_t>(design.num_ops()), 0);
+  std::vector<char> tainted(static_cast<std::size_t>(design.num_ops()), 0);
+  std::vector<std::pair<int, timing::TimingPath>> cps_by_context;
+  for (int c = 0; c < design.num_contexts; ++c) {
+    for (auto& p : timing::critical_paths(graph, baseline, c,
+                                          opts.max_critical_paths_per_context)) {
+      bool touches_blocked = false;
+      for (const int op : p.ops)
+        touches_blocked |=
+            blocked[static_cast<std::size_t>(baseline.pe_of(op))] != 0;
+      if (touches_blocked) {
+        for (const int op : p.ops) tainted[static_cast<std::size_t>(op)] = 1;
+      }
+      cps_by_context.emplace_back(c, std::move(p));
+    }
+  }
+  for (const auto& [c, p] : cps_by_context) {
+    for (const int op : p.ops) {
+      if (tainted[static_cast<std::size_t>(op)]) continue;
+      if (!frozen[static_cast<std::size_t>(op)]) {
+        frozen[static_cast<std::size_t>(op)] = 1;
+        frozen_by_context[static_cast<std::size_t>(c)].push_back(op);
+      }
+    }
+  }
+  for (const char f : frozen) res.num_frozen_ops += f;
+
+  // --- Step 2.2: monitored paths, from the original mapping (paper: paths
+  // whose *initial* delay is within the margin of the CPD).
+  timing::PathQuery query;
+  query.margin = opts.path_margin;
+  query.max_paths = opts.max_monitored_paths;
+  const std::vector<timing::TimingPath> monitored =
+      timing::monitored_paths(graph, baseline, query);
+  res.num_monitored_paths = static_cast<int>(monitored.size());
+
+  // --- Step 1: delay-unaware stress-target lower bound.
+  const StTargetResult st = find_st_target(design, baseline, opts.st_search);
+  res.st_target_initial = st.st_target;
+  const double delta = std::max(
+      1e-9, opts.delta_frac * std::max(1e-12, st.st_up - st.st_low));
+
+  // --- Step 2.3: Delta-relaxation loop, re-drawing rotations if needed.
+  const int rotation_rounds =
+      opts.mode == RemapMode::kRotate ? 1 + std::max(0, opts.rotation_retries)
+                                      : 1;
+  for (int round = 0; round < rotation_rounds; ++round) {
+    ++res.rotation_attempts;
+    Floorplan base = baseline;
+    if (opts.mode == RemapMode::kRotate) {
+      RotationOptions ropts;
+      ropts.restarts = opts.rotation_restarts;
+      ropts.seed = opts.seed + 0x100 * static_cast<std::uint64_t>(round + 1);
+      const RotationResult rot = rotate_critical_paths(
+          design, baseline, frozen_by_context, ropts);
+      CGRAF_ASSERT(rot.ok);
+      base = rot.rotated_base;
+      if (fault_mode) {
+        // A rotation may land a frozen group on a blocked PE; fall back to
+        // the un-rotated geometry (whose frozen set avoids blocked PEs by
+        // construction).
+        for (const auto& group : frozen_by_context) {
+          for (const int op : group) {
+            if (blocked[static_cast<std::size_t>(base.pe_of(op))]) {
+              base = baseline;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // Candidates depend on positions and slack only, not on st_target. In
+    // fault mode unfrozen critical paths must be able to shift rigidly, so
+    // the single-move pruning gets extra additive headroom (the joint path
+    // constraints in the model remain exact).
+    CandidateOptions cand_opts = opts.candidates;
+    if (fault_mode)
+      cand_opts.slack_additive = std::max(cand_opts.slack_additive, 4.0);
+    auto filter_blocked = [&](std::vector<std::vector<int>>& cand_sets) {
+      if (!fault_mode) return;
+      for (int op = 0; op < design.num_ops(); ++op) {
+        if (frozen[static_cast<std::size_t>(op)]) continue;
+        std::erase_if(cand_sets[static_cast<std::size_t>(op)], [&](int pe) {
+          return blocked[static_cast<std::size_t>(pe)] != 0;
+        });
+      }
+    };
+    std::vector<std::vector<int>> candidates = compute_candidates(
+        design, base, frozen, monitored, res.cpd_before_ns, cand_opts);
+    filter_blocked(candidates);
+
+    auto make_spec = [&](double target) {
+      RemapModelSpec spec;
+      spec.design = &design;
+      spec.base = &base;
+      spec.frozen = frozen;
+      spec.candidates = candidates;
+      spec.st_target = target;
+      spec.monitored = &monitored;
+      spec.cpd_ns = res.cpd_before_ns;
+      spec.objective = opts.objective;
+      return spec;
+    };
+
+    double st_target = std::max(res.st_target_initial, 1e-12);
+    if (opts.lp_presearch) {
+      TwoStepOptions probe_opts = opts.solver;
+      probe_opts.lp_only = true;
+      // Smallest LP-feasible target (with path constraints) for a given
+      // frozen geometry: the start of the Delta loop.
+      auto presearch = [&](const Floorplan& b,
+                           const std::vector<std::vector<int>>& cand) {
+        auto lp_feasible = [&](double target) {
+          RemapModelSpec spec;
+          spec.design = &design;
+          spec.base = &b;
+          spec.frozen = frozen;
+          spec.candidates = cand;
+          spec.st_target = target;
+          spec.monitored = &monitored;
+          spec.cpd_ns = res.cpd_before_ns;
+          spec.objective = ObjectiveMode::kNull;  // feasibility only
+          const RemapModel rm = build_remap_model(spec);
+          return solve_two_step(rm, probe_opts).status ==
+                 milp::SolveStatus::kOptimal;
+        };
+        double lo = std::max(res.st_target_initial, 1e-12);
+        if (lp_feasible(lo)) return lo;
+        double hi = res.st_max_before;
+        for (int probe = 0; probe < opts.lp_presearch_probes; ++probe) {
+          const double mid = 0.5 * (lo + hi);
+          if (lp_feasible(mid)) hi = mid;
+          else lo = mid;
+        }
+        return hi;
+      };
+      st_target = presearch(base, candidates);
+      if (opts.mode == RemapMode::kRotate && round == 0) {
+        // The overlap score is only a proxy: on small fabrics with many
+        // contexts a rotation that spreads the frozen groups can *hurt*
+        // the reachable balance. Compare against the un-rotated geometry
+        // by the quantity that matters and keep the better plan.
+        std::vector<std::vector<int>> id_cand =
+            compute_candidates(design, baseline, frozen, monitored,
+                               res.cpd_before_ns, cand_opts);
+        filter_blocked(id_cand);
+        const double id_target = presearch(baseline, id_cand);
+        if (id_target < st_target - 1e-12) {
+          base = baseline;
+          candidates = id_cand;
+          st_target = id_target;
+          if (opts.verbose)
+            std::fprintf(stderr,
+                         "  [remap] identity geometry wins presearch\n");
+        }
+      }
+      if (opts.verbose)
+        std::fprintf(stderr, "  [remap] lp presearch -> st_target=%.4f\n",
+                     st_target);
+    }
+
+    // Attempts one st_target: solve, validate, and re-check the CPD with a
+    // full STA (Algorithm 1 lines 10-17). Returns true and fills
+    // `out`/`out_cpd` on success.
+    auto attempt = [&](double target, Floorplan& out, double& out_cpd) {
+      ++res.outer_iterations;
+      res.st_target_final = target;
+      const RemapModel rm = build_remap_model(make_spec(target));
+      const double t_iter = now_seconds();
+      TwoStepOptions solver_opts = opts.solver;
+      // Unfrozen critical paths (fault mode) need coordinated rigid moves
+      // that the greedy dive cannot discover; let branch & bound finish
+      // the job when the dive dead-ends.
+      if (fault_mode) solver_opts.bnb_fallback = true;
+      const TwoStepResult solved = solve_two_step(rm, solver_opts);
+      res.last_solve = solved.stats;
+      bool cpd_ok = false;
+      if (solved.status == milp::SolveStatus::kOptimal) {
+        CGRAF_ASSERT(is_valid(design, solved.floorplan, &why));
+        const timing::StaResult sta1 = run_sta(graph, solved.floorplan);
+        cpd_ok = sta1.cpd_ns <= res.cpd_before_ns + 1e-9;
+        if (cpd_ok) {
+          out = solved.floorplan;
+          out_cpd = sta1.cpd_ns;
+        }
+      }
+      if (opts.verbose) {
+        std::fprintf(
+            stderr,
+            "  [remap] iter=%d st_target=%.4f vars=%d paths=%d status=%s "
+            "cpd_ok=%d rounds=%d fixed=%d nodes=%ld %.2fs\n",
+            res.outer_iterations, target, rm.num_binary_vars,
+            rm.num_path_rows, milp::to_string(solved.status), cpd_ok ? 1 : 0,
+            solved.stats.dive_rounds, solved.stats.vars_fixed,
+            solved.stats.mip_nodes, now_seconds() - t_iter);
+      }
+      return cpd_ok;
+    };
+
+    // Scan upward: Delta steps, escalating geometrically toward the cap
+    // after failures so a hard instance costs O(log) failed solves, not
+    // O(1/Delta). Without blocked PEs the baseline proves feasibility at
+    // ST_up; in fault mode the displaced ops may need more headroom, so
+    // the cap extends to the total stress (one PE carrying everything).
+    const double scan_cap =
+        fault_mode ? std::max(res.st_max_before,
+                              res.st_avg * design.fabric.num_pes())
+                   : res.st_max_before;
+    Floorplan found;
+    double found_cpd = 0.0;
+    double found_at = -1.0;
+    double last_fail = -1.0;
+    for (int iter = 0; iter < opts.max_outer_iters; ++iter) {
+      if (attempt(st_target, found, found_cpd)) {
+        found_at = st_target;
+        break;
+      }
+      last_fail = st_target;
+      if (st_target >= scan_cap * (1.0 + 1e-9)) break;
+      const double step = std::max(delta, (scan_cap - st_target) / 3.0);
+      st_target = std::min(st_target + step, scan_cap * (1.0 + 1e-9));
+    }
+
+    if (found_at >= 0.0) {
+      // Bisect back toward the last failure to tighten the balance.
+      for (int probe = 0; probe < opts.refine_probes; ++probe) {
+        if (last_fail < 0.0 || found_at - last_fail <= delta) break;
+        const double mid = 0.5 * (last_fail + found_at);
+        Floorplan better;
+        double better_cpd = 0.0;
+        if (attempt(mid, better, better_cpd)) {
+          found = std::move(better);
+          found_cpd = better_cpd;
+          found_at = mid;
+        } else {
+          last_fail = mid;
+        }
+      }
+
+      const StressMap stress1 = compute_stress(design, found);
+      const bool stress_improved =
+          stress1.max_accumulated() < res.st_max_before - 1e-12;
+      if (stress_improved || fault_mode) {
+        res.floorplan = std::move(found);
+        res.cpd_after_ns = found_cpd;
+        res.st_max_after = stress1.max_accumulated();
+        res.st_target_final = found_at;
+        res.improved = stress_improved;
+        res.note = "remapped at st_target=" + fmt_double(found_at, 4) +
+                   " after " + std::to_string(res.outer_iterations) +
+                   " iteration(s)";
+        if (fault_mode) {
+          res.note += " avoiding " +
+                      std::to_string(opts.blocked_pes.size()) +
+                      " blocked PE(s)";
+        }
+      } else {
+        res.note = "solution found but no stress improvement";
+      }
+      res.mttf_after =
+          aging::compute_mttf(design, res.floorplan, opts.nbti, opts.thermal);
+      if (!res.improved) {
+        res.cpd_after_ns = res.cpd_before_ns;
+        res.st_max_after = res.st_max_before;
+      }
+      res.mttf_gain =
+          res.mttf_after.mttf_seconds / res.mttf_before.mttf_seconds;
+      res.seconds = now_seconds() - t_start;
+      return res;
+    }
+    // No feasible floorplan with this rotation: re-draw (Rotate) or give up.
+  }
+
+  // No improving floorplan: return the baseline unchanged.
+  res.cpd_after_ns = res.cpd_before_ns;
+  res.st_max_after = res.st_max_before;
+  res.mttf_after = res.mttf_before;
+  res.mttf_gain = 1.0;
+  res.note = "no improving floorplan found; baseline kept";
+  res.seconds = now_seconds() - t_start;
+  return res;
+}
+
+}  // namespace cgraf::core

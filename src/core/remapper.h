@@ -1,0 +1,114 @@
+// Algorithm 1: the aging-aware re-mapping design flow (the paper's main
+// contribution). Orchestrates Step 1 (stress-target search), Step 2.1
+// (critical-path freezing, optionally with rotation), Step 2.2 (monitored
+// path constraint generation), Step 2.3 (the Delta-relaxation solve loop
+// with STA re-check) and Step 3 (MTTF computation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aging/mttf.h"
+#include "core/candidates.h"
+#include "core/rotation.h"
+#include "core/st_target.h"
+#include "core/two_step.h"
+#include "timing/paths.h"
+
+namespace cgraf::core {
+
+enum class RemapMode {
+  kFreeze,  // critical-path ops pinned at their original PEs (Table I "Freeze")
+  kRotate,  // critical paths re-oriented first (Table I "Rotate")
+};
+
+// Solver defaults tuned for the re-mapping models: they are feasibility
+// problems, so branch & bound stops at the first incumbent, and a node/time
+// cap turns pathological instances into an "infeasible at this st_target"
+// answer that Algorithm 1's Delta relaxation absorbs.
+inline TwoStepOptions default_remap_solver_options() {
+  TwoStepOptions o;
+  o.mip.stop_at_first_incumbent = true;
+  o.mip.max_nodes = 20000;
+  o.mip.time_limit_s = 120.0;
+  o.lp.time_limit_s = 300.0;
+  return o;
+}
+
+struct RemapOptions {
+  RemapMode mode = RemapMode::kRotate;
+
+  // Step 2.2: monitor paths within this fraction of the CPD (paper: 20%).
+  double path_margin = 0.20;
+  int max_monitored_paths = 1500;
+  // Per-context cap on extracted critical paths (the frozen set is their
+  // union).
+  int max_critical_paths_per_context = 8;
+
+  // Step 2.3: st_target relaxation step Delta, as a fraction of
+  // (ST_up - ST_low), and the outer-iteration budget.
+  double delta_frac = 0.05;
+  int max_outer_iters = 40;
+  // Before the Delta loop, binary-search the smallest st_target whose LP
+  // relaxation (with path constraints) is feasible, and start there. Pure
+  // speed optimization: the Delta loop would reach the same value in
+  // O(1/delta_frac) expensive integer attempts.
+  bool lp_presearch = true;
+  int lp_presearch_probes = 6;
+  // After the first successful target, bisect back toward the last failed
+  // one up to this many times to tighten the achieved balance.
+  int refine_probes = 3;
+
+  // Step 2.1 rotation controls.
+  int rotation_restarts = 12;
+  int rotation_retries = 2;  // re-draw rotations if the plan can't close
+
+  std::uint64_t seed = 1;
+  bool verbose = false;  // per-iteration progress on stderr
+
+  CandidateOptions candidates{};
+  StTargetOptions st_search{};
+  TwoStepOptions solver = default_remap_solver_options();
+  ObjectiveMode objective = ObjectiveMode::kMinPerturbation;
+
+  // Fault recovery: PEs that must not host any operation (worn out or
+  // failed fabric cells). Ops currently bound there — critical or not —
+  // become free and are re-bound elsewhere; the CPD guarantee still holds
+  // (the attempt is rejected if no such floorplan exists). With a
+  // non-empty list, a floorplan that avoids the blocked PEs counts as
+  // success even if the stress balance does not improve.
+  std::vector<int> blocked_pes;
+
+  aging::NbtiParams nbti{};
+  thermal::ThermalParams thermal{};
+};
+
+struct RemapResult {
+  bool improved = false;   // stress reduced with CPD held
+  Floorplan floorplan;     // final floorplan (baseline when !improved)
+
+  double cpd_before_ns = 0.0;
+  double cpd_after_ns = 0.0;
+  double st_max_before = 0.0;
+  double st_max_after = 0.0;
+  double st_avg = 0.0;             // fabric-wide average (ST_low)
+  double st_target_initial = 0.0;  // Step-1 lower bound
+  double st_target_final = 0.0;    // value that produced the result
+
+  aging::MttfReport mttf_before;
+  aging::MttfReport mttf_after;
+  double mttf_gain = 1.0;  // MTTF_after / MTTF_before (Table I metric)
+
+  int outer_iterations = 0;
+  int num_frozen_ops = 0;
+  int num_monitored_paths = 0;
+  int rotation_attempts = 0;
+  TwoStepStats last_solve;
+  double seconds = 0.0;
+  std::string note;  // human-readable outcome summary
+};
+
+RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
+                              const RemapOptions& opts = {});
+
+}  // namespace cgraf::core

@@ -1,0 +1,101 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/ascii.h"
+#include "util/check.h"
+
+namespace cgraf::core {
+
+BenchmarkRun run_benchmark(const workloads::GeneratedBenchmark& bench,
+                           RemapOptions base_opts) {
+  BenchmarkRun run;
+  run.spec = bench.spec;
+  run.total_ops = bench.total_ops;
+
+  RemapOptions freeze_opts = base_opts;
+  freeze_opts.mode = RemapMode::kFreeze;
+  freeze_opts.seed = bench.spec.seed ^ 0xf00dULL;
+  run.freeze = aging_aware_remap(bench.design, bench.baseline, freeze_opts);
+
+  RemapOptions rotate_opts = base_opts;
+  rotate_opts.mode = RemapMode::kRotate;
+  rotate_opts.seed = bench.spec.seed ^ 0x0dd5ULL;
+  run.rotate = aging_aware_remap(bench.design, bench.baseline, rotate_opts);
+  return run;
+}
+
+std::string format_table1(const std::vector<BenchmarkRun>& runs) {
+  AsciiTable table({"ctx", "fabric", "bench", "band", "PE#", "MTTF x (Freeze)",
+                    "MTTF x (Rotate)", "CPD ok"});
+  std::map<workloads::UsageBand, std::pair<double, int>> freeze_avg;
+  std::map<workloads::UsageBand, std::pair<double, int>> rotate_avg;
+
+  workloads::UsageBand last_band = workloads::UsageBand::kLow;
+  bool first = true;
+  for (const BenchmarkRun& run : runs) {
+    if (!first && run.spec.band != last_band) table.add_separator();
+    first = false;
+    last_band = run.spec.band;
+    const bool cpd_ok =
+        run.freeze.cpd_after_ns <= run.freeze.cpd_before_ns + 1e-9 &&
+        run.rotate.cpd_after_ns <= run.rotate.cpd_before_ns + 1e-9;
+    table.add_row({std::to_string(run.spec.contexts),
+                   std::to_string(run.spec.fabric_dim) + "x" +
+                       std::to_string(run.spec.fabric_dim),
+                   run.spec.name, to_string(run.spec.band),
+                   std::to_string(run.total_ops),
+                   fmt_double(run.freeze.mttf_gain, 2),
+                   fmt_double(run.rotate.mttf_gain, 2),
+                   cpd_ok ? "yes" : "NO"});
+    auto& f = freeze_avg[run.spec.band];
+    f.first += run.freeze.mttf_gain;
+    f.second += 1;
+    auto& r = rotate_avg[run.spec.band];
+    r.first += run.rotate.mttf_gain;
+    r.second += 1;
+  }
+
+  std::string out = table.render();
+  out += "averages:";
+  for (const auto band :
+       {workloads::UsageBand::kLow, workloads::UsageBand::kMedium,
+        workloads::UsageBand::kHigh}) {
+    const auto fit = freeze_avg.find(band);
+    if (fit == freeze_avg.end() || fit->second.second == 0) continue;
+    const auto rit = rotate_avg.find(band);
+    out += std::string("  ") + to_string(band) +
+           " freeze=" + fmt_double(fit->second.first / fit->second.second, 2) +
+           " rotate=" + fmt_double(rit->second.first / rit->second.second, 2);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string format_fig5(const std::vector<BenchmarkRun>& runs) {
+  // Group by (contexts, fabric_dim); one column per usage band.
+  std::map<std::pair<int, int>,
+           std::map<workloads::UsageBand, double>>
+      by_config;
+  for (const BenchmarkRun& run : runs) {
+    by_config[{run.spec.contexts, run.spec.fabric_dim}][run.spec.band] =
+        run.rotate.mttf_gain;
+  }
+  AsciiTable table({"config", "low", "medium", "high"});
+  for (const auto& [config, bands] : by_config) {
+    auto cell = [&](workloads::UsageBand b) {
+      const auto it = bands.find(b);
+      return it == bands.end() ? std::string("-")
+                               : fmt_double(it->second, 2);
+    };
+    table.add_row({"C" + std::to_string(config.first) + "F" +
+                       std::to_string(config.second),
+                   cell(workloads::UsageBand::kLow),
+                   cell(workloads::UsageBand::kMedium),
+                   cell(workloads::UsageBand::kHigh)});
+  }
+  return table.render();
+}
+
+}  // namespace cgraf::core

@@ -1,0 +1,33 @@
+// Experiment drivers: run one benchmark through both Table-I variants
+// (Freeze / Rotate) and format result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/remapper.h"
+#include "workloads/suite.h"
+
+namespace cgraf::core {
+
+struct BenchmarkRun {
+  workloads::BenchmarkSpec spec;
+  int total_ops = 0;  // Table I "PE #"
+  RemapResult freeze;
+  RemapResult rotate;
+};
+
+// Runs Freeze and Rotate on an already-generated benchmark. `base_opts`
+// carries solver limits/seeds; the mode field is overridden per variant.
+BenchmarkRun run_benchmark(const workloads::GeneratedBenchmark& bench,
+                           RemapOptions base_opts = {});
+
+// Renders Table I (three usage-band super-columns collapsed into rows) from
+// a full suite run, with the per-band averages the paper reports.
+std::string format_table1(const std::vector<BenchmarkRun>& runs);
+
+// Renders the Fig. 5 series: MTTF gain per CxFy configuration for the
+// low/medium/high benchmarks.
+std::string format_fig5(const std::vector<BenchmarkRun>& runs);
+
+}  // namespace cgraf::core

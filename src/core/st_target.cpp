@@ -1,0 +1,78 @@
+#include "core/st_target.h"
+
+#include <algorithm>
+
+#include "cgrra/stress.h"
+#include "util/check.h"
+
+namespace cgraf::core {
+
+StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
+                              const StTargetOptions& opts) {
+  StTargetResult res;
+  const StressMap stress = compute_stress(design, baseline);
+  res.st_up = stress.max_accumulated();
+  res.st_low = stress.avg_accumulated();
+  if (res.st_up <= 0.0) {
+    res.ok = true;  // no stress at all; nothing to balance
+    res.st_target = 0.0;
+    return res;
+  }
+
+  // Step 1 is delay-unaware: every op is free and every PE is a candidate.
+  const int n_ops = design.num_ops();
+  std::vector<char> frozen(static_cast<std::size_t>(n_ops), 0);
+  std::vector<std::vector<int>> candidates(static_cast<std::size_t>(n_ops));
+  for (auto& c : candidates) {
+    c.resize(static_cast<std::size_t>(design.fabric.num_pes()));
+    for (int pe = 0; pe < design.fabric.num_pes(); ++pe)
+      c[static_cast<std::size_t>(pe)] = pe;
+  }
+
+  auto feasible = [&](double target) {
+    RemapModelSpec spec;
+    spec.design = &design;
+    spec.base = &baseline;
+    spec.frozen = frozen;
+    spec.candidates = candidates;
+    spec.st_target = target;
+    spec.monitored = nullptr;  // no CP / path-delay constraints in Step 1
+    // LP-only probes are pure feasibility: the null objective lets the
+    // simplex stop as soon as phase 1 closes.
+    spec.objective = opts.confirm_with_ilp ? ObjectiveMode::kMinPerturbation
+                                           : ObjectiveMode::kNull;
+    const RemapModel rm = build_remap_model(spec);
+    TwoStepOptions solver = opts.solver;
+    solver.lp_only = !opts.confirm_with_ilp;
+    const TwoStepResult r = solve_two_step(rm, solver);
+    ++res.probes;
+    res.lp_iterations += r.stats.lp_iterations;
+    return r.status == milp::SolveStatus::kOptimal;
+  };
+
+  double lo = res.st_low;
+  double hi = res.st_up;  // the baseline itself proves feasibility here
+  // The average is usually infeasible (perfect balance is rarely integral);
+  // probe it once so a feasible ST_low short-circuits the search.
+  if (feasible(lo)) {
+    res.ok = true;
+    res.st_target = lo;
+    return res;
+  }
+  const double tol = std::max(1e-9, opts.tol_frac * (res.st_up - res.st_low));
+  double best = hi;
+  for (int it = 0; it < opts.max_iters && hi - lo > tol; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      best = mid;
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  res.ok = true;
+  res.st_target = best;
+  return res;
+}
+
+}  // namespace cgraf::core

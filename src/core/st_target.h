@@ -1,0 +1,40 @@
+// Step 1 of Algorithm 1: MILP-based stress-time constraint determination.
+//
+// Binary-searches the smallest accumulated-stress target ST_target in
+// [ST_low, ST_up] for which formulation (3) *without* critical-path and
+// path-delay constraints is feasible. ST_up is the highest accumulated
+// stress of the aging-unaware floorplan; ST_low its fabric-wide average.
+// Because the delay constraints are ignored, the result is a lower bound on
+// any delay-feasible target (the paper's "initial value").
+#pragma once
+
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+#include "core/two_step.h"
+
+namespace cgraf::core {
+
+struct StTargetOptions {
+  // Stop when the bracket is narrower than tol_frac * (ST_up - ST_low).
+  double tol_frac = 0.02;
+  int max_iters = 16;
+  // Feasibility oracle. Default: the LP relaxation only (fast, and the
+  // searched value is explicitly a lower bound). Set confirm_with_ilp to
+  // run the paper's full LP-round-ILP at each probe instead.
+  bool confirm_with_ilp = false;
+  TwoStepOptions solver;
+};
+
+struct StTargetResult {
+  bool ok = false;
+  double st_target = 0.0;  // smallest feasible probe found
+  double st_low = 0.0;     // fabric-average accumulated stress
+  double st_up = 0.0;      // max accumulated stress of the baseline
+  int probes = 0;
+  long lp_iterations = 0;
+};
+
+StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
+                              const StTargetOptions& opts = {});
+
+}  // namespace cgraf::core

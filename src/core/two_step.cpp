@@ -1,0 +1,260 @@
+#include "core/two_step.h"
+
+#include <algorithm>
+
+#include "milp/simplex.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cgraf::core {
+namespace {
+
+// Randomized rounding (ablation): per op, sample a candidate with
+// probability proportional to its LP value and fix it.
+int randomized_fix(const RemapModel& rm, const std::vector<double>& lp_x,
+                   milp::Model& model, Rng& rng) {
+  int fixed = 0;
+  for (int op = 0; op < rm.design->num_ops(); ++op) {
+    const auto& vars = rm.assign_vars[static_cast<std::size_t>(op)];
+    if (vars.empty()) continue;
+    double total = 0.0;
+    for (const int v : vars)
+      total += std::max(0.0, lp_x[static_cast<std::size_t>(v)]);
+    if (total <= 1e-12) continue;
+    double pick = rng.next_double() * total;
+    int chosen = vars.back();
+    for (const int v : vars) {
+      pick -= std::max(0.0, lp_x[static_cast<std::size_t>(v)]);
+      if (pick <= 0.0) {
+        chosen = v;
+        break;
+      }
+    }
+    model.set_bounds(chosen, 1.0, 1.0);
+    ++fixed;
+  }
+  return fixed;
+}
+
+// Runs branch & bound on `model` and folds its result into `res`.
+void run_bnb(const milp::Model& model, const RemapModel& rm,
+             const TwoStepOptions& opts, TwoStepResult& res) {
+  const milp::MipResult mip = milp::solve_milp(model, opts.mip);
+  res.stats.mip_status = mip.status;
+  res.stats.mip_nodes += mip.nodes;
+  res.stats.mip_lp_iterations += mip.lp_iterations;
+  res.stats.mip_seconds += mip.seconds;
+  if (mip.has_solution()) {
+    res.status = milp::SolveStatus::kOptimal;
+    res.floorplan = rm.decode(mip.x);
+  } else {
+    res.status = mip.status;
+  }
+}
+
+// The default strategy: iterated LP dive with warm-started re-solves and
+// ban-and-backtrack repair. Returns true if it produced a definitive answer
+// in `res` (a floorplan, or infeasibility/give-up at this st_target); false
+// when it dead-ended and the caller wants the B&B fallback.
+bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
+                    TwoStepResult& res) {
+  milp::Model relaxed = rm.model;
+  for (int v = 0; v < relaxed.num_vars(); ++v) relaxed.relax_var(v);
+  milp::SimplexEngine engine(relaxed, opts.lp);
+
+  std::vector<double> lb = engine.model_lb();
+  std::vector<double> ub = engine.model_ub();
+  std::vector<char> op_fixed(static_cast<std::size_t>(rm.design->num_ops()),
+                             0);
+  int remaining = 0;
+  for (int op = 0; op < rm.design->num_ops(); ++op) {
+    if (rm.assign_vars[static_cast<std::size_t>(op)].empty())
+      op_fixed[static_cast<std::size_t>(op)] = 1;  // frozen
+    else
+      ++remaining;
+  }
+
+  // Commit history for backtracking: one entry per round that fixed vars.
+  struct Round {
+    std::vector<std::pair<int, int>> fixes;  // (var, op)
+    bool forced_single = false;
+  };
+  std::vector<Round> history;
+  int bans = 0;
+  double threshold = opts.round_threshold;
+
+  milp::LpResult lp;
+  // Warm-start every re-solve from the last feasible basis; phase 1
+  // re-establishes feasibility in a handful of iterations after a fix or
+  // an unfix, where a cold start would pay thousands.
+  std::vector<milp::ColStatus> good_basis;
+  const int max_rounds = 24 * rm.design->num_ops() + 256;  // hard backstop
+  while (true) {
+    if (res.stats.dive_rounds >= max_rounds) {
+      res.status = milp::SolveStatus::kIterLimit;
+      return !opts.bnb_fallback;
+    }
+    lp = engine.solve(lb, ub, good_basis.empty() ? nullptr : &good_basis);
+    ++res.stats.dive_rounds;
+    res.stats.lp_iterations += lp.iterations;
+    res.stats.lp_seconds += lp.seconds;
+    res.stats.lp_status = lp.status;
+
+    if (lp.status != milp::SolveStatus::kOptimal) {
+      if (history.empty()) {
+        if (bans == 0 && lp.status == milp::SolveStatus::kInfeasible) {
+          res.status = milp::SolveStatus::kInfeasible;  // proven at the root
+          return true;
+        }
+        // Bans over-constrained the root, or a solver limit fired.
+        res.status = milp::SolveStatus::kNodeLimit;
+        return !opts.bnb_fallback;
+      }
+      // Undo the most recent round; ban its variable when it was a forced
+      // single commit, tighten the threshold when a batch misfired.
+      Round bad = std::move(history.back());
+      history.pop_back();
+      for (const auto& [var, op] : bad.fixes) {
+        lb[static_cast<std::size_t>(var)] = 0.0;
+        ub[static_cast<std::size_t>(var)] = 1.0;
+        op_fixed[static_cast<std::size_t>(op)] = 0;
+        ++remaining;
+        --res.stats.vars_fixed;
+      }
+      if (bad.forced_single || threshold >= 0.999) {
+        // Ban the round's first commit. Batches also consume bans once the
+        // threshold has saturated — otherwise the same batch would be
+        // re-fixed identically forever.
+        ub[static_cast<std::size_t>(bad.fixes.front().first)] = 0.0;
+        ++bans;
+      } else {
+        threshold = std::min(0.999, 0.5 * (1.0 + threshold));
+      }
+      if (bans > opts.dive_ban_budget) {
+        res.status = milp::SolveStatus::kNodeLimit;  // give up, unproven
+        return !opts.bnb_fallback;
+      }
+      continue;
+    }
+    if (remaining == 0) break;
+    good_basis = lp.basis;
+
+    // Fix every op whose best candidate clears the threshold; if none do,
+    // commit the single most-integral op to keep the dive moving.
+    Round round;
+    int best_op = -1, best_var = -1;
+    double best_val = -1.0;
+    for (int op = 0; op < rm.design->num_ops(); ++op) {
+      if (op_fixed[static_cast<std::size_t>(op)]) continue;
+      const auto& vars = rm.assign_vars[static_cast<std::size_t>(op)];
+      int arg = -1;
+      double val = -1.0;
+      for (const int v : vars) {
+        if (ub[static_cast<std::size_t>(v)] == 0.0) continue;  // banned
+        if (lp.x[static_cast<std::size_t>(v)] > val) {
+          val = lp.x[static_cast<std::size_t>(v)];
+          arg = v;
+        }
+      }
+      if (arg < 0) continue;  // fully banned op: the LP will flag it
+      if (val > threshold) {
+        lb[static_cast<std::size_t>(arg)] = 1.0;
+        ub[static_cast<std::size_t>(arg)] = 1.0;
+        op_fixed[static_cast<std::size_t>(op)] = 1;
+        --remaining;
+        round.fixes.emplace_back(arg, op);
+        ++res.stats.vars_fixed;
+      } else if (val > best_val) {
+        best_val = val;
+        best_op = op;
+        best_var = arg;
+      }
+    }
+    if (round.fixes.empty()) {
+      if (best_op < 0) break;  // nothing left to decide
+      lb[static_cast<std::size_t>(best_var)] = 1.0;
+      ub[static_cast<std::size_t>(best_var)] = 1.0;
+      op_fixed[static_cast<std::size_t>(best_op)] = 1;
+      --remaining;
+      round.fixes.emplace_back(best_var, best_op);
+      round.forced_single = true;
+      ++res.stats.vars_fixed;
+    }
+    history.push_back(std::move(round));
+  }
+
+  // Fully committed and the final LP is feasible: decode the floorplan.
+  res.status = milp::SolveStatus::kOptimal;
+  res.floorplan = rm.decode(lp.x);
+  return true;
+}
+
+}  // namespace
+
+TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
+  TwoStepResult res;
+  res.stats.vars_total = rm.num_binary_vars;
+  if (rm.trivially_infeasible) {
+    res.status = milp::SolveStatus::kInfeasible;
+    return res;
+  }
+
+  // --- Pure one-shot ILP (scaling baseline).
+  if (opts.strategy == RoundingStrategy::kNone && !opts.lp_only) {
+    run_bnb(rm.model, rm, opts, res);
+    return res;
+  }
+
+  // --- Default: iterated LP dive.
+  if (opts.strategy == RoundingStrategy::kIterativeDive && !opts.lp_only) {
+    if (iterative_dive(rm, opts, res)) return res;
+    // Dive dead-ended: fall back to branch & bound on the unfixed model.
+    res.stats.fallback_unfixed = true;
+    run_bnb(rm.model, rm, opts, res);
+    return res;
+  }
+
+  // --- Step A: LP relaxation (lp_only, one-shot fixing, randomized).
+  milp::Model relaxed = rm.model;
+  for (int v = 0; v < relaxed.num_vars(); ++v) relaxed.relax_var(v);
+  const milp::LpResult lp = milp::solve_lp(relaxed, opts.lp);
+  res.stats.lp_status = lp.status;
+  res.stats.lp_iterations = lp.iterations;
+  res.stats.lp_seconds = lp.seconds;
+  if (lp.status != milp::SolveStatus::kOptimal) {
+    res.status = lp.status == milp::SolveStatus::kUnbounded
+                     ? milp::SolveStatus::kNumericalError
+                     : lp.status;
+    return res;
+  }
+  if (opts.lp_only) {
+    res.status = milp::SolveStatus::kOptimal;
+    return res;
+  }
+
+  // --- Step B: pre-map (fix) variables once.
+  milp::Model fixed_model = rm.model;
+  int fixed = 0;
+  if (opts.strategy == RoundingStrategy::kThresholdFixOnce) {
+    for (int v = 0; v < rm.num_binary_vars; ++v) {
+      if (lp.x[static_cast<std::size_t>(v)] > opts.round_threshold) {
+        fixed_model.set_bounds(v, 1.0, 1.0);
+        ++fixed;
+      }
+    }
+  } else {  // kRandomizedRound
+    Rng rng(opts.seed);
+    fixed = randomized_fix(rm, lp.x, fixed_model, rng);
+  }
+  res.stats.vars_fixed = fixed;
+
+  // --- Step C: residual ILP, with an unfixed fallback if over-committed.
+  run_bnb(fixed_model, rm, opts, res);
+  if (res.status == milp::SolveStatus::kInfeasible && fixed > 0) {
+    res.stats.fallback_unfixed = true;
+    run_bnb(rm.model, rm, opts, res);
+  }
+  return res;
+}
+
+}  // namespace cgraf::core

@@ -1,0 +1,73 @@
+// The paper's two-step MILP relaxation (Section V.B, Step 1 text):
+//  1. solve the LP relaxation (every OP_ijk in [0,1]),
+//  2. pre-map: fix variables with value > 0.95 to 1,
+//  3. solve the residual ILP for the remaining operations.
+//
+// The alternative strategies the paper mentions (pure one-shot ILP, which
+// "could not find a solution within 5 days" at scale, and randomized
+// rounding, which "did not work as well") are selectable for the scaling
+// and rounding ablation benches.
+#pragma once
+
+#include <cstdint>
+
+#include "core/model_builder.h"
+#include "milp/branch_and_bound.h"
+
+namespace cgraf::core {
+
+enum class RoundingStrategy {
+  // Iterated LP dive (default): repeat { solve LP; fix every assignment
+  // with value > threshold; if none qualify, fix the single most-integral
+  // op } with warm-started re-solves until every op is committed. This is
+  // the paper's pre-mapping applied to a fixed point; when a dive dead-ends
+  // it falls back to branch & bound on the unfixed model.
+  kIterativeDive,
+  kThresholdFixOnce,  // the paper's literal method: one fix pass, then ILP
+  kRandomizedRound,   // ablation: sample candidate ~ LP weights, then ILP
+  kNone,              // pure one-shot ILP (scaling baseline)
+};
+
+struct TwoStepOptions {
+  RoundingStrategy strategy = RoundingStrategy::kIterativeDive;
+  double round_threshold = 0.95;
+  // kIterativeDive: when a fixing decision breaks LP feasibility, undo the
+  // offending round and ban the forced variable, up to this many bans
+  // before giving up on the current st_target.
+  int dive_ban_budget = 120;
+  // Re-solve dead-ended dives with full branch & bound (expensive; the
+  // Delta relaxation of Algorithm 1 usually recovers more cheaply).
+  bool bnb_fallback = false;
+  // Check feasibility with the LP relaxation only (no integer solve); used
+  // inside the Step-1 binary search where only a lower bound is needed.
+  bool lp_only = false;
+  milp::LpOptions lp;
+  milp::MipOptions mip;
+  std::uint64_t seed = 1;  // randomized rounding only
+};
+
+struct TwoStepStats {
+  long lp_iterations = 0;
+  long mip_nodes = 0;
+  long mip_lp_iterations = 0;
+  int dive_rounds = 0;
+  int vars_fixed = 0;
+  int vars_total = 0;
+  double lp_seconds = 0.0;
+  double mip_seconds = 0.0;
+  milp::SolveStatus lp_status = milp::SolveStatus::kNumericalError;
+  milp::SolveStatus mip_status = milp::SolveStatus::kNumericalError;
+  bool fallback_unfixed = false;  // dive/fixing dead-ended; B&B re-solve
+};
+
+struct TwoStepResult {
+  // kOptimal: integer floorplan found (or LP feasible when lp_only).
+  // kInfeasible: no floorplan exists at this st_target (or limits hit).
+  milp::SolveStatus status = milp::SolveStatus::kNumericalError;
+  Floorplan floorplan;  // empty when lp_only or infeasible
+  TwoStepStats stats;
+};
+
+TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts);
+
+}  // namespace cgraf::core

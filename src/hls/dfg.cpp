@@ -1,0 +1,84 @@
+#include "hls/dfg.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cgraf::hls {
+
+int Dfg::add_node(OpKind kind, int bitwidth, std::string name) {
+  CGRAF_ASSERT(bitwidth > 0 && bitwidth <= 64);
+  nodes_.push_back(DfgNode{kind, bitwidth, std::move(name)});
+  fanin_.emplace_back();
+  fanout_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Dfg::add_edge(int from, int to) {
+  CGRAF_ASSERT(from >= 0 && from < num_nodes());
+  CGRAF_ASSERT(to >= 0 && to < num_nodes());
+  CGRAF_ASSERT(from != to);
+  edges_.emplace_back(from, to);
+  fanout_[static_cast<size_t>(from)].push_back(to);
+  fanin_[static_cast<size_t>(to)].push_back(from);
+}
+
+std::vector<int> Dfg::topo_order() const {
+  const int n = num_nodes();
+  std::vector<int> indeg(static_cast<size_t>(n), 0);
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    ++indeg[static_cast<size_t>(to)];
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<int> queue;
+  for (int i = 0; i < n; ++i)
+    if (indeg[static_cast<size_t>(i)] == 0) queue.push_back(i);
+  while (!queue.empty()) {
+    const int u = queue.back();
+    queue.pop_back();
+    order.push_back(u);
+    for (const int v : fanout_[static_cast<size_t>(u)])
+      if (--indeg[static_cast<size_t>(v)] == 0) queue.push_back(v);
+  }
+  CGRAF_ASSERT(static_cast<int>(order.size()) == n);
+  return order;
+}
+
+bool Dfg::is_dag() const {
+  const int n = num_nodes();
+  std::vector<int> indeg(static_cast<size_t>(n), 0);
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    ++indeg[static_cast<size_t>(to)];
+  }
+  std::vector<int> queue;
+  for (int i = 0; i < n; ++i)
+    if (indeg[static_cast<size_t>(i)] == 0) queue.push_back(i);
+  int seen = 0;
+  while (!queue.empty()) {
+    const int u = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (const int v : fanout_[static_cast<size_t>(u)])
+      if (--indeg[static_cast<size_t>(v)] == 0) queue.push_back(v);
+  }
+  return seen == n;
+}
+
+int Dfg::depth() const {
+  std::vector<int> level(static_cast<size_t>(num_nodes()), 1);
+  int deepest = num_nodes() > 0 ? 1 : 0;
+  for (const int u : topo_order()) {
+    for (const int v : fanout_[static_cast<size_t>(u)]) {
+      level[static_cast<size_t>(v)] =
+          std::max(level[static_cast<size_t>(v)],
+                   level[static_cast<size_t>(u)] + 1);
+      deepest = std::max(deepest, level[static_cast<size_t>(v)]);
+    }
+  }
+  return deepest;
+}
+
+}  // namespace cgraf::hls

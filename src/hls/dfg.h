@@ -1,0 +1,52 @@
+// Dataflow graph: the post-HLS, pre-scheduling representation of a
+// behavioral description (paper Fig. 1, "HLS + technology mapping").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgrra/operation.h"
+
+namespace cgraf::hls {
+
+struct DfgNode {
+  OpKind kind = OpKind::kAdd;
+  int bitwidth = 32;
+  std::string name;
+};
+
+class Dfg {
+ public:
+  int add_node(OpKind kind, int bitwidth = 32, std::string name = {});
+  // Adds a dependence edge producer -> consumer. Both must exist; self
+  // edges are rejected.
+  void add_edge(int from, int to);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const DfgNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  const std::vector<DfgNode>& nodes() const { return nodes_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  const std::vector<int>& fanin(int i) const {
+    return fanin_[static_cast<size_t>(i)];
+  }
+  const std::vector<int>& fanout(int i) const {
+    return fanout_[static_cast<size_t>(i)];
+  }
+
+  // Topological order; asserts the graph is a DAG.
+  std::vector<int> topo_order() const;
+  bool is_dag() const;
+
+  // Longest chain length in nodes (a lower bound on schedulable latency
+  // when every dependence crosses a context boundary).
+  int depth() const;
+
+ private:
+  std::vector<DfgNode> nodes_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> fanin_, fanout_;
+};
+
+}  // namespace cgraf::hls

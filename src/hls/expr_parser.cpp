@@ -1,0 +1,206 @@
+#include "hls/expr_parser.h"
+
+#include <cctype>
+#include <optional>
+
+namespace cgraf::hls {
+namespace {
+
+// Values during parsing: either a DFG node (>= 0) or a primary input (-1).
+constexpr int kPrimaryInput = -1;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  ParseResult run() {
+    while (!at_end()) {
+      skip_ws();
+      if (at_end()) break;
+      if (!statement()) {
+        result_.ok = false;
+        return std::move(result_);
+      }
+      skip_ws();
+      if (!at_end()) {
+        if (!consume(';')) {
+          fail("expected ';' between statements");
+          return std::move(result_);
+        }
+      }
+    }
+    result_.ok = true;
+    return std::move(result_);
+  }
+
+ private:
+  bool statement() {
+    skip_ws();
+    if (peek() == '@') {
+      ++pos_;
+      const std::string word = identifier();
+      if (word != "width") return fail("unknown directive '@" + word + "'");
+      skip_ws();
+      const std::optional<int> w = integer();
+      if (!w || *w <= 0 || *w > 64) return fail("@width expects 1..64");
+      width_ = *w;
+      return true;
+    }
+    const std::string name = identifier();
+    if (name.empty()) return fail("expected identifier");
+    skip_ws();
+    if (!consume('=')) return fail("expected '=' after '" + name + "'");
+    const std::optional<int> value = expr();
+    if (!value) return false;
+    if (*value != kPrimaryInput) result_.symbols[name] = *value;
+    return true;
+  }
+
+  std::optional<int> expr() {
+    std::optional<int> lhs = term();
+    if (!lhs) return std::nullopt;
+    for (;;) {
+      skip_ws();
+      const char c = peek();
+      OpKind kind;
+      if (c == '+') kind = OpKind::kAdd;
+      else if (c == '-') kind = OpKind::kSub;
+      else if (c == '|') kind = OpKind::kOr;
+      else if (c == '^') kind = OpKind::kXor;
+      else return lhs;
+      ++pos_;
+      const std::optional<int> rhs = term();
+      if (!rhs) return std::nullopt;
+      lhs = make_op(kind, {*lhs, *rhs});
+    }
+  }
+
+  std::optional<int> term() {
+    std::optional<int> lhs = atom();
+    if (!lhs) return std::nullopt;
+    for (;;) {
+      skip_ws();
+      OpKind kind;
+      if (peek() == '*') { kind = OpKind::kMul; ++pos_; }
+      else if (peek() == '&') { kind = OpKind::kAnd; ++pos_; }
+      else if (peek() == '<' && peek(1) == '<') { kind = OpKind::kShift; pos_ += 2; }
+      else if (peek() == '>' && peek(1) == '>') { kind = OpKind::kShift; pos_ += 2; }
+      else return lhs;
+      const std::optional<int> rhs = atom();
+      if (!rhs) return std::nullopt;
+      lhs = make_op(kind, {*lhs, *rhs});
+    }
+  }
+
+  std::optional<int> atom() {
+    skip_ws();
+    if (consume('(')) {
+      const std::optional<int> inner = expr();
+      if (!inner) return std::nullopt;
+      skip_ws();
+      if (!consume(')')) { fail("expected ')'"); return std::nullopt; }
+      return inner;
+    }
+    const std::string name = identifier();
+    if (name.empty()) {
+      fail("expected identifier or '('");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (peek() == '(') {
+      OpKind kind;
+      if (name == "mux") kind = OpKind::kMux;
+      else if (name == "shuffle") kind = OpKind::kShuffle;
+      else if (name == "extract") kind = OpKind::kExtract;
+      else if (name == "merge") kind = OpKind::kMerge;
+      else if (name == "cmp") kind = OpKind::kCmp;
+      else { fail("unknown function '" + name + "'"); return std::nullopt; }
+      ++pos_;  // '('
+      std::vector<int> args;
+      for (;;) {
+        const std::optional<int> a = expr();
+        if (!a) return std::nullopt;
+        args.push_back(*a);
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(')')) break;
+        fail("expected ',' or ')' in call");
+        return std::nullopt;
+      }
+      return make_op(kind, args);
+    }
+    const auto it = result_.symbols.find(name);
+    return it != result_.symbols.end() ? it->second : kPrimaryInput;
+  }
+
+  int make_op(OpKind kind, const std::vector<int>& args) {
+    const int node = result_.dfg.add_node(kind, width_, "");
+    for (const int a : args) {
+      if (a != kPrimaryInput) result_.dfg.add_edge(a, node);
+    }
+    return node;
+  }
+
+  // --- Lexing helpers -----------------------------------------------------
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!at_end()) {
+      if (std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      } else if (peek() == '#') {  // comment to end of line
+        while (!at_end() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+  std::string identifier() {
+    skip_ws();
+    std::string out;
+    while (!at_end()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        out += c;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+  std::optional<int> integer() {
+    skip_ws();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
+    int v = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + (src_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+  bool fail(std::string message) {
+    result_.error = message + " (at offset " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int width_ = 32;
+  ParseResult result_;
+};
+
+}  // namespace
+
+ParseResult parse_kernel(const std::string& source) {
+  return Parser(source).run();
+}
+
+}  // namespace cgraf::hls

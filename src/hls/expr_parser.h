@@ -1,0 +1,39 @@
+// A tiny ANSI-C-expression-style DSL for describing kernels (the paper's
+// flow starts from behavioral C; this parser provides the same entry point
+// at expression granularity).
+//
+// Grammar (statements separated by ';'):
+//   stmt    := ident '=' expr        -- define a value
+//            | '@width' integer      -- set bitwidth for subsequent ops
+//   expr    := term  (('+'|'-'|'|'|'^') term)*
+//   term    := atom  (('*'|'&'|'<<'|'>>') atom)*
+//   atom    := ident | call | '(' expr ')'
+//   call    := func '(' expr (',' expr)* ')'
+//   func    := 'mux' | 'shuffle' | 'extract' | 'merge' | 'cmp'
+//
+// Identifiers that were never assigned are primary inputs. Each operator
+// becomes one DFG node; 'mux'/'shuffle'/'extract'/'merge' map to DMU ops.
+//
+// Example:
+//   "@width 16; acc = a*c0 + b*c1; out = shuffle(acc, acc >> 2);"
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hls/dfg.h"
+
+namespace cgraf::hls {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;           // set when !ok, with position info
+  Dfg dfg;
+  // Named values (assignment targets) -> DFG node. Names bound to a primary
+  // input alias (e.g. "x = y" with y never assigned) are absent.
+  std::map<std::string, int> symbols;
+};
+
+ParseResult parse_kernel(const std::string& source);
+
+}  // namespace cgraf::hls

@@ -1,0 +1,36 @@
+// "musketeer_lite": the aging-unaware baseline placer.
+//
+// Stand-in for the commercial Musketeer P&R flow the paper builds on
+// (Phase 1): a per-context simulated-annealing placement that minimizes the
+// bounding-box area of the used PEs and total wirelength while keeping each
+// context's critical path within the clock period. Like deterministic
+// commercial packers it prefers low-index resources (an anchor pull toward
+// the fabric origin), which is precisely the behaviour that concentrates
+// accumulated stress and that the aging-aware re-mapper then undoes.
+#pragma once
+
+#include <cstdint>
+
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+
+namespace cgraf::hls {
+
+struct PlacerOptions {
+  std::uint64_t seed = 1;
+  int moves_per_op = 300;      // SA moves per op per context
+  double w_wirelength = 1.0;   // same-context (combinational) wires
+  double w_cross = 0.3;        // wires to already-placed earlier contexts
+  double w_bbox = 3.0;         // bounding-box area of the context's PEs
+  double w_anchor = 0.4;       // pull of the bbox corner toward (0,0)
+  double timing_penalty = 200.0;  // per ns of context CPD over the clock
+  double t_start = 3.0;
+  double t_end = 0.05;
+};
+
+// Places every context of the design; returns a structurally valid
+// floorplan (asserts internally on failure, which cannot happen as long as
+// each context has at most fabric.num_pes() ops).
+Floorplan place_baseline(const Design& design, const PlacerOptions& opts = {});
+
+}  // namespace cgraf::hls

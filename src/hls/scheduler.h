@@ -1,0 +1,45 @@
+// Latency-constrained, chaining-aware list scheduler.
+//
+// Divides a DFG into N contexts (one context executes per clock cycle,
+// paper Fig. 1). Dependent operations may be *chained* combinationally
+// inside one context as long as the accumulated PE delay leaves enough of
+// the clock period for wires; otherwise the consumer moves to a later
+// context and the value crosses a context register.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgrra/design.h"
+#include "hls/dfg.h"
+
+namespace cgraf::hls {
+
+struct ScheduleOptions {
+  int num_contexts = 4;          // the design's latency in cycles
+  int max_ops_per_context = 64;  // fabric PE count (one op per PE per cycle)
+  double clock_period_ns = 5.0;
+  PeDelayModel delays{};
+  // Fraction of the clock period that chained PE delays may consume; the
+  // remainder is headroom for wire delay after placement.
+  double chain_budget_frac = 0.70;
+};
+
+struct ScheduleResult {
+  bool ok = false;
+  std::string error;
+  std::vector<int> context_of;  // per DFG node
+  int contexts_used = 0;
+};
+
+ScheduleResult list_schedule(const Dfg& dfg, const ScheduleOptions& opts);
+
+// Smallest context count for which list_schedule succeeds with the given
+// resource/chaining options (binary search over num_contexts).
+int min_contexts(const Dfg& dfg, ScheduleOptions opts, int upper_limit = 256);
+
+// Assembles the mapped design from a DFG and its schedule.
+Design build_design(const Dfg& dfg, const ScheduleResult& schedule,
+                    const Fabric& fabric, int num_contexts);
+
+}  // namespace cgraf::hls

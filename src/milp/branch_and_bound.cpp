@@ -1,0 +1,287 @@
+#include "milp/branch_and_bound.h"
+
+#include "milp/presolve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "util/check.h"
+
+namespace cgraf::milp {
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// A bound change relative to the parent node; nodes share ancestry chains.
+struct Delta {
+  int var;
+  double lb, ub;
+  std::shared_ptr<const Delta> parent;
+};
+
+struct Node {
+  std::shared_ptr<const Delta> deltas;
+  std::shared_ptr<const std::vector<ColStatus>> warm;
+  double bound;  // internal (minimization) bound inherited from the parent
+  int depth;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;  // min-bound first
+    return a.depth < b.depth;                          // then deepest (dive)
+  }
+};
+
+}  // namespace
+
+MipResult solve_milp(const Model& model, const MipOptions& opts) {
+  const double t_start = now_seconds();
+
+  if (opts.presolve) {
+    PresolveResult pre = presolve(model);
+    if (pre.status == SolveStatus::kInfeasible) {
+      MipResult res;
+      res.status = SolveStatus::kInfeasible;
+      res.seconds = now_seconds() - t_start;
+      return res;
+    }
+    MipOptions inner = opts;
+    inner.presolve = false;
+    MipResult r = solve_milp(pre.reduced, inner);
+    // Lift the incumbent and re-account the objective/bound for the
+    // eliminated variables' constant contribution.
+    double fixed_const = 0.0;
+    for (int j = 0; j < model.num_vars(); ++j) {
+      if (pre.var_map[static_cast<size_t>(j)] < 0)
+        fixed_const += model.var(j).obj *
+                       pre.fixed_value[static_cast<size_t>(j)];
+    }
+    if (r.has_solution()) {
+      r.x = pre.postsolve(r.x);
+      r.obj = model.objective_value(r.x);
+    }
+    r.best_bound += fixed_const;
+    r.seconds = now_seconds() - t_start;
+    return r;
+  }
+
+  MipResult res;
+
+  const int n = model.num_vars();
+  const double sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+
+  std::vector<int> int_vars;
+  for (int j = 0; j < n; ++j) {
+    if (model.var(j).type != VarType::kContinuous) int_vars.push_back(j);
+  }
+
+  SimplexEngine engine(model, opts.lp);
+
+  // Root bounds, with integer bounds pre-rounded inward.
+  std::vector<double> root_lb(engine.model_lb());
+  std::vector<double> root_ub(engine.model_ub());
+  for (const int j : int_vars) {
+    root_lb[static_cast<size_t>(j)] =
+        std::ceil(root_lb[static_cast<size_t>(j)] - opts.int_tol);
+    root_ub[static_cast<size_t>(j)] =
+        std::floor(root_ub[static_cast<size_t>(j)] + opts.int_tol);
+    if (root_lb[static_cast<size_t>(j)] > root_ub[static_cast<size_t>(j)]) {
+      res.status = SolveStatus::kInfeasible;
+      res.seconds = now_seconds() - t_start;
+      return res;
+    }
+  }
+
+  double incumbent_internal = kInf;
+  std::vector<double> incumbent_x;
+  bool proof_incomplete = false;
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{nullptr, nullptr, -kInf, 0});
+  double exhausted_bound = kInf;  // min bound among pruned-by-gap nodes
+
+  std::vector<double> lb, ub;
+  auto build_bounds = [&](const Node& node) {
+    lb = root_lb;
+    ub = root_ub;
+    for (const Delta* d = node.deltas.get(); d != nullptr;
+         d = d->parent.get()) {
+      lb[static_cast<size_t>(d->var)] =
+          std::max(lb[static_cast<size_t>(d->var)], d->lb);
+      ub[static_cast<size_t>(d->var)] =
+          std::min(ub[static_cast<size_t>(d->var)], d->ub);
+    }
+  };
+
+  auto try_incumbent = [&](const std::vector<double>& x) {
+    // Round integer variables and accept only exactly-feasible points.
+    std::vector<double> xi = x;
+    for (const int j : int_vars)
+      xi[static_cast<size_t>(j)] = std::round(xi[static_cast<size_t>(j)]);
+    if (model.max_violation(xi) > 10 * opts.lp.tol_feas) return false;
+    const double internal = sign * model.objective_value(xi);
+    if (internal < incumbent_internal - 1e-12) {
+      incumbent_internal = internal;
+      incumbent_x = std::move(xi);
+      return true;
+    }
+    return false;
+  };
+
+  SolveStatus limit_hit = SolveStatus::kOptimal;  // records which limit fired
+  while (!open.empty()) {
+    if (res.nodes >= opts.max_nodes) {
+      limit_hit = SolveStatus::kNodeLimit;
+      break;
+    }
+    if (now_seconds() - t_start > opts.time_limit_s) {
+      limit_hit = SolveStatus::kTimeLimit;
+      break;
+    }
+
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent_internal - opts.abs_gap) {
+      // Every remaining node is at least as bad: best-first order.
+      exhausted_bound = std::min(exhausted_bound, node.bound);
+      break;
+    }
+    ++res.nodes;
+    build_bounds(node);
+
+    LpOptions lp_opts = opts.lp;
+    lp_opts.time_limit_s =
+        std::min(lp_opts.time_limit_s,
+                 opts.time_limit_s - (now_seconds() - t_start));
+    engine.set_options(lp_opts);
+    LpResult lp = engine.solve(lb, ub, node.warm.get());
+    res.lp_iterations += lp.iterations;
+
+    if (lp.status == SolveStatus::kInfeasible) continue;
+    if (lp.status == SolveStatus::kUnbounded) {
+      if (node.depth == 0 && int_vars.empty()) {
+        res.status = SolveStatus::kUnbounded;
+        res.seconds = now_seconds() - t_start;
+        return res;
+      }
+      // Unbounded relaxation of a node with integers: cannot bound; treat
+      // the proof as incomplete and keep searching siblings.
+      proof_incomplete = true;
+      continue;
+    }
+    if (lp.status != SolveStatus::kOptimal) {
+      proof_incomplete = true;
+      continue;
+    }
+
+    const double node_bound = sign * lp.obj;
+    if (node_bound >= incumbent_internal - opts.abs_gap) continue;
+
+    // Find the most fractional integer variable.
+    int branch_var = -1;
+    double branch_val = 0.0;
+    double best_frac_dist = opts.int_tol;
+    for (const int j : int_vars) {
+      const double v = lp.x[static_cast<size_t>(j)];
+      const double dist = std::abs(v - std::round(v));
+      if (dist > best_frac_dist) {
+        // prefer the variable closest to 0.5 fractionality
+        const double score = 0.5 - std::abs(v - std::floor(v) - 0.5);
+        const double best_score =
+            branch_var < 0 ? -1.0
+                           : 0.5 - std::abs(branch_val -
+                                            std::floor(branch_val) - 0.5);
+        if (score > best_score) {
+          branch_var = j;
+          branch_val = v;
+        }
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral: candidate incumbent.
+      try_incumbent(lp.x);
+      if (opts.stop_at_first_incumbent && !incumbent_x.empty()) {
+        limit_hit = SolveStatus::kFeasible;
+        break;
+      }
+      continue;
+    }
+
+    // Cheap rounding heuristic to seed the incumbent early.
+    if (!incumbent_x.empty() || res.nodes <= 64) {
+      try_incumbent(lp.x);
+      if (opts.stop_at_first_incumbent && !incumbent_x.empty()) {
+        limit_hit = SolveStatus::kFeasible;
+        break;
+      }
+    }
+
+    auto warm = std::make_shared<std::vector<ColStatus>>(std::move(lp.basis));
+    const double down = std::floor(branch_val);
+    auto mk_delta = [&](double dlb, double dub) {
+      auto d = std::make_shared<Delta>();
+      d->var = branch_var;
+      d->lb = dlb;
+      d->ub = dub;
+      d->parent = node.deltas;
+      return d;
+    };
+    // Push the child on the side the LP value leans toward last so the
+    // (bound, depth) order dives into it first on ties.
+    const bool lean_up = (branch_val - down) > 0.5;
+    Node child_down{mk_delta(-kInf, down), warm, node_bound, node.depth + 1};
+    Node child_up{mk_delta(down + 1.0, kInf), warm, node_bound,
+                  node.depth + 1};
+    if (lean_up) {
+      open.push(child_down);
+      open.push(child_up);
+    } else {
+      open.push(child_up);
+      open.push(child_down);
+    }
+  }
+
+  // --- Assemble the result.
+  res.seconds = now_seconds() - t_start;
+  double open_bound = exhausted_bound;
+  if (!open.empty()) open_bound = std::min(open_bound, open.top().bound);
+  const bool exhausted = open.empty() && limit_hit == SolveStatus::kOptimal;
+
+  if (!incumbent_x.empty()) {
+    res.x = incumbent_x;
+    res.obj = sign * incumbent_internal;
+    const double bb =
+        exhausted ? incumbent_internal : std::min(open_bound,
+                                                  incumbent_internal);
+    res.best_bound = sign * bb;
+    const double gap = incumbent_internal - bb;
+    const bool gap_closed =
+        gap <= opts.abs_gap ||
+        gap <= opts.rel_gap * std::max(1.0, std::abs(incumbent_internal));
+    res.status = (exhausted && !proof_incomplete) || gap_closed
+                     ? SolveStatus::kOptimal
+                     : SolveStatus::kFeasible;
+    return res;
+  }
+
+  res.best_bound = sign * open_bound;
+  if (exhausted && !proof_incomplete) {
+    res.status = SolveStatus::kInfeasible;
+  } else if (limit_hit != SolveStatus::kOptimal) {
+    res.status = limit_hit;
+  } else {
+    res.status = SolveStatus::kNumericalError;
+  }
+  return res;
+}
+
+}  // namespace cgraf::milp

@@ -1,0 +1,45 @@
+// Branch & bound MILP solver over the revised-simplex LP engine.
+//
+// Node selection is best-bound with a deepest-first tie-break, which
+// degenerates to a depth-first dive on the paper's "ObjFunc: Null"
+// feasibility models (every node bound is 0) — exactly the behaviour needed
+// to find an integer floorplan quickly or prove that a stress target is
+// infeasible.
+#pragma once
+
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+namespace cgraf::milp {
+
+struct MipOptions {
+  LpOptions lp;
+  double time_limit_s = 1e18;
+  long max_nodes = 200000;
+  double int_tol = 1e-6;   // |x - round(x)| below this counts as integral
+  double abs_gap = 1e-9;
+  double rel_gap = 1e-6;
+  // Stop as soon as any integer-feasible point is found (for pure
+  // feasibility models such as the paper's "ObjFunc: Null" formulation).
+  bool stop_at_first_incumbent = false;
+  // Run the exact presolve reductions (milp/presolve.h) before the search.
+  bool presolve = true;
+};
+
+struct MipResult {
+  SolveStatus status = SolveStatus::kNumericalError;
+  double obj = 0.0;         // incumbent objective (model sense)
+  double best_bound = 0.0;  // proven bound (model sense)
+  std::vector<double> x;    // incumbent (empty if none)
+  long nodes = 0;
+  long lp_iterations = 0;
+  double seconds = 0.0;
+
+  bool has_solution() const { return !x.empty(); }
+};
+
+MipResult solve_milp(const Model& model, const MipOptions& opts = {});
+
+}  // namespace cgraf::milp

@@ -1,0 +1,199 @@
+#include "milp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cgraf::milp {
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+constexpr double kFixTol = 1e-9;
+
+struct WorkRow {
+  std::vector<std::pair<int, double>> terms;  // only live variables
+  double lb, ub;
+  bool dropped = false;
+};
+
+}  // namespace
+
+std::vector<double> PresolveResult::postsolve(
+    const std::vector<double>& x_reduced) const {
+  std::vector<double> x(var_map.size());
+  for (std::size_t i = 0; i < var_map.size(); ++i) {
+    x[i] = var_map[i] < 0 ? fixed_value[i]
+                          : x_reduced[static_cast<std::size_t>(var_map[i])];
+  }
+  return x;
+}
+
+PresolveResult presolve(const Model& model, int max_passes) {
+  const int n = model.num_vars();
+  const int m = model.num_constraints();
+
+  PresolveResult res;
+  res.var_map.assign(static_cast<std::size_t>(n), 0);
+  res.fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::vector<double> lb(static_cast<std::size_t>(n));
+  std::vector<double> ub(static_cast<std::size_t>(n));
+  std::vector<char> fixed(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    lb[static_cast<std::size_t>(j)] = model.var(j).lb;
+    ub[static_cast<std::size_t>(j)] = model.var(j).ub;
+  }
+
+  std::vector<WorkRow> rows(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    rows[static_cast<std::size_t>(r)].terms = model.constraint(r).terms;
+    rows[static_cast<std::size_t>(r)].lb = model.constraint(r).lb;
+    rows[static_cast<std::size_t>(r)].ub = model.constraint(r).ub;
+  }
+
+  auto fail = [&] {
+    res.status = SolveStatus::kInfeasible;
+    return res;
+  };
+
+  auto round_integer_bounds = [&](int j) {
+    if (model.var(j).type == VarType::kContinuous) return true;
+    const double l = std::ceil(lb[static_cast<std::size_t>(j)] - 1e-7);
+    const double u = std::floor(ub[static_cast<std::size_t>(j)] + 1e-7);
+    if (l != lb[static_cast<std::size_t>(j)]) ++res.bounds_tightened;
+    if (u != ub[static_cast<std::size_t>(j)]) ++res.bounds_tightened;
+    lb[static_cast<std::size_t>(j)] = l;
+    ub[static_cast<std::size_t>(j)] = u;
+    return l <= u + kFeasTol;
+  };
+  for (int j = 0; j < n; ++j) {
+    if (!round_integer_bounds(j)) return fail();
+  }
+
+  bool changed = true;
+  for (int pass = 0; pass < max_passes && changed; ++pass) {
+    changed = false;
+
+    // --- Fix variables whose bounds coincide; substitute into rows.
+    for (int j = 0; j < n; ++j) {
+      if (fixed[static_cast<std::size_t>(j)]) continue;
+      if (ub[static_cast<std::size_t>(j)] - lb[static_cast<std::size_t>(j)] >
+          kFixTol)
+        continue;
+      fixed[static_cast<std::size_t>(j)] = 1;
+      res.fixed_value[static_cast<std::size_t>(j)] =
+          0.5 * (lb[static_cast<std::size_t>(j)] +
+                 ub[static_cast<std::size_t>(j)]);
+      ++res.vars_fixed;
+      changed = true;
+    }
+    for (WorkRow& row : rows) {
+      if (row.dropped) continue;
+      bool any_fixed = false;
+      for (const auto& [j, a] : row.terms)
+        any_fixed |= fixed[static_cast<std::size_t>(j)] != 0;
+      if (!any_fixed) continue;
+      double shift = 0.0;
+      std::vector<std::pair<int, double>> live;
+      live.reserve(row.terms.size());
+      for (const auto& [j, a] : row.terms) {
+        if (fixed[static_cast<std::size_t>(j)]) {
+          shift += a * res.fixed_value[static_cast<std::size_t>(j)];
+        } else {
+          live.emplace_back(j, a);
+        }
+      }
+      row.terms = std::move(live);
+      if (row.lb != -kInf) row.lb -= shift;
+      if (row.ub != kInf) row.ub -= shift;
+    }
+
+    // --- Row analysis.
+    for (WorkRow& row : rows) {
+      if (row.dropped) continue;
+
+      if (row.terms.empty()) {
+        if (row.lb > kFeasTol || row.ub < -kFeasTol) return fail();
+        row.dropped = true;
+        ++res.rows_dropped;
+        changed = true;
+        continue;
+      }
+
+      // Activity bounds from the live variables.
+      double act_lo = 0.0, act_hi = 0.0;
+      for (const auto& [j, a] : row.terms) {
+        const double l = lb[static_cast<std::size_t>(j)];
+        const double u = ub[static_cast<std::size_t>(j)];
+        if (a >= 0) {
+          act_lo += (l == -kInf) ? -kInf : a * l;
+          act_hi += (u == kInf) ? kInf : a * u;
+        } else {
+          act_lo += (u == kInf) ? -kInf : a * u;
+          act_hi += (l == -kInf) ? kInf : a * l;
+        }
+      }
+      if (act_lo > row.ub + 1e-7 || act_hi < row.lb - 1e-7) return fail();
+      if ((row.lb == -kInf || act_lo >= row.lb - kFeasTol) &&
+          (row.ub == kInf || act_hi <= row.ub + kFeasTol)) {
+        row.dropped = true;  // redundant at any feasible point
+        ++res.rows_dropped;
+        changed = true;
+        continue;
+      }
+
+      // Singleton rows tighten variable bounds and disappear.
+      if (row.terms.size() == 1) {
+        const auto [j, a] = row.terms.front();
+        CGRAF_DCHECK(a != 0.0);
+        double nl = row.lb == -kInf ? -kInf : row.lb / a;
+        double nu = row.ub == kInf ? kInf : row.ub / a;
+        if (a < 0) std::swap(nl, nu);
+        if (nl > lb[static_cast<std::size_t>(j)] + kFixTol) {
+          lb[static_cast<std::size_t>(j)] = nl;
+          ++res.bounds_tightened;
+          changed = true;
+        }
+        if (nu < ub[static_cast<std::size_t>(j)] - kFixTol) {
+          ub[static_cast<std::size_t>(j)] = nu;
+          ++res.bounds_tightened;
+          changed = true;
+        }
+        if (!round_integer_bounds(j)) return fail();
+        if (lb[static_cast<std::size_t>(j)] >
+            ub[static_cast<std::size_t>(j)] + kFeasTol)
+          return fail();
+        row.dropped = true;
+        ++res.rows_dropped;
+        continue;
+      }
+    }
+  }
+
+  // --- Assemble the reduced model.
+  int next = 0;
+  for (int j = 0; j < n; ++j) {
+    if (fixed[static_cast<std::size_t>(j)]) {
+      res.var_map[static_cast<std::size_t>(j)] = -1;
+      continue;
+    }
+    res.var_map[static_cast<std::size_t>(j)] = next++;
+    const Variable& v = model.var(j);
+    res.reduced.add_var(lb[static_cast<std::size_t>(j)],
+                        ub[static_cast<std::size_t>(j)], v.obj, v.type,
+                        v.name);
+  }
+  res.reduced.set_sense(model.sense());
+  for (const WorkRow& row : rows) {
+    if (row.dropped) continue;
+    std::vector<std::pair<int, double>> terms;
+    terms.reserve(row.terms.size());
+    for (const auto& [j, a] : row.terms)
+      terms.emplace_back(res.var_map[static_cast<std::size_t>(j)], a);
+    res.reduced.add_constraint(std::move(terms), row.lb, row.ub);
+  }
+  return res;
+}
+
+}  // namespace cgraf::milp

@@ -1,0 +1,45 @@
+// Presolve: shrink a model before branch & bound.
+//
+// The floorplanner's models are full of structure a presolver eats for
+// breakfast — variables fixed by the LP-rounding pre-mapping step, rows
+// whose activity bounds make them redundant, singleton rows produced by
+// candidate filtering. Passes (to a fixpoint):
+//   - substitute fixed variables (lb == ub) into every row,
+//   - singleton rows become variable-bound tightenings and are dropped,
+//   - rows proven redundant by activity bounds are dropped; rows proven
+//     unsatisfiable flag infeasibility,
+//   - integer variable bounds are rounded inward.
+//
+// The reduction is exact: postsolve() reconstructs a full-model solution
+// from a reduced-model one, and every feasible point of the original model
+// maps to one of the reduced model and vice versa.
+#pragma once
+
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+namespace cgraf::milp {
+
+struct PresolveResult {
+  // kOptimal: reduction succeeded (possibly to an empty model);
+  // kInfeasible: the model is infeasible (no solve needed).
+  SolveStatus status = SolveStatus::kOptimal;
+  Model reduced;
+  // var_map[original] = index in `reduced`, or -1 when eliminated.
+  std::vector<int> var_map;
+  // fixed_value[original] is meaningful when var_map[original] == -1.
+  std::vector<double> fixed_value;
+
+  int rows_dropped = 0;
+  int vars_fixed = 0;
+  int bounds_tightened = 0;
+
+  // Lifts a reduced-model solution back to the original variable space.
+  std::vector<double> postsolve(const std::vector<double>& x_reduced) const;
+};
+
+PresolveResult presolve(const Model& model, int max_passes = 6);
+
+}  // namespace cgraf::milp

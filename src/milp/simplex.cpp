@@ -1,0 +1,400 @@
+#include "milp/simplex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "milp/lu.h"
+#include "util/check.h"
+
+namespace cgraf::milp {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasible: return "feasible";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterLimit: return "iteration-limit";
+    case SolveStatus::kTimeLimit: return "time-limit";
+    case SolveStatus::kNodeLimit: return "node-limit";
+    case SolveStatus::kNumericalError: return "numerical-error";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kPivotZero = 1e-9;   // |w_i| below this cannot pivot
+constexpr long kBlandTrigger = 2000;  // stalled iterations before Bland mode
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// All mutable state of one solve, kept together so helper lambdas stay small.
+struct Work {
+  int n = 0, m = 0, total = 0;
+  const CscMatrix* a = nullptr;
+  std::vector<double> lb, ub;        // size total
+  std::vector<double> cost;          // size total, minimization
+  std::vector<ColStatus> status;     // size total
+  std::vector<int> basis;            // size m: column at each basis position
+  std::vector<double> x;             // size total
+  BasisLu lu;
+};
+
+}  // namespace
+
+SimplexEngine::SimplexEngine(const Model& model, LpOptions opts)
+    : opts_(opts) {
+  n_ = model.num_vars();
+  m_ = model.num_constraints();
+  a_ = build_computational_form(model);
+  sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+
+  cost_.assign(static_cast<size_t>(n_ + m_), 0.0);
+  model_lb_.resize(static_cast<size_t>(n_));
+  model_ub_.resize(static_cast<size_t>(n_));
+  for (int j = 0; j < n_; ++j) {
+    const Variable& v = model.var(j);
+    cost_[static_cast<size_t>(j)] = sign_ * v.obj;
+    model_lb_[static_cast<size_t>(j)] = v.lb;
+    model_ub_[static_cast<size_t>(j)] = v.ub;
+  }
+  slack_lb_.resize(static_cast<size_t>(m_));
+  slack_ub_.resize(static_cast<size_t>(m_));
+  for (int r = 0; r < m_; ++r) {
+    slack_lb_[static_cast<size_t>(r)] = model.constraint(r).lb;
+    slack_ub_[static_cast<size_t>(r)] = model.constraint(r).ub;
+  }
+}
+
+LpResult SimplexEngine::solve(const std::vector<ColStatus>* warm) {
+  return solve(model_lb_, model_ub_, warm);
+}
+
+LpResult SimplexEngine::solve(const std::vector<double>& lb,
+                              const std::vector<double>& ub,
+                              const std::vector<ColStatus>* warm) {
+  CGRAF_ASSERT(static_cast<int>(lb.size()) == n_);
+  CGRAF_ASSERT(static_cast<int>(ub.size()) == n_);
+  const double t_start = now_seconds();
+  const double tolf = opts_.tol_feas;
+  const double told = opts_.tol_cost;
+
+  Work w;
+  w.n = n_;
+  w.m = m_;
+  w.total = n_ + m_;
+  w.a = &a_;
+  w.lb.resize(static_cast<size_t>(w.total));
+  w.ub.resize(static_cast<size_t>(w.total));
+  for (int j = 0; j < n_; ++j) {
+    w.lb[static_cast<size_t>(j)] = lb[static_cast<size_t>(j)];
+    w.ub[static_cast<size_t>(j)] = ub[static_cast<size_t>(j)];
+  }
+  for (int r = 0; r < m_; ++r) {
+    w.lb[static_cast<size_t>(n_ + r)] = slack_lb_[static_cast<size_t>(r)];
+    w.ub[static_cast<size_t>(n_ + r)] = slack_ub_[static_cast<size_t>(r)];
+  }
+  w.cost = cost_;
+
+  auto default_status = [&](int j) {
+    const double l = w.lb[static_cast<size_t>(j)];
+    const double u = w.ub[static_cast<size_t>(j)];
+    if (l != -kInf) return ColStatus::kAtLower;
+    if (u != kInf) return ColStatus::kAtUpper;
+    return ColStatus::kFreeZero;
+  };
+
+  // --- Build initial basis: warm start when usable, slack basis otherwise.
+  bool warmed = false;
+  if (warm != nullptr && static_cast<int>(warm->size()) == w.total) {
+    w.status = *warm;
+    w.basis.clear();
+    for (int j = 0; j < w.total; ++j) {
+      if (w.status[static_cast<size_t>(j)] == ColStatus::kBasic)
+        w.basis.push_back(j);
+    }
+    if (static_cast<int>(w.basis.size()) == m_ &&
+        w.lu.factorize(a_, w.basis)) {
+      // Sanitize nonbasic statuses against the (possibly tightened) bounds.
+      for (int j = 0; j < w.total; ++j) {
+        ColStatus& s = w.status[static_cast<size_t>(j)];
+        if (s == ColStatus::kBasic) continue;
+        if (s == ColStatus::kAtLower && w.lb[static_cast<size_t>(j)] == -kInf)
+          s = default_status(j);
+        if (s == ColStatus::kAtUpper && w.ub[static_cast<size_t>(j)] == kInf)
+          s = default_status(j);
+      }
+      warmed = true;
+    }
+  }
+  if (!warmed) {
+    w.status.assign(static_cast<size_t>(w.total), ColStatus::kAtLower);
+    w.basis.resize(static_cast<size_t>(m_));
+    for (int j = 0; j < n_; ++j) w.status[static_cast<size_t>(j)] = default_status(j);
+    for (int r = 0; r < m_; ++r) {
+      w.basis[static_cast<size_t>(r)] = n_ + r;
+      w.status[static_cast<size_t>(n_ + r)] = ColStatus::kBasic;
+    }
+    const bool ok = w.lu.factorize(a_, w.basis);
+    CGRAF_ASSERT(ok);  // slack basis is -I, always nonsingular
+  }
+
+  w.x.assign(static_cast<size_t>(w.total), 0.0);
+  auto nonbasic_value = [&](int j) {
+    switch (w.status[static_cast<size_t>(j)]) {
+      case ColStatus::kAtLower: return w.lb[static_cast<size_t>(j)];
+      case ColStatus::kAtUpper: return w.ub[static_cast<size_t>(j)];
+      default: return 0.0;
+    }
+  };
+
+  std::vector<double> rhs(static_cast<size_t>(m_));
+  auto recompute_basics = [&] {
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (int j = 0; j < w.total; ++j) {
+      if (w.status[static_cast<size_t>(j)] == ColStatus::kBasic) continue;
+      const double v = nonbasic_value(j);
+      w.x[static_cast<size_t>(j)] = v;
+      if (v != 0.0) a_.axpy_col(j, -v, rhs);
+    }
+    w.lu.ftran(rhs);
+    for (int i = 0; i < m_; ++i)
+      w.x[static_cast<size_t>(w.basis[static_cast<size_t>(i)])] =
+          rhs[static_cast<size_t>(i)];
+  };
+  recompute_basics();
+
+  auto total_infeasibility = [&] {
+    double s = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int j = w.basis[static_cast<size_t>(i)];
+      const double xj = w.x[static_cast<size_t>(j)];
+      s += std::max(0.0, xj - w.ub[static_cast<size_t>(j)]);
+      s += std::max(0.0, w.lb[static_cast<size_t>(j)] - xj);
+    }
+    return s;
+  };
+
+  LpResult res;
+  std::vector<double> y(static_cast<size_t>(m_));
+  std::vector<double> spike(static_cast<size_t>(m_));
+  long stalled = 0;
+  double last_progress_metric = kInf;
+  bool last_phase1 = true;
+
+  auto finish = [&](SolveStatus st) {
+    res.status = st;
+    res.seconds = now_seconds() - t_start;
+    res.basis = w.status;
+    res.x.assign(w.x.begin(), w.x.begin() + n_);
+    double obj = 0.0;
+    for (int j = 0; j < n_; ++j)
+      obj += cost_[static_cast<size_t>(j)] * w.x[static_cast<size_t>(j)];
+    res.obj = sign_ * obj;
+    return res;
+  };
+
+  for (long iter = 0;; ++iter) {
+    if (iter >= opts_.max_iters) return finish(SolveStatus::kIterLimit);
+    if ((iter & 127) == 0 && now_seconds() - t_start > opts_.time_limit_s)
+      return finish(SolveStatus::kTimeLimit);
+    res.iterations = iter;
+
+    // --- Phase detection and (possibly composite) cost of the basics.
+    bool phase1 = false;
+    std::fill(y.begin(), y.end(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int j = w.basis[static_cast<size_t>(i)];
+      const double xj = w.x[static_cast<size_t>(j)];
+      if (xj > w.ub[static_cast<size_t>(j)] + tolf) {
+        y[static_cast<size_t>(i)] = 1.0;  // minimize overshoot
+        phase1 = true;
+      } else if (xj < w.lb[static_cast<size_t>(j)] - tolf) {
+        y[static_cast<size_t>(i)] = -1.0;
+        phase1 = true;
+      }
+    }
+    if (!phase1) {
+      for (int i = 0; i < m_; ++i)
+        y[static_cast<size_t>(i)] =
+            w.cost[static_cast<size_t>(w.basis[static_cast<size_t>(i)])];
+    }
+    w.lu.btran(y);
+
+    // --- Stall detection drives the Bland anti-cycling fallback. The
+    // metric is phase-specific, so reset the tracker on phase changes.
+    if (phase1 != last_phase1) {
+      stalled = 0;
+      last_progress_metric = kInf;
+      last_phase1 = phase1;
+    }
+    const double metric = phase1 ? total_infeasibility() : [&] {
+      double o = 0.0;
+      for (int j = 0; j < w.total; ++j)
+        o += w.cost[static_cast<size_t>(j)] * w.x[static_cast<size_t>(j)];
+      return o;
+    }();
+    if (metric < last_progress_metric - 1e-11) {
+      stalled = 0;
+      last_progress_metric = metric;
+    } else {
+      ++stalled;
+    }
+    const bool bland = stalled > kBlandTrigger;
+
+    // --- Pricing.
+    int enter = -1;
+    double enter_d = 0.0;
+    double best_score = told;
+    for (int j = 0; j < w.total; ++j) {
+      const ColStatus s = w.status[static_cast<size_t>(j)];
+      if (s == ColStatus::kBasic) continue;
+      if (w.lb[static_cast<size_t>(j)] == w.ub[static_cast<size_t>(j)])
+        continue;  // fixed, can never move
+      const double cj = phase1 ? 0.0 : w.cost[static_cast<size_t>(j)];
+      const double d = cj - a_.dot_col(j, y);
+      bool eligible = false;
+      if (s == ColStatus::kAtLower) eligible = d < -told;
+      else if (s == ColStatus::kAtUpper) eligible = d > told;
+      else eligible = std::abs(d) > told;  // free
+      if (!eligible) continue;
+      if (bland) {  // first eligible index
+        enter = j;
+        enter_d = d;
+        break;
+      }
+      if (std::abs(d) > best_score) {
+        best_score = std::abs(d);
+        enter = j;
+        enter_d = d;
+      }
+    }
+
+    if (enter < 0) {
+      if (phase1) {
+        return total_infeasibility() > 10 * tolf
+                   ? finish(SolveStatus::kInfeasible)
+                   : finish(SolveStatus::kOptimal);
+      }
+      return finish(SolveStatus::kOptimal);
+    }
+
+    const double dir = (w.status[static_cast<size_t>(enter)] ==
+                        ColStatus::kAtUpper)
+                           ? -1.0
+                           : (enter_d < 0.0 ? 1.0 : -1.0);
+
+    // --- FTRAN the entering column.
+    std::fill(spike.begin(), spike.end(), 0.0);
+    a_.axpy_col(enter, 1.0, spike);
+    w.lu.ftran(spike);
+
+    // --- Ratio test. Basic i changes at rate -dir*spike[i] per unit step.
+    double t_limit = w.ub[static_cast<size_t>(enter)] -
+                     w.lb[static_cast<size_t>(enter)];  // may be inf
+    if (w.status[static_cast<size_t>(enter)] == ColStatus::kFreeZero)
+      t_limit = kInf;
+    int leave_pos = -1;
+    ColStatus leave_to = ColStatus::kAtLower;
+    double leave_w = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const double wi = spike[static_cast<size_t>(i)];
+      if (std::abs(wi) <= kPivotZero) continue;
+      const double rate = -dir * wi;
+      const int j = w.basis[static_cast<size_t>(i)];
+      const double xj = w.x[static_cast<size_t>(j)];
+      const double l = w.lb[static_cast<size_t>(j)];
+      const double u = w.ub[static_cast<size_t>(j)];
+      double limit = kInf;
+      ColStatus target = ColStatus::kAtLower;
+      if (phase1 && xj > u + tolf) {
+        if (rate < 0.0) {  // coming down toward the violated upper bound
+          limit = (xj - u) / -rate;
+          target = ColStatus::kAtUpper;
+        }
+      } else if (phase1 && xj < l - tolf) {
+        if (rate > 0.0) {
+          limit = (l - xj) / rate;
+          target = ColStatus::kAtLower;
+        }
+      } else if (rate < 0.0) {
+        if (l != -kInf) {
+          limit = (xj - l) / -rate;
+          target = ColStatus::kAtLower;
+        }
+      } else {
+        if (u != kInf) {
+          limit = (u - xj) / rate;
+          target = ColStatus::kAtUpper;
+        }
+      }
+      if (limit == kInf) continue;
+      limit = std::max(limit, 0.0);
+      if (limit < t_limit - 1e-12 ||
+          (limit < t_limit + 1e-12 &&
+           (leave_pos < 0 || std::abs(wi) > std::abs(leave_w)))) {
+        t_limit = limit;
+        leave_pos = i;
+        leave_to = target;
+        leave_w = wi;
+      }
+    }
+
+    if (t_limit == kInf) {
+      return phase1 ? finish(SolveStatus::kNumericalError)
+                    : finish(SolveStatus::kUnbounded);
+    }
+
+    // --- Apply the step.
+    const double step = t_limit;
+    if (step != 0.0) {
+      for (int i = 0; i < m_; ++i) {
+        const double wi = spike[static_cast<size_t>(i)];
+        if (wi == 0.0) continue;
+        w.x[static_cast<size_t>(w.basis[static_cast<size_t>(i)])] -=
+            dir * wi * step;
+      }
+      w.x[static_cast<size_t>(enter)] += dir * step;
+    }
+
+    if (leave_pos < 0) {
+      // Bound flip: the entering variable traversed its whole range.
+      w.status[static_cast<size_t>(enter)] =
+          dir > 0 ? ColStatus::kAtUpper : ColStatus::kAtLower;
+      w.x[static_cast<size_t>(enter)] =
+          nonbasic_value(enter);  // snap exactly to the bound
+      continue;
+    }
+
+    // --- Basis change.
+    const int leave = w.basis[static_cast<size_t>(leave_pos)];
+    w.status[static_cast<size_t>(leave)] = leave_to;
+    w.x[static_cast<size_t>(leave)] =
+        leave_to == ColStatus::kAtLower ? w.lb[static_cast<size_t>(leave)]
+                                        : w.ub[static_cast<size_t>(leave)];
+    w.status[static_cast<size_t>(enter)] = ColStatus::kBasic;
+    w.basis[static_cast<size_t>(leave_pos)] = enter;
+
+    const bool need_refactor =
+        w.lu.num_updates() >= opts_.refactor_interval ||
+        !w.lu.update(spike, leave_pos);
+    if (need_refactor) {
+      if (!w.lu.factorize(a_, w.basis))
+        return finish(SolveStatus::kNumericalError);
+      recompute_basics();
+    }
+  }
+}
+
+LpResult solve_lp(const Model& model, const LpOptions& opts) {
+  SimplexEngine engine(model, opts);
+  return engine.solve();
+}
+
+}  // namespace cgraf::milp

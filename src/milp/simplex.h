@@ -1,0 +1,86 @@
+// Bounded-variable revised primal simplex with sparse LU basis handling.
+//
+// The engine solves the LP relaxation of a Model. Branch & bound constructs
+// one engine per model and re-solves with per-node structural bound
+// overrides and warm-started bases, so the (potentially large) constraint
+// matrix is standardized only once.
+#pragma once
+
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/sparse.h"
+
+namespace cgraf::milp {
+
+enum class SolveStatus {
+  kOptimal,     // proven optimal (LP) / gap closed (MIP)
+  kFeasible,    // feasible incumbent, optimality not proven (limit hit)
+  kInfeasible,  // proven infeasible
+  kUnbounded,   // LP unbounded
+  kIterLimit,   // iteration limit without a feasible point
+  kTimeLimit,   // time limit without a feasible point
+  kNodeLimit,   // node limit without a feasible point (MIP)
+  kNumericalError,
+};
+
+const char* to_string(SolveStatus s);
+
+struct LpOptions {
+  long max_iters = 500000;
+  double time_limit_s = 1e18;
+  double tol_feas = 1e-7;   // bound/row feasibility tolerance
+  double tol_cost = 1e-7;   // reduced-cost (dual) tolerance
+  int refactor_interval = 100;
+};
+
+// Nonbasic/basic status of one column, used for warm starts.
+enum class ColStatus : signed char {
+  kBasic = 0,
+  kAtLower = 1,
+  kAtUpper = 2,
+  kFreeZero = 3,
+};
+
+struct LpResult {
+  SolveStatus status = SolveStatus::kNumericalError;
+  double obj = 0.0;                // in the model's original sense
+  std::vector<double> x;           // structural variable values
+  long iterations = 0;
+  double seconds = 0.0;
+  std::vector<ColStatus> basis;    // size n+m, for warm starting
+};
+
+class SimplexEngine {
+ public:
+  explicit SimplexEngine(const Model& model, LpOptions opts = {});
+
+  // Solves with the given structural bounds (size n). `warm`, when given,
+  // must be a basis vector previously returned by this engine.
+  LpResult solve(const std::vector<double>& lb, const std::vector<double>& ub,
+                 const std::vector<ColStatus>* warm = nullptr);
+
+  // Solves with the model's own bounds.
+  LpResult solve(const std::vector<ColStatus>* warm = nullptr);
+
+  void set_options(const LpOptions& opts) { opts_ = opts; }
+
+  int num_structural() const { return n_; }
+  const std::vector<double>& model_lb() const { return model_lb_; }
+  const std::vector<double>& model_ub() const { return model_ub_; }
+
+ private:
+  int n_ = 0;  // structural columns
+  int m_ = 0;  // rows == slack columns
+  CscMatrix a_;                 // n_ structural + m_ slack columns
+  std::vector<double> cost_;    // size n_+m_, minimization sense
+  std::vector<double> model_lb_, model_ub_;  // structural bounds (size n_)
+  std::vector<double> slack_lb_, slack_ub_;  // slack bounds (size m_)
+  double sign_ = 1.0;           // +1 minimize, -1 maximize
+  LpOptions opts_;
+};
+
+// One-shot convenience wrapper.
+LpResult solve_lp(const Model& model, const LpOptions& opts = {});
+
+}  // namespace cgraf::milp

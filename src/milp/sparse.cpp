@@ -1,0 +1,70 @@
+#include "milp/sparse.h"
+
+#include "milp/model.h"
+#include "util/check.h"
+
+namespace cgraf::milp {
+
+void CscMatrix::axpy_col(int j, double alpha, std::vector<double>& y) const {
+  CGRAF_DCHECK(j >= 0 && j < cols);
+  for (int p = begin(j); p < end(j); ++p)
+    y[static_cast<size_t>(row_idx[static_cast<size_t>(p)])] +=
+        alpha * value[static_cast<size_t>(p)];
+}
+
+double CscMatrix::dot_col(int j, const std::vector<double>& y) const {
+  CGRAF_DCHECK(j >= 0 && j < cols);
+  double acc = 0.0;
+  for (int p = begin(j); p < end(j); ++p)
+    acc += value[static_cast<size_t>(p)] *
+           y[static_cast<size_t>(row_idx[static_cast<size_t>(p)])];
+  return acc;
+}
+
+CscMatrix build_computational_form(const Model& model) {
+  const int m = model.num_constraints();
+  const int n = model.num_vars();
+
+  // Count entries per structural column.
+  std::vector<int> count(static_cast<size_t>(n), 0);
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [idx, coeff] : model.constraint(r).terms) {
+      (void)coeff;
+      ++count[static_cast<size_t>(idx)];
+    }
+  }
+
+  CscMatrix a;
+  a.rows = m;
+  a.cols = n + m;
+  a.col_start.assign(static_cast<size_t>(a.cols) + 1, 0);
+  for (int j = 0; j < n; ++j)
+    a.col_start[static_cast<size_t>(j) + 1] =
+        a.col_start[static_cast<size_t>(j)] + count[static_cast<size_t>(j)];
+  for (int r = 0; r < m; ++r)  // slack columns: one entry each
+    a.col_start[static_cast<size_t>(n + r) + 1] =
+        a.col_start[static_cast<size_t>(n + r)] + 1;
+
+  a.row_idx.resize(static_cast<size_t>(a.col_start.back()));
+  a.value.resize(static_cast<size_t>(a.col_start.back()));
+
+  // Fill structural columns; rows are visited in increasing order, so row
+  // indices within each column end up sorted.
+  std::vector<int> fill(static_cast<size_t>(n), 0);
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [idx, coeff] : model.constraint(r).terms) {
+      const int p =
+          a.col_start[static_cast<size_t>(idx)] + fill[static_cast<size_t>(idx)]++;
+      a.row_idx[static_cast<size_t>(p)] = r;
+      a.value[static_cast<size_t>(p)] = coeff;
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    const int p = a.col_start[static_cast<size_t>(n + r)];
+    a.row_idx[static_cast<size_t>(p)] = r;
+    a.value[static_cast<size_t>(p)] = -1.0;
+  }
+  return a;
+}
+
+}  // namespace cgraf::milp

@@ -1,0 +1,39 @@
+// Column-compressed sparse matrix used by the simplex engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cgraf::milp {
+
+class Model;
+
+// Compressed sparse column matrix. Row indices within a column are sorted.
+struct CscMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> col_start;  // size cols+1
+  std::vector<int> row_idx;    // size nnz
+  std::vector<double> value;   // size nnz
+
+  int nnz() const { return static_cast<int>(row_idx.size()); }
+
+  // Iterate column j as (row, value) pairs via [begin(j), end(j)).
+  int begin(int j) const { return col_start[static_cast<size_t>(j)]; }
+  int end(int j) const { return col_start[static_cast<size_t>(j) + 1]; }
+
+  // y += alpha * column(j), y dense of size `rows`.
+  void axpy_col(int j, double alpha, std::vector<double>& y) const;
+
+  // Dot product of column(j) with dense vector y.
+  double dot_col(int j, const std::vector<double>& y) const;
+};
+
+// Builds the simplex "computational form" matrix for a model:
+//   columns [0, n_struct)           structural variables,
+//   columns [n_struct, n_struct+m)  one slack per row with coefficient -1,
+// so that every constraint reads  a_r . x - s_r = 0  with the slack bounded
+// by the constraint's range. All RHS values are zero by construction.
+CscMatrix build_computational_form(const Model& model);
+
+}  // namespace cgraf::milp

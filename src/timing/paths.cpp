@@ -1,0 +1,136 @@
+#include "timing/paths.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "util/check.h"
+
+namespace cgraf::timing {
+namespace {
+
+struct Chain {
+  int op;
+  std::shared_ptr<const Chain> parent;
+};
+
+struct Partial {
+  double bound;    // optimistic total delay of any completion
+  double g;        // exact delay up to and including `op`
+  int op;
+  std::shared_ptr<const Chain> chain;
+};
+
+struct PartialOrder {
+  bool operator()(const Partial& a, const Partial& b) const {
+    return a.bound < b.bound;  // max-heap on bound
+  }
+};
+
+// suffix[u]: delay of the longest chain starting at u (inclusive of u's PE
+// delay and downstream wire delays).
+std::vector<double> compute_suffix(const CombGraph& graph,
+                                   const Floorplan& fp) {
+  const Design& d = *graph.design;
+  std::vector<double> suffix(static_cast<std::size_t>(d.num_ops()), 0.0);
+  for (auto it = graph.topo.rbegin(); it != graph.topo.rend(); ++it) {
+    const int u = *it;
+    double best = 0.0;
+    for (const int v : graph.fanout[static_cast<std::size_t>(u)]) {
+      const double wire = d.fabric.wire_delay_ns(d.fabric.loc(fp.pe_of(u)),
+                                                 d.fabric.loc(fp.pe_of(v)));
+      best = std::max(best, wire + suffix[static_cast<std::size_t>(v)]);
+    }
+    suffix[static_cast<std::size_t>(u)] =
+        best + op_delay_ns(d.ops[static_cast<std::size_t>(u)],
+                           d.fabric.delays());
+  }
+  return suffix;
+}
+
+// Enumerates paths with delay >= threshold in non-increasing delay order.
+// `context_filter` < 0 enumerates every context.
+std::vector<TimingPath> enumerate(const CombGraph& graph, const Floorplan& fp,
+                                  double threshold, int max_paths,
+                                  long max_expansions, int context_filter) {
+  const Design& d = *graph.design;
+  const std::vector<double> suffix = compute_suffix(graph, fp);
+
+  std::priority_queue<Partial, std::vector<Partial>, PartialOrder> open;
+  for (int u = 0; u < d.num_ops(); ++u) {
+    if (!graph.fanin[static_cast<std::size_t>(u)].empty()) continue;
+    if (context_filter >= 0 &&
+        d.ops[static_cast<std::size_t>(u)].context != context_filter)
+      continue;
+    const double s = suffix[static_cast<std::size_t>(u)];
+    if (s + 1e-12 < threshold) continue;
+    const double g =
+        op_delay_ns(d.ops[static_cast<std::size_t>(u)], d.fabric.delays());
+    open.push(Partial{s, g, u, std::make_shared<Chain>(Chain{u, nullptr})});
+  }
+
+  std::vector<TimingPath> out;
+  long expansions = 0;
+  while (!open.empty() && static_cast<int>(out.size()) < max_paths &&
+         expansions < max_expansions) {
+    Partial top = open.top();
+    open.pop();
+    ++expansions;
+    if (top.bound + 1e-12 < threshold) break;  // everything left is shorter
+
+    const auto& fo = graph.fanout[static_cast<std::size_t>(top.op)];
+    if (fo.empty()) {
+      // Complete source-to-sink path.
+      TimingPath path;
+      path.context = d.ops[static_cast<std::size_t>(top.op)].context;
+      for (const Chain* c = top.chain.get(); c != nullptr;
+           c = c->parent.get())
+        path.ops.push_back(c->op);
+      std::reverse(path.ops.begin(), path.ops.end());
+      path.delay_ns = top.g;
+      for (const int op : path.ops)
+        path.pe_delay_ns += op_delay_ns(d.ops[static_cast<std::size_t>(op)],
+                                        d.fabric.delays());
+      out.push_back(std::move(path));
+      continue;
+    }
+    for (const int v : fo) {
+      const double wire = d.fabric.wire_delay_ns(
+          d.fabric.loc(fp.pe_of(top.op)), d.fabric.loc(fp.pe_of(v)));
+      const double bound = top.g + wire + suffix[static_cast<std::size_t>(v)];
+      if (bound + 1e-12 < threshold) continue;
+      const double g = top.g + wire +
+                       op_delay_ns(d.ops[static_cast<std::size_t>(v)],
+                                   d.fabric.delays());
+      open.push(Partial{bound, g, v,
+                        std::make_shared<Chain>(Chain{v, top.chain})});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TimingPath> monitored_paths(const CombGraph& graph,
+                                        const Floorplan& fp,
+                                        const PathQuery& query) {
+  CGRAF_ASSERT(query.margin >= 0.0 && query.margin < 1.0);
+  const StaResult sta = run_sta(graph, fp);
+  const double threshold = (1.0 - query.margin) * sta.cpd_ns;
+  return enumerate(graph, fp, threshold, query.max_paths,
+                   query.max_expansions, /*context_filter=*/-1);
+}
+
+std::vector<TimingPath> critical_paths(const CombGraph& graph,
+                                       const Floorplan& fp, int context,
+                                       int max_paths, double rel_eps) {
+  CGRAF_ASSERT(context >= 0 && context < graph.design->num_contexts);
+  const StaResult sta = run_sta(graph, fp);
+  const double ctx_cpd =
+      sta.context_cpd_ns[static_cast<std::size_t>(context)];
+  if (ctx_cpd <= 0.0) return {};
+  const double threshold = ctx_cpd * (1.0 - rel_eps) - 1e-12;
+  return enumerate(graph, fp, threshold, max_paths, 100000, context);
+}
+
+}  // namespace cgraf::timing

@@ -1,0 +1,40 @@
+// Timing-path enumeration (paper Step 2.2).
+//
+// The number of source-to-sink paths is exponential in the worst case; the
+// paper keeps only the M longest paths / paths within 20% of the CPD and
+// relies on an STA re-check after re-mapping (Algorithm 1, line 12) to catch
+// any unmonitored path that became critical. Enumeration here is best-first
+// over partial paths with an exact optimistic bound (delay so far + longest
+// completion), i.e. a Dijkstra-style longest-path expansion that yields
+// paths in strictly non-increasing delay order.
+#pragma once
+
+#include <vector>
+
+#include "timing/sta.h"
+
+namespace cgraf::timing {
+
+struct PathQuery {
+  // Keep paths with delay >= (1 - margin) * CPD. The paper's default: 20%.
+  double margin = 0.20;
+  // Hard cap on the number of returned paths (the paper's "M longest").
+  int max_paths = 2000;
+  // Safety valve on queue pops so adversarial graphs cannot hang the tool.
+  long max_expansions = 200000;
+};
+
+// All monitored paths across all contexts, longest first, relative to the
+// global CPD of `fp`.
+std::vector<TimingPath> monitored_paths(const CombGraph& graph,
+                                        const Floorplan& fp,
+                                        const PathQuery& query = {});
+
+// The critical paths of one context: paths achieving that context's own
+// maximum delay (within a relative epsilon), longest first.
+std::vector<TimingPath> critical_paths(const CombGraph& graph,
+                                       const Floorplan& fp, int context,
+                                       int max_paths = 16,
+                                       double rel_eps = 1e-9);
+
+}  // namespace cgraf::timing

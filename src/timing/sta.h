@@ -1,0 +1,52 @@
+// Static timing analysis for a placed multi-context design.
+//
+// Delay model (paper Section V.B, Eq. (4)): a timing path is a chain of
+// same-context (combinational) ops; its delay is the sum of PE-internal
+// delays plus unit_wire_delay * Manhattan distance for each hop. The
+// critical path delay (CPD) of the design is the maximum path delay over
+// all contexts.
+#pragma once
+
+#include <vector>
+
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+
+namespace cgraf::timing {
+
+struct TimingPath {
+  int context = -1;
+  std::vector<int> ops;       // op ids, source to sink
+  double delay_ns = 0.0;      // PE delays + wire delays
+  double pe_delay_ns = 0.0;   // sum of PE-internal delays only
+};
+
+struct StaResult {
+  double cpd_ns = 0.0;                  // max over contexts
+  std::vector<double> context_cpd_ns;   // per context
+  // Per-op worst arrival (input-to-output of this op inclusive) within its
+  // context; ops on a context's critical path have arrival + downstream
+  // slack equal to the context CPD.
+  std::vector<double> arrival_ns;
+};
+
+// Combinational (same-context) adjacency of a design, built once and shared
+// by the STA and path-enumeration routines.
+struct CombGraph {
+  explicit CombGraph(const Design& design);
+
+  const Design* design;
+  std::vector<std::vector<int>> fanout;  // same-context successors per op
+  std::vector<std::vector<int>> fanin;
+  std::vector<int> topo;                 // topological order over comb edges
+};
+
+// Full STA on a floorplan.
+StaResult run_sta(const Design& design, const Floorplan& fp);
+StaResult run_sta(const CombGraph& graph, const Floorplan& fp);
+
+// Exact delay of one explicit path under a floorplan.
+double path_delay_ns(const Design& design, const Floorplan& fp,
+                     const TimingPath& path);
+
+}  // namespace cgraf::timing

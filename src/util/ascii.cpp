@@ -1,0 +1,104 @@
+#include "util/ascii.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace cgraf {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CGRAF_ASSERT(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  CGRAF_ASSERT(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out += ' ';
+      out += cell;
+      out.append(width[c] - cell.size(), ' ');
+      out += " |";
+    }
+    out += '\n';
+    return out;
+  };
+  auto rule = [&] {
+    std::string out = "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out.append(width[c] + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = rule() + render_line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render_line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string render_heat_map(const std::vector<double>& values, int rows,
+                            int cols, double scale_max) {
+  CGRAF_ASSERT(rows > 0 && cols > 0);
+  CGRAF_ASSERT(values.size() == static_cast<std::size_t>(rows) * cols);
+  static constexpr char kRamp[] = {'.', ':', '-', '=', '+', '*', '#', '@'};
+  constexpr int kLevels = static_cast<int>(sizeof kRamp);
+
+  double vmax = scale_max;
+  if (vmax <= 0.0) {
+    vmax = 0.0;
+    for (double v : values) vmax = std::max(vmax, v);
+  }
+
+  std::string out;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double v = values[static_cast<std::size_t>(r) * cols + c];
+      char glyph = ' ';
+      if (v > 0.0 && vmax > 0.0) {
+        int level = static_cast<int>(v / vmax * kLevels);
+        level = std::clamp(level, 0, kLevels - 1);
+        glyph = kRamp[level];
+      }
+      out += glyph;
+      out += ' ';
+    }
+    out += '\n';
+  }
+  out += "legend: ' '=0";
+  for (int i = 0; i < kLevels; ++i) {
+    out += "  '";
+    out += kRamp[i];
+    out += "'<=" + fmt_double(vmax * (i + 1) / kLevels, 2);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace cgraf

@@ -1,0 +1,40 @@
+// Console rendering helpers: aligned tables (for Table I style output) and
+// grid heat maps (for Fig. 2(a) style stress maps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgraf {
+
+// A simple aligned-columns table. Cells are strings; numeric formatting is
+// the caller's job (see fmt_double below).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // A horizontal separator line between row groups.
+  void add_separator();
+
+  // Render with single-space-padded columns and `|` separators.
+  std::string render() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  // Empty vector encodes a separator row.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("%.*f").
+std::string fmt_double(double v, int precision);
+
+// Renders a rows x cols grid of non-negative values as a shaded heat map
+// using a ramp of ASCII glyphs, normalized to the max value (or `scale_max`
+// if positive). Includes a legend line.
+std::string render_heat_map(const std::vector<double>& values, int rows,
+                            int cols, double scale_max = -1.0);
+
+}  // namespace cgraf

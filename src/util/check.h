@@ -1,0 +1,31 @@
+// Contract-checking macros (Core Guidelines I.6/I.8 style).
+//
+// CGRAF_ASSERT is active in all build types: the floorplanner is a CAD tool,
+// not a hot inner loop, and silent corruption of a floorplan is far more
+// expensive than the branch. CGRAF_DCHECK compiles out in release builds and
+// is reserved for checks inside solver inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgraf {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "cgraf: %s failed: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace cgraf
+
+#define CGRAF_ASSERT(expr)                                             \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::cgraf::contract_failure("assertion", #expr, __FILE__, __LINE__))
+
+#ifndef NDEBUG
+#define CGRAF_DCHECK(expr) CGRAF_ASSERT(expr)
+#else
+#define CGRAF_DCHECK(expr) static_cast<void>(0)
+#endif

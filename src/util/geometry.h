@@ -1,0 +1,58 @@
+// 2-D integer grid geometry used by the CGRRA fabric and the floorplanner.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+
+namespace cgraf {
+
+// A PE coordinate on the fabric. `x` is the column, `y` the row; (0,0) is
+// the top-left corner.
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+};
+
+// Manhattan (L1) distance; the paper's buffered-wire delay model is linear
+// in this distance.
+constexpr int manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+// Inclusive axis-aligned bounding box.
+struct Rect {
+  int x0 = 0, y0 = 0, x1 = -1, y1 = -1;  // empty by default (x1 < x0)
+
+  constexpr bool empty() const { return x1 < x0 || y1 < y0; }
+  constexpr int width() const { return empty() ? 0 : x1 - x0 + 1; }
+  constexpr int height() const { return empty() ? 0 : y1 - y0 + 1; }
+  constexpr long long area() const {
+    return static_cast<long long>(width()) * height();
+  }
+  constexpr bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  // Grow the box to cover `p`.
+  constexpr void expand(Point p) {
+    if (empty()) {
+      x0 = x1 = p.x;
+      y0 = y1 = p.y;
+      return;
+    }
+    x0 = std::min(x0, p.x);
+    x1 = std::max(x1, p.x);
+    y0 = std::min(y0, p.y);
+    y1 = std::max(y1, p.y);
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace cgraf

@@ -1,0 +1,66 @@
+#include "util/rng.h"
+
+#include <limits>
+
+namespace cgraf {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not be seeded with the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  CGRAF_ASSERT(n > 0);
+  // Lemire-style rejection: draw until the value falls in the largest
+  // multiple of n that fits in 64 bits.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int Rng::next_int(int lo, int hi) {
+  CGRAF_ASSERT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+  return lo + static_cast<int>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 random bits scaled to [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace cgraf

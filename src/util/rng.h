@@ -1,0 +1,55 @@
+// Deterministic, seedable PRNG (xoshiro256** seeded via splitmix64).
+//
+// Everything stochastic in the repository (SA placer moves, rotation
+// orientation draws, workload generation) goes through this type with an
+// explicit seed so that every table in bench/ reproduces bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cgraf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform over [0, n). Requires n > 0. Unbiased (rejection sampling).
+  std::uint64_t next_below(std::uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Bernoulli(p).
+  bool next_bool(double p) { return next_double() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const auto n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  // Derive an independent child stream (for per-benchmark seeding).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace cgraf

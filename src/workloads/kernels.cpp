@@ -1,0 +1,145 @@
+#include "workloads/kernels.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace cgraf::workloads {
+namespace {
+
+// Reduces `values` with a balanced adder tree; returns the root node.
+int adder_tree(hls::Dfg& dfg, std::vector<int> values, int bitwidth) {
+  CGRAF_ASSERT(!values.empty());
+  while (values.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+      const int sum = dfg.add_node(OpKind::kAdd, bitwidth);
+      dfg.add_edge(values[i], sum);
+      dfg.add_edge(values[i + 1], sum);
+      next.push_back(sum);
+    }
+    if (values.size() % 2 == 1) next.push_back(values.back());
+    values = std::move(next);
+  }
+  return values.front();
+}
+
+}  // namespace
+
+hls::Dfg fir_filter(int taps, int bitwidth) {
+  CGRAF_ASSERT(taps >= 1);
+  hls::Dfg dfg;
+  std::vector<int> products;
+  for (int t = 0; t < taps; ++t) {
+    // x[n-t] * h[t]; both operands are primary inputs.
+    products.push_back(dfg.add_node(OpKind::kMul, bitwidth,
+                                    "mul_tap" + std::to_string(t)));
+  }
+  adder_tree(dfg, products, bitwidth);
+  return dfg;
+}
+
+hls::Dfg horner_poly(int degree, int bitwidth) {
+  CGRAF_ASSERT(degree >= 1);
+  hls::Dfg dfg;
+  int acc = dfg.add_node(OpKind::kMul, bitwidth, "h_mul0");  // c_n * x
+  for (int d = 1; d <= degree; ++d) {
+    const int add = dfg.add_node(OpKind::kAdd, bitwidth);
+    dfg.add_edge(acc, add);
+    if (d == degree) { acc = add; break; }
+    const int mul = dfg.add_node(OpKind::kMul, bitwidth);
+    dfg.add_edge(add, mul);
+    acc = mul;
+  }
+  return dfg;
+}
+
+hls::Dfg matvec(int n, int bitwidth) {
+  CGRAF_ASSERT(n >= 1);
+  hls::Dfg dfg;
+  for (int row = 0; row < n; ++row) {
+    std::vector<int> products;
+    for (int k = 0; k < n; ++k)
+      products.push_back(dfg.add_node(OpKind::kMul, bitwidth));
+    adder_tree(dfg, products, bitwidth);
+  }
+  return dfg;
+}
+
+hls::Dfg stencil3x3(int bitwidth) {
+  hls::Dfg dfg;
+  std::vector<int> products;
+  for (int i = 0; i < 9; ++i)
+    products.push_back(dfg.add_node(OpKind::kMul, bitwidth));
+  const int sum = adder_tree(dfg, products, bitwidth);
+  const int norm = dfg.add_node(OpKind::kShift, bitwidth, "normalize");
+  dfg.add_edge(sum, norm);
+  return dfg;
+}
+
+hls::Dfg butterfly(int points, int bitwidth) {
+  CGRAF_ASSERT(points >= 2 && (points & (points - 1)) == 0);
+  hls::Dfg dfg;
+  // Stage 0 works on primary inputs; later stages consume previous values.
+  std::vector<int> current(static_cast<std::size_t>(points), -1);
+  for (int stage = 1; stage < points; stage <<= 1) {
+    std::vector<int> next(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; i += 2 * stage) {
+      for (int k = 0; k < stage; ++k) {
+        const int a = current[static_cast<std::size_t>(i + k)];
+        const int b = current[static_cast<std::size_t>(i + k + stage)];
+        const int add = dfg.add_node(OpKind::kAdd, bitwidth);
+        const int sub = dfg.add_node(OpKind::kSub, bitwidth);
+        if (a >= 0) { dfg.add_edge(a, add); dfg.add_edge(a, sub); }
+        if (b >= 0) { dfg.add_edge(b, add); dfg.add_edge(b, sub); }
+        next[static_cast<std::size_t>(i + k)] = add;
+        next[static_cast<std::size_t>(i + k + stage)] = sub;
+      }
+    }
+    // Inter-stage data reordering through the DMU.
+    for (int i = 0; i < points; i += 2) {
+      const int shuf = dfg.add_node(OpKind::kShuffle, bitwidth);
+      dfg.add_edge(next[static_cast<std::size_t>(i)], shuf);
+      dfg.add_edge(next[static_cast<std::size_t>(i + 1)], shuf);
+      next[static_cast<std::size_t>(i)] = shuf;
+    }
+    current = std::move(next);
+  }
+  return dfg;
+}
+
+hls::Dfg layered_random(Rng& rng, int layers, int width, double p_edge,
+                        double dmu_frac, int bitwidth) {
+  CGRAF_ASSERT(layers >= 1 && width >= 1);
+  hls::Dfg dfg;
+  std::vector<std::vector<int>> layer_nodes(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      const bool dmu = rng.next_bool(dmu_frac);
+      const OpKind kind =
+          dmu ? static_cast<OpKind>(static_cast<int>(OpKind::kMux) +
+                                    rng.next_int(0, 3))
+              : static_cast<OpKind>(rng.next_int(0, 7));
+      const int node = dfg.add_node(kind, bitwidth);
+      layer_nodes[static_cast<std::size_t>(l)].push_back(node);
+      if (l > 0) {
+        bool any = false;
+        for (const int prev : layer_nodes[static_cast<std::size_t>(l - 1)]) {
+          if (rng.next_bool(p_edge)) {
+            dfg.add_edge(prev, node);
+            any = true;
+          }
+        }
+        if (!any) {
+          const auto& prev = layer_nodes[static_cast<std::size_t>(l - 1)];
+          dfg.add_edge(prev[static_cast<std::size_t>(rng.next_below(
+                           prev.size()))],
+                       node);
+        }
+      }
+    }
+  }
+  return dfg;
+}
+
+}  // namespace cgraf::workloads

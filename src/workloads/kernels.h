@@ -1,0 +1,35 @@
+// Kernel DFG generators: representative synthesizable-C kernels of the kind
+// the paper's 27 proprietary benchmarks are drawn from (filters, transforms,
+// linear algebra, stencils). Used by examples and tests through the full
+// HLS pipeline (parse/build -> schedule -> place).
+#pragma once
+
+#include "hls/dfg.h"
+#include "util/rng.h"
+
+namespace cgraf::workloads {
+
+// FIR filter: taps multiplies + an adder reduction tree.
+hls::Dfg fir_filter(int taps, int bitwidth = 16);
+
+// Horner polynomial evaluation of the given degree: alternating mul/add
+// chain (deep dependence chain, exercises chaining + context registers).
+hls::Dfg horner_poly(int degree, int bitwidth = 32);
+
+// Dense matrix-vector product, n x n: n independent dot products.
+hls::Dfg matvec(int n, int bitwidth = 16);
+
+// 3x3 convolution stencil: 9 multiplies, adder tree, normalization shift.
+hls::Dfg stencil3x3(int bitwidth = 16);
+
+// FFT-style butterfly network: `points` inputs, log2(points) stages of
+// add/sub pairs interleaved with DMU shuffles.
+hls::Dfg butterfly(int points, int bitwidth = 16);
+
+// Random layered DAG: `layers` layers of `width` ops, edges between
+// adjacent layers with probability `p_edge`, DMU ops mixed in with
+// probability `dmu_frac`.
+hls::Dfg layered_random(Rng& rng, int layers, int width, double p_edge = 0.35,
+                        double dmu_frac = 0.15, int bitwidth = 16);
+
+}  // namespace cgraf::workloads

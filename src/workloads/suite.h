@@ -1,0 +1,59 @@
+// The B1-B27 benchmark suite of the paper's Table I, re-created as a
+// deterministic generator.
+//
+// Table I characterizes each proprietary benchmark only by (a) context
+// count, (b) fabric size and (c) mapped-operation count ("PE #", i.e. the
+// fabric usage band); the generator reproduces exactly those knobs. Each
+// benchmark is a multi-context netlist of combinational clusters (chained
+// ALU/DMU ops that fit the clock period) wired across contexts, followed by
+// the aging-unaware baseline placement (musketeer_lite).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+#include "hls/placer.h"
+#include "util/rng.h"
+
+namespace cgraf::workloads {
+
+enum class UsageBand { kLow, kMedium, kHigh };
+const char* to_string(UsageBand band);
+
+struct BenchmarkSpec {
+  std::string name;  // "B1".."B27"
+  int contexts = 4;
+  int fabric_dim = 4;  // fabric is fabric_dim x fabric_dim
+  UsageBand band = UsageBand::kLow;
+  double usage = 0.33;  // target total_ops / (contexts * num_pes)
+  std::uint64_t seed = 0;
+};
+
+struct GeneratedBenchmark {
+  BenchmarkSpec spec;
+  Design design;
+  Floorplan baseline;
+  int total_ops = 0;  // Table I's "PE #": total mapped operation instances
+};
+
+// The 27-entry grid of Table I: contexts {4,8,16} x three fabric sizes x
+// {low, medium, high} usage. `paper_scale` selects the paper's fabrics
+// {4x4, 8x8, 16x16}; the default uses {4x4, 6x6, 8x8} (see DESIGN.md §5,
+// scaling policy for the from-scratch MILP solver).
+std::vector<BenchmarkSpec> table1_specs(bool paper_scale = false);
+
+// Deterministically generates the netlist and its aging-unaware baseline
+// floorplan for one spec.
+GeneratedBenchmark generate_benchmark(const BenchmarkSpec& spec,
+                                      const hls::PlacerOptions& placer = {});
+
+// Lower-level netlist generator: context c receives ops_per_context[c]
+// operations arranged in combinational clusters, with cross-context input
+// edges. Exposed for tests and custom experiments.
+Design generate_multicontext_design(const Fabric& fabric, int contexts,
+                                    const std::vector<int>& ops_per_context,
+                                    Rng& rng, double dmu_frac = 0.18);
+
+}  // namespace cgraf::workloads

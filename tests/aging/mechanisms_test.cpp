@@ -1,0 +1,144 @@
+#include "aging/mechanisms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cgraf::aging {
+namespace {
+
+TEST(Hci, ZeroActivityNeverFails) {
+  const HciParams p;
+  EXPECT_DOUBLE_EQ(hci_shift_v(p, 0.0, 320.0, 1e9), 0.0);
+  EXPECT_TRUE(std::isinf(hci_mttf_seconds(p, 0.0, 320.0)));
+}
+
+TEST(Hci, MttfInvertsShift) {
+  const HciParams p;
+  for (const double sr : {0.1, 0.5, 1.0}) {
+    const double mttf = hci_mttf_seconds(p, sr, 320.0);
+    ASSERT_TRUE(std::isfinite(mttf));
+    EXPECT_NEAR(hci_shift_v(p, sr, 320.0, mttf),
+                p.fail_shift_frac * p.vth0_v,
+                1e-9 * p.fail_shift_frac * p.vth0_v);
+  }
+}
+
+TEST(Hci, ColdIsWorseUnlikeNbti) {
+  // HCI's negative activation energy: degradation grows as T falls.
+  const HciParams p;
+  EXPECT_LT(hci_mttf_seconds(p, 0.5, 300.0), hci_mttf_seconds(p, 0.5, 340.0));
+  const NbtiParams nbti;
+  EXPECT_GT(mttf_seconds(nbti, 0.5, 300.0), mttf_seconds(nbti, 0.5, 340.0));
+}
+
+TEST(Hci, FasterClockAgesFaster) {
+  HciParams slow;
+  slow.clock_hz = 100e6;
+  HciParams fast;
+  fast.clock_hz = 400e6;
+  EXPECT_GT(hci_mttf_seconds(slow, 0.5, 320.0),
+            hci_mttf_seconds(fast, 0.5, 320.0));
+}
+
+TEST(Hci, SqrtTimeLaw) {
+  const HciParams p;
+  const double v1 = hci_shift_v(p, 0.5, 320.0, 1e6);
+  const double v4 = hci_shift_v(p, 0.5, 320.0, 4e6);
+  EXPECT_NEAR(v4 / v1, 2.0, 1e-9);  // n = 0.5
+}
+
+TEST(Em, BlacksEquationShape) {
+  const EmParams p;
+  // Quadratic current dependence.
+  const double t1 = em_mttf_seconds(p, 0.2, 320.0);
+  const EmParams q = p;
+  const double j1 = p.j_leak + p.j_active * 0.2;
+  // Doubling J through activity: find sr2 with j2 = 2*j1.
+  const double sr2 = (2 * j1 - p.j_leak) / p.j_active;
+  const double t2 = em_mttf_seconds(q, sr2, 320.0);
+  EXPECT_NEAR(t1 / t2, 4.0, 1e-9);
+  // Hotter is much worse (positive Ea in Black's equation).
+  EXPECT_GT(em_mttf_seconds(p, 0.5, 310.0), em_mttf_seconds(p, 0.5, 330.0));
+}
+
+TEST(Em, LeakageOnlyPeStillAges) {
+  const EmParams p;
+  EXPECT_TRUE(std::isfinite(em_mttf_seconds(p, 0.0, 320.0)));
+}
+
+TEST(Combined, PlausibleCalibrationOrdering) {
+  // At the model's operating point NBTI dominates (fails first), with HCI
+  // and EM within a couple of orders of magnitude — not instantaneous,
+  // not irrelevant.
+  const HciParams hci;
+  const NbtiParams nbti;
+  const EmParams em;
+  const double t_n = mttf_seconds(nbti, 0.3, 321.0);
+  const double t_h = hci_mttf_seconds(hci, 0.3, 321.0);
+  const double t_e = em_mttf_seconds(em, 0.3, 321.0);
+  EXPECT_LT(t_n, t_h);
+  EXPECT_LT(t_n, t_e);
+  EXPECT_LT(t_h, 1e4 * t_n);
+  EXPECT_LT(t_e, 1e4 * t_n);
+}
+
+Design packed_design() {
+  Design d{Fabric(4, 4), 4, {}, {}};
+  for (int c = 0; c < 4; ++c) {
+    Operation op;
+    op.id = c;
+    op.kind = OpKind::kMux;
+    op.context = c;
+    d.ops.push_back(op);
+  }
+  return d;
+}
+
+TEST(Combined, CompetingRisksTakeTheMinimum) {
+  const Design d = packed_design();
+  const Floorplan fp{{5, 5, 5, 5}};
+  CombinedAgingParams params;
+  const CombinedMttfReport r = compute_mttf_combined(d, fp, params);
+  EXPECT_EQ(r.limiting_pe, 5);
+  const double expected = std::min(
+      {r.nbti_mttf_seconds, r.hci_mttf_seconds, r.em_mttf_seconds});
+  EXPECT_DOUBLE_EQ(r.mttf_seconds, expected);
+  EXPECT_GT(r.mttf_years, 0.0);
+}
+
+TEST(Combined, DisablingMechanismsChangesTheLimit) {
+  const Design d = packed_design();
+  const Floorplan fp{{5, 5, 5, 5}};
+  CombinedAgingParams nbti_only;
+  nbti_only.enable_hci = false;
+  nbti_only.enable_em = false;
+  const auto r = compute_mttf_combined(d, fp, nbti_only);
+  EXPECT_EQ(r.limiting_mechanism, Mechanism::kNbti);
+  // Matches the single-mechanism NBTI report exactly.
+  const MttfReport nbti_report = compute_mttf(d, fp);
+  EXPECT_NEAR(r.mttf_seconds, nbti_report.mttf_seconds,
+              1e-9 * nbti_report.mttf_seconds);
+}
+
+TEST(Combined, BalancingHelpsEveryMechanism) {
+  const Design d = packed_design();
+  const CombinedMttfReport packed =
+      compute_mttf_combined(d, Floorplan{{0, 0, 0, 0}});
+  const CombinedMttfReport spread =
+      compute_mttf_combined(d, Floorplan{{0, 3, 12, 15}});
+  EXPECT_GT(spread.nbti_mttf_seconds, packed.nbti_mttf_seconds);
+  EXPECT_GT(spread.hci_mttf_seconds, packed.hci_mttf_seconds);
+  EXPECT_GT(spread.em_mttf_seconds, packed.em_mttf_seconds);
+  EXPECT_GT(spread.mttf_seconds, packed.mttf_seconds);
+}
+
+TEST(Combined, MechanismNames) {
+  EXPECT_STREQ(to_string(Mechanism::kNbti), "NBTI");
+  EXPECT_STREQ(to_string(Mechanism::kHci), "HCI");
+  EXPECT_STREQ(to_string(Mechanism::kEm), "EM");
+}
+
+}  // namespace
+}  // namespace cgraf::aging

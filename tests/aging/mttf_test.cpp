@@ -1,0 +1,78 @@
+#include "aging/mttf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgraf::aging {
+namespace {
+
+Design packed_design() {
+  // 4 contexts, each with one DMU op; two floorplans will differ only in
+  // how the four ops share PEs.
+  Design d{Fabric(4, 4), 4, {}, {}};
+  for (int c = 0; c < 4; ++c) {
+    Operation op;
+    op.id = c;
+    op.kind = OpKind::kMux;
+    op.context = c;
+    d.ops.push_back(op);
+  }
+  return d;
+}
+
+TEST(Mttf, ReportFieldsAreConsistent) {
+  const Design d = packed_design();
+  const MttfReport r = compute_mttf(d, Floorplan{{0, 0, 0, 0}});
+  ASSERT_GE(r.limiting_pe, 0);
+  EXPECT_TRUE(std::isfinite(r.mttf_seconds));
+  EXPECT_NEAR(r.mttf_years, r.mttf_seconds / kSecondsPerYear, 1e-9);
+  EXPECT_EQ(r.pe_mttf_seconds.size(), 16u);
+  EXPECT_EQ(r.pe_temperature_k.size(), 16u);
+  // The limiting PE achieves the fabric MTTF.
+  EXPECT_DOUBLE_EQ(r.pe_mttf_seconds[static_cast<size_t>(r.limiting_pe)],
+                   r.mttf_seconds);
+  for (const double t : r.pe_mttf_seconds) EXPECT_GE(t, r.mttf_seconds);
+}
+
+TEST(Mttf, LimitingPeIsThePackedOne) {
+  const Design d = packed_design();
+  const MttfReport r = compute_mttf(d, Floorplan{{5, 5, 5, 5}});
+  EXPECT_EQ(r.limiting_pe, 5);
+  EXPECT_NEAR(r.limiting_sr, 3.14 / 5.0, 1e-9);  // 4 * dmu / 4 contexts
+}
+
+TEST(Mttf, BalancedFloorplanLivesLonger) {
+  const Design d = packed_design();
+  const MttfReport packed = compute_mttf(d, Floorplan{{0, 0, 0, 0}});
+  const MttfReport spread = compute_mttf(d, Floorplan{{0, 3, 12, 15}});
+  EXPECT_GT(spread.mttf_seconds, packed.mttf_seconds);
+  // Stress ratio alone is 4x; the thermal term adds a little more.
+  EXPECT_GT(spread.mttf_seconds / packed.mttf_seconds, 3.9);
+}
+
+TEST(Mttf, UnstressedPesNeverFail) {
+  const Design d = packed_design();
+  const MttfReport r = compute_mttf(d, Floorplan{{0, 0, 0, 0}});
+  EXPECT_TRUE(std::isinf(r.pe_mttf_seconds[15]));
+}
+
+TEST(Mttf, HotterAmbientShortensLife) {
+  const Design d = packed_design();
+  thermal::ThermalParams cool;
+  thermal::ThermalParams hot;
+  hot.ambient_k = cool.ambient_k + 20.0;
+  const MttfReport rc = compute_mttf(d, Floorplan{{0, 0, 0, 0}}, {}, cool);
+  const MttfReport rh = compute_mttf(d, Floorplan{{0, 0, 0, 0}}, {}, hot);
+  EXPECT_LT(rh.mttf_seconds, rc.mttf_seconds);
+}
+
+TEST(Mttf, StressMapIsEmbedded) {
+  const Design d = packed_design();
+  const MttfReport r = compute_mttf(d, Floorplan{{0, 1, 2, 3}});
+  EXPECT_NEAR(r.stress.accumulated[0], 3.14 / 5.0, 1e-9);
+  EXPECT_NEAR(r.stress.max_accumulated(), 3.14 / 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cgraf::aging

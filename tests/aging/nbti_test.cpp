@@ -1,0 +1,85 @@
+#include "aging/nbti.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cgraf::aging {
+namespace {
+
+TEST(Nbti, ZeroStressNeverShiftsNorFails) {
+  const NbtiParams p;
+  EXPECT_DOUBLE_EQ(vth_shift_v(p, 0.0, 350.0, 1e9), 0.0);
+  EXPECT_TRUE(std::isinf(mttf_seconds(p, 0.0, 350.0)));
+}
+
+TEST(Nbti, ShiftGrowsWithTime) {
+  const NbtiParams p;
+  const double v1 = vth_shift_v(p, 0.5, 350.0, 1e6);
+  const double v2 = vth_shift_v(p, 0.5, 350.0, 1e7);
+  EXPECT_GT(v2, v1);
+  EXPECT_GT(v1, 0.0);
+}
+
+TEST(Nbti, ShiftFollowsPowerLawInTime) {
+  const NbtiParams p;
+  const double v1 = vth_shift_v(p, 0.5, 350.0, 1e6);
+  const double v10 = vth_shift_v(p, 0.5, 350.0, 1e7);
+  EXPECT_NEAR(v10 / v1, std::pow(10.0, p.n), 1e-9);
+}
+
+TEST(Nbti, HotterIsWorse) {
+  const NbtiParams p;
+  EXPECT_GT(vth_shift_v(p, 0.5, 360.0, 1e7), vth_shift_v(p, 0.5, 340.0, 1e7));
+  EXPECT_LT(mttf_seconds(p, 0.5, 360.0), mttf_seconds(p, 0.5, 340.0));
+}
+
+TEST(Nbti, MttfInvertsTheShiftEquation) {
+  // At t = MTTF the shift equals the failure threshold exactly.
+  const NbtiParams p;
+  for (const double sr : {0.1, 0.4, 0.9}) {
+    for (const double temp : {330.0, 350.0, 370.0}) {
+      const double mttf = mttf_seconds(p, sr, temp);
+      ASSERT_TRUE(std::isfinite(mttf));
+      const double shift = vth_shift_v(p, sr, temp, mttf);
+      EXPECT_NEAR(shift, p.fail_shift_frac * p.vth0_v,
+                  1e-9 * p.fail_shift_frac * p.vth0_v);
+    }
+  }
+}
+
+TEST(Nbti, MttfInverselyProportionalToStressRate) {
+  // The time exponent n cancels in stress ratios: t ~ 1/SR (paper Fig 2b).
+  const NbtiParams p;
+  const double t1 = mttf_seconds(p, 0.2, 350.0);
+  const double t2 = mttf_seconds(p, 0.4, 350.0);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-9);
+}
+
+TEST(Nbti, CalibrationGivesPlausibleLifetime) {
+  // At the thermal model's actual operating point (hot PEs sit a few K
+  // above the 318 K ambient) a ~30% duty cycle should fail in O(years),
+  // not hours or millennia. Note the 1/n-amplified Arrhenius term makes
+  // absolute MTTF swing orders of magnitude per 10 K, which is why only
+  // the before/after ratio is reported in Table I.
+  const NbtiParams p;
+  const double years = mttf_seconds(p, 0.3, 321.0) / kSecondsPerYear;
+  EXPECT_GT(years, 0.05);
+  EXPECT_LT(years, 1000.0);
+}
+
+TEST(Nbti, TemperatureSensitivityAmplifiedByExponent) {
+  // d(ln MTTF)/dT = -Ea / (n k T^2): check the finite-difference ratio.
+  const NbtiParams p;
+  const double t = 350.0;
+  const double dt = 0.01;
+  const double lhs = (std::log(mttf_seconds(p, 0.5, t + dt)) -
+                      std::log(mttf_seconds(p, 0.5, t - dt))) /
+                     (2 * dt);
+  const double expected = -p.ea_ev / (p.n * p.boltzmann_ev * t * t);
+  EXPECT_NEAR(lhs, expected, std::abs(expected) * 1e-4);
+}
+
+}  // namespace
+}  // namespace cgraf::aging

@@ -1,0 +1,55 @@
+#include "cgrra/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace cgraf {
+namespace {
+
+TEST(Fabric, Dimensions) {
+  const Fabric f(4, 6);
+  EXPECT_EQ(f.rows(), 4);
+  EXPECT_EQ(f.cols(), 6);
+  EXPECT_EQ(f.num_pes(), 24);
+}
+
+TEST(Fabric, LocAndPeAtRoundTrip) {
+  const Fabric f(5, 3);
+  for (int pe = 0; pe < f.num_pes(); ++pe) {
+    const Point p = f.loc(pe);
+    EXPECT_TRUE(f.in_bounds(p));
+    EXPECT_EQ(f.pe_at(p), pe);
+  }
+}
+
+TEST(Fabric, RowMajorLayout) {
+  const Fabric f(2, 4);
+  EXPECT_EQ(f.loc(0), (Point{0, 0}));
+  EXPECT_EQ(f.loc(3), (Point{3, 0}));
+  EXPECT_EQ(f.loc(4), (Point{0, 1}));
+}
+
+TEST(Fabric, InBounds) {
+  const Fabric f(3, 3);
+  EXPECT_TRUE(f.in_bounds({0, 0}));
+  EXPECT_TRUE(f.in_bounds({2, 2}));
+  EXPECT_FALSE(f.in_bounds({3, 0}));
+  EXPECT_FALSE(f.in_bounds({0, -1}));
+}
+
+TEST(Fabric, DefaultTimingParametersMatchPaper) {
+  const Fabric f(4, 4);
+  EXPECT_DOUBLE_EQ(f.clock_period_ns(), 5.0);  // 200 MHz
+  EXPECT_DOUBLE_EQ(f.delays().alu_delay_ns, 0.87);
+  EXPECT_DOUBLE_EQ(f.delays().dmu_delay_ns, 3.14);
+}
+
+TEST(Fabric, WireDelayLinearInManhattan) {
+  const Fabric f(8, 8, 5.0, 0.2);
+  EXPECT_DOUBLE_EQ(f.wire_delay_ns({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(f.wire_delay_ns({0, 0}, {3, 4}), 0.2 * 7);
+  EXPECT_DOUBLE_EQ(f.wire_delay_ns({3, 4}, {0, 0}),
+                   f.wire_delay_ns({0, 0}, {3, 4}));
+}
+
+}  // namespace
+}  // namespace cgraf

@@ -1,0 +1,121 @@
+#include "cgrra/io.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/suite.h"
+
+namespace cgraf {
+namespace {
+
+Design sample_design() {
+  Design d{Fabric(3, 4, 5.0, 0.15), 2, {}, {}};
+  auto add = [&](OpKind kind, int bw, int ctx) {
+    Operation op;
+    op.id = d.num_ops();
+    op.kind = kind;
+    op.bitwidth = bw;
+    op.context = ctx;
+    d.ops.push_back(op);
+  };
+  add(OpKind::kMul, 16, 0);
+  add(OpKind::kAdd, 32, 0);
+  add(OpKind::kShuffle, 8, 1);
+  d.edges.push_back({0, 1});
+  d.edges.push_back({1, 2});
+  return d;
+}
+
+TEST(Io, DesignRoundTrip) {
+  const Design d = sample_design();
+  std::string error;
+  const auto back = design_from_text(to_text(d), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->fabric.rows(), 3);
+  EXPECT_EQ(back->fabric.cols(), 4);
+  EXPECT_DOUBLE_EQ(back->fabric.clock_period_ns(), 5.0);
+  EXPECT_DOUBLE_EQ(back->fabric.unit_wire_delay_ns(), 0.15);
+  EXPECT_EQ(back->num_contexts, 2);
+  ASSERT_EQ(back->num_ops(), 3);
+  EXPECT_EQ(back->ops[0].kind, OpKind::kMul);
+  EXPECT_EQ(back->ops[0].bitwidth, 16);
+  EXPECT_EQ(back->ops[2].context, 1);
+  ASSERT_EQ(back->edges.size(), 2u);
+  EXPECT_EQ(back->edges[1].from, 1);
+  EXPECT_EQ(back->edges[1].to, 2);
+}
+
+TEST(Io, FloorplanRoundTrip) {
+  const Floorplan fp{{3, 1, 7}};
+  std::string error;
+  const auto back = floorplan_from_text(to_text(fp), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->op_to_pe, fp.op_to_pe);
+}
+
+TEST(Io, GeneratedBenchmarkRoundTripsAndStaysValid) {
+  const auto bench =
+      workloads::generate_benchmark(workloads::table1_specs(false)[3]);
+  std::string error;
+  const auto d = design_from_text(to_text(bench.design), &error);
+  ASSERT_TRUE(d.has_value()) << error;
+  const auto fp = floorplan_from_text(to_text(bench.baseline), &error);
+  ASSERT_TRUE(fp.has_value()) << error;
+  std::string why;
+  EXPECT_TRUE(is_valid(*d, *fp, &why)) << why;
+  EXPECT_EQ(d->num_ops(), bench.design.num_ops());
+  EXPECT_EQ(d->edges.size(), bench.design.edges.size());
+}
+
+TEST(Io, CommentsAndBlankLinesIgnored) {
+  const Design d = sample_design();
+  std::string text = "# a comment\n\n" + to_text(d) + "\n# trailing\n";
+  EXPECT_TRUE(design_from_text(text).has_value());
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  const Design d = sample_design();
+  std::string text = to_text(d);
+  // Corrupt the op kind on its line.
+  const auto pos = text.find("op 1 add");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "op 1 zap");
+  std::string error;
+  EXPECT_FALSE(design_from_text(text, &error).has_value());
+  EXPECT_NE(error.find("line"), std::string::npos);
+}
+
+TEST(Io, RejectsMalformedInputs) {
+  EXPECT_FALSE(design_from_text("").has_value());
+  EXPECT_FALSE(design_from_text("cgraf-design v2\n").has_value());
+  EXPECT_FALSE(floorplan_from_text("cgraf-floorplan v1\nops 1\nend\n")
+                   .has_value());  // missing map
+  // Edge out of range.
+  Design d = sample_design();
+  std::string text = to_text(d);
+  const auto pos = text.find("edge 1 2");
+  text.replace(pos, 8, "edge 1 9");
+  EXPECT_FALSE(design_from_text(text).has_value());
+}
+
+TEST(Io, OpKindNamesRoundTrip) {
+  for (const OpKind k : {OpKind::kAdd, OpKind::kMul, OpKind::kMux,
+                         OpKind::kMerge, OpKind::kShift}) {
+    const auto back = op_kind_from_string(to_string(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(op_kind_from_string("bogus").has_value());
+}
+
+TEST(Io, FileHelpersRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cgraf_io_test.txt";
+  std::string error;
+  ASSERT_TRUE(write_file(path, "hello\nworld\n", &error)) << error;
+  const auto content = read_file(path, &error);
+  ASSERT_TRUE(content.has_value()) << error;
+  EXPECT_EQ(*content, "hello\nworld\n");
+  EXPECT_FALSE(read_file("/nonexistent/dir/file.txt").has_value());
+}
+
+}  // namespace
+}  // namespace cgraf

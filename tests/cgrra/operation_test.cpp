@@ -1,0 +1,71 @@
+#include "cgrra/operation.h"
+
+#include <gtest/gtest.h>
+
+namespace cgraf {
+namespace {
+
+Operation make(OpKind kind, int bitwidth) {
+  Operation op;
+  op.kind = kind;
+  op.bitwidth = bitwidth;
+  return op;
+}
+
+TEST(Operation, AluVsDmuClassification) {
+  EXPECT_FALSE(is_dmu(OpKind::kAdd));
+  EXPECT_FALSE(is_dmu(OpKind::kMul));
+  EXPECT_FALSE(is_dmu(OpKind::kShift));
+  EXPECT_TRUE(is_dmu(OpKind::kMux));
+  EXPECT_TRUE(is_dmu(OpKind::kMerge));
+}
+
+TEST(Operation, ReferenceDelaysAtFullWidth) {
+  const PeDelayModel model;
+  // At 32 bits the width factor is offset + slope = 1.0.
+  EXPECT_NEAR(op_delay_ns(make(OpKind::kAdd, 32), model), 0.87, 1e-12);
+  EXPECT_NEAR(op_delay_ns(make(OpKind::kMux, 32), model), 3.14, 1e-12);
+}
+
+TEST(Operation, MultiplierPenalty) {
+  const PeDelayModel model;
+  EXPECT_NEAR(op_delay_ns(make(OpKind::kMul, 32), model), 0.87 * 1.6, 1e-12);
+}
+
+TEST(Operation, NarrowOperatorsAreFaster) {
+  const PeDelayModel model;
+  const double d8 = op_delay_ns(make(OpKind::kAdd, 8), model);
+  const double d16 = op_delay_ns(make(OpKind::kAdd, 16), model);
+  const double d32 = op_delay_ns(make(OpKind::kAdd, 32), model);
+  EXPECT_LT(d8, d16);
+  EXPECT_LT(d16, d32);
+}
+
+TEST(Operation, StressIsDelayOverClock) {
+  const Fabric f(4, 4);  // 5 ns clock
+  const Operation dmu = make(OpKind::kShuffle, 32);
+  EXPECT_NEAR(op_stress(dmu, f), 3.14 / 5.0, 1e-12);
+  const Operation alu = make(OpKind::kXor, 32);
+  EXPECT_NEAR(op_stress(alu, f), 0.87 / 5.0, 1e-12);
+}
+
+TEST(Operation, StressBoundedByOne) {
+  // Even the slowest op must fit in a clock period (stress <= 1).
+  const Fabric f(4, 4);
+  for (const OpKind kind : {OpKind::kAdd, OpKind::kMul, OpKind::kMux,
+                            OpKind::kMerge}) {
+    for (const int bw : {8, 16, 32, 64}) {
+      EXPECT_LE(op_stress(make(kind, bw), f), 1.0)
+          << to_string(kind) << "@" << bw;
+      EXPECT_GT(op_stress(make(kind, bw), f), 0.0);
+    }
+  }
+}
+
+TEST(Operation, KindNames) {
+  EXPECT_STREQ(to_string(OpKind::kAdd), "add");
+  EXPECT_STREQ(to_string(OpKind::kShuffle), "shuffle");
+}
+
+}  // namespace
+}  // namespace cgraf

@@ -1,0 +1,139 @@
+// Recreates the paper's Fig. 4 worked example (Section V.B.2).
+//
+// A 4x4 fabric where every PE-internal delay is 2 (normalized), the unit
+// wire delay is 1 and adjacent PEs are 1 apart. path1 = PE1->PE5->PE9 has
+// delay 2*3 + 2 = 8; path3 is critical with 6 ops: 2*6 + 5 = 17. The wire
+// budget of path1 is (17 - 6)/1 = 11, i.e. a slack of 9 over its current
+// wire length of 2, so its two off-critical ops may be re-mapped anywhere
+// that keeps the path's wire length within 11 — exactly the freedom the
+// paper's Fig. 4(c) uses to relieve the stressed PEs.
+#include <gtest/gtest.h>
+
+#include "core/candidates.h"
+#include "core/model_builder.h"
+#include "core/two_step.h"
+#include "timing/paths.h"
+
+namespace cgraf::core {
+namespace {
+
+struct Fig4 {
+  Design design;
+  Floorplan base;
+  timing::TimingPath path1, path3;
+
+  Fig4()
+      : design{Fabric(4, 4, /*clock=*/100.0, /*unit_wire=*/1.0,
+                      PeDelayModel{2.0, 2.0, 1.0, 0.0}),
+               1,
+               {},
+               {}} {
+    auto add_chain = [&](const std::vector<int>& pes) {
+      std::vector<int> ops;
+      for (const int pe : pes) {
+        Operation op;
+        op.id = design.num_ops();
+        op.kind = OpKind::kAdd;  // delay 2.0 under this model
+        op.context = 0;
+        design.ops.push_back(op);
+        base.op_to_pe.push_back(pe);
+        if (!ops.empty()) design.edges.push_back({ops.back(), op.id});
+        ops.push_back(op.id);
+      }
+      return ops;
+    };
+    // path1: column 0, rows 0..2 (PE1, PE5, PE9 in the paper's numbering).
+    path1.context = 0;
+    path1.ops = add_chain({0, 4, 8});
+    path1.pe_delay_ns = 6.0;
+    // path3: a 6-op snake with 5 unit wires -> delay 17 (the CPD).
+    path3.context = 0;
+    path3.ops = add_chain({1, 2, 3, 7, 6, 5});
+    path3.pe_delay_ns = 12.0;
+  }
+};
+
+TEST(Fig4Example, DelaysMatchThePaper) {
+  Fig4 f;
+  EXPECT_NEAR(path_delay_ns(f.design, f.base, f.path1), 8.0, 1e-12);
+  EXPECT_NEAR(path_delay_ns(f.design, f.base, f.path3), 17.0, 1e-12);
+  const auto sta = timing::run_sta(f.design, f.base);
+  EXPECT_NEAR(sta.cpd_ns, 17.0, 1e-12);
+}
+
+TEST(Fig4Example, CriticalPathIsPath3) {
+  Fig4 f;
+  const timing::CombGraph graph(f.design);
+  const auto cps = timing::critical_paths(graph, f.base, 0);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].ops, f.path3.ops);
+}
+
+TEST(Fig4Example, Path1SlackIsNineWireUnits) {
+  // Wire budget (17 - 6)/1 = 11; current wire = 2; slack = 9.
+  Fig4 f;
+  const double budget =
+      (17.0 - f.path1.pe_delay_ns) / f.design.fabric.unit_wire_delay_ns();
+  EXPECT_NEAR(budget, 11.0, 1e-12);
+}
+
+TEST(Fig4Example, CandidatesHonourThePathBudget) {
+  Fig4 f;
+  std::vector<char> frozen(static_cast<std::size_t>(f.design.num_ops()), 0);
+  for (const int op : f.path3.ops) frozen[static_cast<std::size_t>(op)] = 1;
+  frozen[static_cast<std::size_t>(f.path1.ops[0])] = 1;  // PE1 frozen (paper)
+  CandidateOptions copts;
+  copts.slack_multiplier = 1.0;
+  const auto cands = compute_candidates(
+      f.design, f.base, frozen, {f.path1, f.path3}, 17.0, copts);
+  // The middle op (PE5) may move anywhere with dist(PE1,k)+dist(k,PE9') fit
+  // into the per-op allowance 11 - (2 - 2) = 11 -> every PE qualifies on a
+  // 4x4 fabric (max contribution 6+6=12 > 11 only for the far corner pair).
+  EXPECT_GT(cands[static_cast<std::size_t>(f.path1.ops[1])].size(), 10u);
+  // Frozen critical-path ops stay put.
+  for (const int op : f.path3.ops)
+    EXPECT_EQ(cands[static_cast<std::size_t>(op)],
+              std::vector<int>{f.base.pe_of(op)});
+}
+
+TEST(Fig4Example, RemappedPathStaysWithinBudgetAndCpdHolds) {
+  Fig4 f;
+  std::vector<char> frozen(static_cast<std::size_t>(f.design.num_ops()), 0);
+  for (const int op : f.path3.ops) frozen[static_cast<std::size_t>(op)] = 1;
+  frozen[static_cast<std::size_t>(f.path1.ops[0])] = 1;
+
+  std::vector<timing::TimingPath> monitored{f.path1, f.path3};
+  const auto cands =
+      compute_candidates(f.design, f.base, frozen, monitored, 17.0);
+
+  RemapModelSpec spec;
+  spec.design = &f.design;
+  spec.base = &f.base;
+  spec.frozen = frozen;
+  spec.candidates = cands;
+  // Tight stress target: force PE5/PE9 (ops 1 and 2 of path1) to move off
+  // their stressed PEs, as in Fig. 4(c).
+  spec.st_target = 2.0 / 100.0 + 1e-9;  // one op per PE at most
+  spec.monitored = &monitored;
+  spec.cpd_ns = 17.0;
+  const RemapModel rm = build_remap_model(spec);
+  ASSERT_FALSE(rm.trivially_infeasible);
+
+  const TwoStepResult solved = solve_two_step(rm, {});
+  ASSERT_EQ(solved.status, milp::SolveStatus::kOptimal);
+  const Floorplan& fp = solved.floorplan;
+  std::string why;
+  ASSERT_TRUE(is_valid(f.design, fp, &why)) << why;
+
+  // The re-mapped path1 respects its wire budget and the global CPD.
+  EXPECT_LE(path_delay_ns(f.design, fp, f.path1), 17.0 + 1e-9);
+  EXPECT_NEAR(path_delay_ns(f.design, fp, f.path3), 17.0, 1e-12);
+  const auto sta = timing::run_sta(f.design, fp);
+  EXPECT_LE(sta.cpd_ns, 17.0 + 1e-9);
+  // And the stressed PEs were relieved: no PE carries two ops.
+  const StressMap stress = compute_stress(f.design, fp);
+  EXPECT_LE(stress.max_accumulated(), 2.0 / 100.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace cgraf::core

@@ -1,0 +1,199 @@
+#include "core/model_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "milp/branch_and_bound.h"
+#include "timing/paths.h"
+
+namespace cgraf::core {
+namespace {
+
+// Two contexts x two ops each on a 3x3 fabric; ops 0->1 chained in ctx 0.
+struct Fixture {
+  Design design{Fabric(3, 3, 5.0, 0.2), 2, {}, {}};
+  Floorplan base;
+
+  Fixture() {
+    auto add = [&](OpKind kind, int ctx) {
+      Operation op;
+      op.id = design.num_ops();
+      op.kind = kind;
+      op.context = ctx;
+      design.ops.push_back(op);
+    };
+    add(OpKind::kAdd, 0);
+    add(OpKind::kAdd, 0);
+    add(OpKind::kMux, 1);
+    add(OpKind::kAdd, 1);
+    design.edges.push_back({0, 1});
+    base.op_to_pe = {0, 1, 0, 1};
+  }
+
+  RemapModelSpec spec(double st_target) {
+    RemapModelSpec s;
+    s.design = &design;
+    s.base = &base;
+    s.frozen.assign(4, 0);
+    s.candidates.assign(4, {});
+    for (auto& c : s.candidates)
+      for (int pe = 0; pe < 9; ++pe) c.push_back(pe);
+    s.st_target = st_target;
+    return s;
+  }
+};
+
+TEST(ModelBuilder, VariableAndRowCounts) {
+  Fixture f;
+  const RemapModel rm = build_remap_model(f.spec(1.0));
+  ASSERT_FALSE(rm.trivially_infeasible);
+  EXPECT_EQ(rm.num_binary_vars, 4 * 9);
+  // Rows: 4 assignment + exclusivity (9 PEs x 2 contexts, each with 2
+  // candidate ops) + 9 stress rows.
+  EXPECT_EQ(rm.model.num_constraints(), 4 + 18 + 9);
+}
+
+TEST(ModelBuilder, FrozenOpsConsumeStressAndPes) {
+  Fixture f;
+  RemapModelSpec s = f.spec(1.0);
+  s.frozen[0] = 1;
+  s.candidates[0] = {0};
+  const RemapModel rm = build_remap_model(s);
+  ASSERT_FALSE(rm.trivially_infeasible);
+  // Op 1 (same context) must not get PE 0 as a candidate.
+  EXPECT_EQ(rm.assign_vars[0].size(), 0u);
+  for (const int pe : rm.candidates[1]) EXPECT_NE(pe, 0);
+  // Op 2 (other context) may still use PE 0.
+  bool has0 = false;
+  for (const int pe : rm.candidates[2]) has0 |= pe == 0;
+  EXPECT_TRUE(has0);
+}
+
+TEST(ModelBuilder, FrozenOverloadIsTriviallyInfeasible) {
+  Fixture f;
+  RemapModelSpec s = f.spec(0.01);  // below any single op's stress
+  s.frozen[0] = 1;
+  s.candidates[0] = {0};
+  const RemapModel rm = build_remap_model(s);
+  EXPECT_TRUE(rm.trivially_infeasible);
+}
+
+TEST(ModelBuilder, SolutionsRespectStressTarget) {
+  Fixture f;
+  // Target fits one DMU (0.628) but not DMU + anything: ops must spread.
+  const RemapModel rm = build_remap_model(f.spec(0.65));
+  ASSERT_FALSE(rm.trivially_infeasible);
+  milp::MipOptions opts;
+  opts.stop_at_first_incumbent = true;
+  const auto mip = solve_milp(rm.model, opts);
+  ASSERT_TRUE(mip.has_solution());
+  const Floorplan fp = rm.decode(mip.x);
+  std::string why;
+  EXPECT_TRUE(is_valid(f.design, fp, &why)) << why;
+  const StressMap stress = compute_stress(f.design, fp);
+  EXPECT_LE(stress.max_accumulated(), 0.65 + 1e-6);
+}
+
+TEST(ModelBuilder, ImpossibleTargetIsInfeasible) {
+  Fixture f;
+  // Below the single heaviest op's stress: no assignment can work.
+  const RemapModel rm = build_remap_model(f.spec(0.10));
+  ASSERT_FALSE(rm.trivially_infeasible);
+  const auto mip = solve_milp(rm.model);
+  EXPECT_EQ(mip.status, milp::SolveStatus::kInfeasible);
+}
+
+TEST(ModelBuilder, PathConstraintLimitsWireLength) {
+  Fixture f;
+  // Freeze op0 at PE 0; op1 free. Path 0->1 with a 2-unit wire budget.
+  RemapModelSpec s = f.spec(1.0);
+  s.frozen[0] = 1;
+  s.candidates[0] = {0};
+  timing::TimingPath path;
+  path.context = 0;
+  path.ops = {0, 1};
+  path.pe_delay_ns = 2 * 0.87;
+  std::vector<timing::TimingPath> monitored{path};
+  s.monitored = &monitored;
+  s.cpd_ns = path.pe_delay_ns + 2 * 0.2;  // wire budget = 2 units
+  const RemapModel rm = build_remap_model(s);
+  ASSERT_FALSE(rm.trivially_infeasible);
+  EXPECT_EQ(rm.num_path_rows, 1);
+
+  milp::MipOptions opts;
+  const auto mip = solve_milp(rm.model, opts);
+  ASSERT_TRUE(mip.has_solution());
+  const Floorplan fp = rm.decode(mip.x);
+  EXPECT_LE(manhattan(f.design.fabric.loc(fp.pe_of(0)),
+                      f.design.fabric.loc(fp.pe_of(1))),
+            2);
+}
+
+TEST(ModelBuilder, FreeFreeEdgeUsesExactAbsLinearization) {
+  Fixture f;
+  // Both chained ops free; budget of 1 wire unit forces adjacency.
+  RemapModelSpec s = f.spec(1.0);
+  timing::TimingPath path;
+  path.context = 0;
+  path.ops = {0, 1};
+  path.pe_delay_ns = 2 * 0.87;
+  std::vector<timing::TimingPath> monitored{path};
+  s.monitored = &monitored;
+  s.cpd_ns = path.pe_delay_ns + 1 * 0.2;
+  const RemapModel rm = build_remap_model(s);
+  ASSERT_FALSE(rm.trivially_infeasible);
+  const auto mip = solve_milp(rm.model);
+  ASSERT_TRUE(mip.has_solution());
+  const Floorplan fp = rm.decode(mip.x);
+  EXPECT_EQ(manhattan(f.design.fabric.loc(fp.pe_of(0)),
+                      f.design.fabric.loc(fp.pe_of(1))),
+            1);
+}
+
+TEST(ModelBuilder, AllFrozenPathOverBudgetIsTriviallyInfeasible) {
+  Fixture f;
+  RemapModelSpec s = f.spec(1.0);
+  s.frozen[0] = s.frozen[1] = 1;
+  s.candidates[0] = {0};
+  s.candidates[1] = {8};  // distance 4 from PE 0
+  f.base.op_to_pe = {0, 8, 0, 1};
+  timing::TimingPath path;
+  path.context = 0;
+  path.ops = {0, 1};
+  path.pe_delay_ns = 2 * 0.87;
+  std::vector<timing::TimingPath> monitored{path};
+  s.monitored = &monitored;
+  s.cpd_ns = path.pe_delay_ns + 0.2;  // 1-unit budget < 4-unit frozen wire
+  const RemapModel rm = build_remap_model(s);
+  EXPECT_TRUE(rm.trivially_infeasible);
+}
+
+TEST(ModelBuilder, MinPerturbationPrefersIdentityWhenFeasible) {
+  Fixture f;
+  RemapModelSpec s = f.spec(10.0);  // loose target: identity is feasible
+  s.objective = ObjectiveMode::kMinPerturbation;
+  const RemapModel rm = build_remap_model(s);
+  const auto mip = solve_milp(rm.model);
+  ASSERT_TRUE(mip.has_solution());
+  const Floorplan fp = rm.decode(mip.x);
+  EXPECT_EQ(fp.op_to_pe, f.base.op_to_pe);
+}
+
+TEST(ModelBuilder, DecodePicksTheAssignedCandidate) {
+  Fixture f;
+  const RemapModel rm = build_remap_model(f.spec(10.0));
+  std::vector<double> x(static_cast<std::size_t>(rm.model.num_vars()), 0.0);
+  // Assign op i -> PE i+2 manually.
+  for (int op = 0; op < 4; ++op) {
+    const auto& cand = rm.candidates[static_cast<std::size_t>(op)];
+    for (std::size_t c = 0; c < cand.size(); ++c) {
+      if (cand[c] == op + 2)
+        x[static_cast<std::size_t>(
+            rm.assign_vars[static_cast<std::size_t>(op)][c])] = 1.0;
+    }
+  }
+  const Floorplan fp = rm.decode(x);
+  EXPECT_EQ(fp.op_to_pe, (std::vector<int>{2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace cgraf::core

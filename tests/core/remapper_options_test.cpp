@@ -1,0 +1,113 @@
+// Behavioural coverage of the RemapOptions knobs.
+#include <gtest/gtest.h>
+
+#include "core/remapper.h"
+#include "workloads/suite.h"
+
+namespace cgraf::core {
+namespace {
+
+workloads::GeneratedBenchmark bench_for(std::uint64_t seed) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "opt";
+  spec.contexts = 4;
+  spec.fabric_dim = 4;
+  spec.usage = 0.45;
+  spec.seed = seed;
+  return workloads::generate_benchmark(spec);
+}
+
+TEST(RemapperOptions, ZeroOuterItersReturnsBaseline) {
+  const auto bench = bench_for(1);
+  RemapOptions opts;
+  opts.max_outer_iters = 0;
+  opts.lp_presearch = false;
+  opts.rotation_retries = 0;
+  const RemapResult r = aging_aware_remap(bench.design, bench.baseline, opts);
+  EXPECT_FALSE(r.improved);
+  EXPECT_EQ(r.floorplan.op_to_pe, bench.baseline.op_to_pe);
+  EXPECT_DOUBLE_EQ(r.mttf_gain, 1.0);
+}
+
+TEST(RemapperOptions, NullObjectiveStillWorks) {
+  const auto bench = bench_for(2);
+  RemapOptions opts;
+  opts.objective = ObjectiveMode::kNull;  // the paper's literal "ObjFunc: Null"
+  const RemapResult r = aging_aware_remap(bench.design, bench.baseline, opts);
+  std::string why;
+  EXPECT_TRUE(is_valid(bench.design, r.floorplan, &why)) << why;
+  EXPECT_LE(r.cpd_after_ns, r.cpd_before_ns + 1e-9);
+}
+
+TEST(RemapperOptions, ZeroMarginMonitorsOnlyCriticalPaths) {
+  const auto bench = bench_for(3);
+  RemapOptions tight;
+  tight.path_margin = 0.0;
+  const RemapResult a = aging_aware_remap(bench.design, bench.baseline, tight);
+  RemapOptions wide;
+  wide.path_margin = 0.5;
+  const RemapResult b = aging_aware_remap(bench.design, bench.baseline, wide);
+  EXPECT_LE(a.num_monitored_paths, b.num_monitored_paths);
+  // The STA re-check protects the CPD regardless of the margin.
+  EXPECT_LE(a.cpd_after_ns, a.cpd_before_ns + 1e-9);
+  EXPECT_LE(b.cpd_after_ns, b.cpd_before_ns + 1e-9);
+}
+
+TEST(RemapperOptions, RadiusCapBoundsDisplacement) {
+  const auto bench = bench_for(4);
+  RemapOptions opts;
+  opts.mode = RemapMode::kFreeze;  // rotation moves frozen ops arbitrarily
+  opts.candidates.radius_cap = 2;
+  const RemapResult r = aging_aware_remap(bench.design, bench.baseline, opts);
+  for (const Operation& op : bench.design.ops) {
+    const int moved = manhattan(
+        bench.design.fabric.loc(bench.baseline.pe_of(op.id)),
+        bench.design.fabric.loc(r.floorplan.pe_of(op.id)));
+    EXPECT_LE(moved, 2) << "op " << op.id;
+  }
+}
+
+TEST(RemapperOptions, DisabledPresearchStillConverges) {
+  const auto bench = bench_for(5);
+  RemapOptions opts;
+  opts.lp_presearch = false;
+  const RemapResult r = aging_aware_remap(bench.design, bench.baseline, opts);
+  std::string why;
+  EXPECT_TRUE(is_valid(bench.design, r.floorplan, &why)) << why;
+  EXPECT_LE(r.cpd_after_ns, r.cpd_before_ns + 1e-9);
+}
+
+TEST(RemapperOptions, RefineProbesNeverHurt) {
+  const auto bench = bench_for(6);
+  RemapOptions none;
+  none.refine_probes = 0;
+  RemapOptions some;
+  some.refine_probes = 4;
+  const RemapResult a = aging_aware_remap(bench.design, bench.baseline, none);
+  const RemapResult b = aging_aware_remap(bench.design, bench.baseline, some);
+  EXPECT_LE(b.st_max_after, a.st_max_after + 1e-9);
+}
+
+TEST(RemapperOptions, ReportsSolverStatistics) {
+  const auto bench = bench_for(7);
+  const RemapResult r = aging_aware_remap(bench.design, bench.baseline, {});
+  EXPECT_GT(r.outer_iterations, 0);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GE(r.num_monitored_paths, 1);
+  EXPECT_GE(r.num_frozen_ops, 1);
+  if (r.improved) {
+    EXPECT_GT(r.last_solve.lp_iterations + r.last_solve.mip_nodes, 0);
+  }
+}
+
+TEST(RemapperOptions, MttfReportsAreInternallyConsistent) {
+  const auto bench = bench_for(8);
+  const RemapResult r = aging_aware_remap(bench.design, bench.baseline, {});
+  EXPECT_NEAR(r.mttf_gain,
+              r.mttf_after.mttf_seconds / r.mttf_before.mttf_seconds, 1e-9);
+  EXPECT_NEAR(r.mttf_before.mttf_years,
+              r.mttf_before.mttf_seconds / aging::kSecondsPerYear, 1e-9);
+}
+
+}  // namespace
+}  // namespace cgraf::core

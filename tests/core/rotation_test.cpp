@@ -1,0 +1,169 @@
+#include "core/rotation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cgraf::core {
+namespace {
+
+TEST(Rotation, AllOrientationsPreserveManhattanDistances) {
+  const Fabric fabric(8, 8);
+  const std::vector<Point> pts{{1, 1}, {4, 1}, {4, 3}, {6, 3}};
+  for (int o = 0; o < 8; ++o) {
+    const std::vector<Point> r = apply_orientation(pts, o, fabric);
+    ASSERT_EQ(r.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        EXPECT_EQ(manhattan(r[i], r[j]), manhattan(pts[i], pts[j]))
+            << "orientation " << o;
+      }
+      EXPECT_TRUE(fabric.in_bounds(r[i])) << "orientation " << o;
+    }
+  }
+}
+
+TEST(Rotation, IdentityOrientationIsIdentity) {
+  const Fabric fabric(8, 8);
+  const std::vector<Point> pts{{2, 3}, {5, 6}, {0, 0}};
+  EXPECT_EQ(apply_orientation(pts, 0, fabric), pts);
+}
+
+TEST(Rotation, EightOrientationsAreDistinctForAsymmetricShapes) {
+  const Fabric fabric(8, 8);
+  // An L-shape with no self-symmetry.
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {0, 3}};
+  std::set<std::vector<std::pair<int, int>>> shapes;
+  for (int o = 0; o < 8; ++o) {
+    const auto r = apply_orientation(pts, o, fabric);
+    // Normalize to the bbox origin so translation doesn't matter.
+    int mnx = 1 << 30, mny = 1 << 30;
+    for (const Point p : r) {
+      mnx = std::min(mnx, p.x);
+      mny = std::min(mny, p.y);
+    }
+    std::vector<std::pair<int, int>> norm;
+    for (const Point p : r) norm.emplace_back(p.x - mnx, p.y - mny);
+    std::sort(norm.begin(), norm.end());
+    shapes.insert(norm);
+  }
+  EXPECT_EQ(shapes.size(), 8u);
+}
+
+TEST(Rotation, PointsAtFabricEdgeStayInBounds) {
+  const Fabric fabric(4, 4);
+  const std::vector<Point> pts{{0, 0}, {3, 0}, {3, 3}};
+  for (int o = 0; o < 8; ++o) {
+    for (const Point p : apply_orientation(pts, o, fabric))
+      EXPECT_TRUE(fabric.in_bounds(p)) << "orientation " << o;
+  }
+}
+
+Design rotation_design(int contexts) {
+  Design d{Fabric(6, 6), contexts, {}, {}};
+  for (int c = 0; c < contexts; ++c) {
+    for (int k = 0; k < 3; ++k) {
+      Operation op;
+      op.id = d.num_ops();
+      op.kind = OpKind::kAdd;
+      op.context = c;
+      d.ops.push_back(op);
+    }
+  }
+  return d;
+}
+
+TEST(Rotation, DiversityRuleUpToEightContexts) {
+  const int contexts = 6;
+  Design d = rotation_design(contexts);
+  // Every context's CP group at the same 3 PEs: maximal initial overlap.
+  Floorplan base;
+  base.op_to_pe.assign(d.ops.size(), 0);
+  std::vector<std::vector<int>> frozen(static_cast<std::size_t>(contexts));
+  for (int i = 0; i < d.num_ops(); ++i) {
+    base.op_to_pe[static_cast<std::size_t>(i)] = i % 3;
+    frozen[static_cast<std::size_t>(d.ops[static_cast<std::size_t>(i)].context)]
+        .push_back(i);
+  }
+  RotationOptions opts;
+  opts.restarts = 4;
+  const RotationResult r = rotate_critical_paths(d, base, frozen, opts);
+  ASSERT_TRUE(r.ok);
+  std::set<int> used(r.orientation_per_context.begin(),
+                     r.orientation_per_context.end());
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(contexts));  // all distinct
+}
+
+TEST(Rotation, DiversityRuleBeyondEightContexts) {
+  const int contexts = 11;  // floor(11/8)=1, so counts must be 1 or 2
+  Design d = rotation_design(contexts);
+  Floorplan base;
+  base.op_to_pe.assign(d.ops.size(), 0);
+  std::vector<std::vector<int>> frozen(static_cast<std::size_t>(contexts));
+  for (int i = 0; i < d.num_ops(); ++i) {
+    base.op_to_pe[static_cast<std::size_t>(i)] = i % 3;
+    frozen[static_cast<std::size_t>(d.ops[static_cast<std::size_t>(i)].context)]
+        .push_back(i);
+  }
+  const RotationResult r = rotate_critical_paths(d, base, frozen, {});
+  ASSERT_TRUE(r.ok);
+  std::map<int, int> counts;
+  for (const int o : r.orientation_per_context) ++counts[o];
+  for (const auto& [o, n] : counts) {
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 2);
+  }
+}
+
+TEST(Rotation, ReducesOverlapVersusIdentity) {
+  const int contexts = 8;
+  Design d = rotation_design(contexts);
+  Floorplan base;
+  base.op_to_pe.assign(d.ops.size(), 0);
+  std::vector<std::vector<int>> frozen(static_cast<std::size_t>(contexts));
+  for (int i = 0; i < d.num_ops(); ++i) {
+    base.op_to_pe[static_cast<std::size_t>(i)] = i % 3;  // total pile-up
+    frozen[static_cast<std::size_t>(d.ops[static_cast<std::size_t>(i)].context)]
+        .push_back(i);
+  }
+  // Identity overlap: every context stacks stress^2 on PEs 0..2.
+  double identity_cost = 0.0;
+  {
+    std::vector<double> pe(36, 0.0);
+    for (int i = 0; i < d.num_ops(); ++i)
+      pe[static_cast<std::size_t>(i % 3)] +=
+          op_stress(d.ops[static_cast<std::size_t>(i)], d.fabric);
+    for (const double s : pe) identity_cost += s * s;
+  }
+  const RotationResult r = rotate_critical_paths(d, base, frozen, {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_LT(r.overlap_cost, identity_cost);
+  // Frozen ops moved but stayed rigid per context: distances preserved.
+  for (int c = 0; c < contexts; ++c) {
+    const auto& group = frozen[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i + 1 < group.size(); ++i) {
+      const int a = group[i], b = group[i + 1];
+      EXPECT_EQ(
+          manhattan(d.fabric.loc(r.rotated_base.pe_of(a)),
+                    d.fabric.loc(r.rotated_base.pe_of(b))),
+          manhattan(d.fabric.loc(base.pe_of(a)), d.fabric.loc(base.pe_of(b))));
+    }
+  }
+}
+
+TEST(Rotation, EmptyGroupsAreFine) {
+  Design d = rotation_design(3);
+  Floorplan base;
+  base.op_to_pe.assign(d.ops.size(), 0);
+  for (int i = 0; i < d.num_ops(); ++i)
+    base.op_to_pe[static_cast<std::size_t>(i)] = i % 3;
+  std::vector<std::vector<int>> frozen(3);  // nothing frozen anywhere
+  const RotationResult r = rotate_critical_paths(d, base, frozen, {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.rotated_base.op_to_pe, base.op_to_pe);
+}
+
+}  // namespace
+}  // namespace cgraf::core

@@ -1,0 +1,81 @@
+#include "hls/dfg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cgraf::hls {
+namespace {
+
+TEST(Dfg, AddNodesAndEdges) {
+  Dfg g;
+  const int a = g.add_node(OpKind::kAdd, 16, "a");
+  const int b = g.add_node(OpKind::kMul, 32, "b");
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.node(a).name, "a");
+  EXPECT_EQ(g.node(b).bitwidth, 32);
+  ASSERT_EQ(g.fanout(a).size(), 1u);
+  EXPECT_EQ(g.fanout(a)[0], b);
+  ASSERT_EQ(g.fanin(b).size(), 1u);
+  EXPECT_EQ(g.fanin(b)[0], a);
+}
+
+TEST(Dfg, TopoOrderRespectsEdges) {
+  Dfg g;
+  const int n0 = g.add_node(OpKind::kAdd);
+  const int n1 = g.add_node(OpKind::kAdd);
+  const int n2 = g.add_node(OpKind::kAdd);
+  const int n3 = g.add_node(OpKind::kAdd);
+  g.add_edge(n2, n1);
+  g.add_edge(n1, n0);
+  g.add_edge(n2, n3);
+  const std::vector<int> topo = g.topo_order();
+  ASSERT_EQ(topo.size(), 4u);
+  auto pos = [&](int n) {
+    return std::find(topo.begin(), topo.end(), n) - topo.begin();
+  };
+  EXPECT_LT(pos(n2), pos(n1));
+  EXPECT_LT(pos(n1), pos(n0));
+  EXPECT_LT(pos(n2), pos(n3));
+}
+
+TEST(Dfg, IsDagDetectsCycles) {
+  Dfg g;
+  const int a = g.add_node(OpKind::kAdd);
+  const int b = g.add_node(OpKind::kAdd);
+  g.add_edge(a, b);
+  EXPECT_TRUE(g.is_dag());
+  g.add_edge(b, a);
+  EXPECT_FALSE(g.is_dag());
+}
+
+TEST(Dfg, DepthOfChainAndTree) {
+  Dfg chain;
+  int prev = chain.add_node(OpKind::kAdd);
+  for (int i = 0; i < 4; ++i) {
+    const int next = chain.add_node(OpKind::kAdd);
+    chain.add_edge(prev, next);
+    prev = next;
+  }
+  EXPECT_EQ(chain.depth(), 5);
+
+  Dfg tree;
+  const int l1 = tree.add_node(OpKind::kMul);
+  const int l2 = tree.add_node(OpKind::kMul);
+  const int root = tree.add_node(OpKind::kAdd);
+  tree.add_edge(l1, root);
+  tree.add_edge(l2, root);
+  EXPECT_EQ(tree.depth(), 2);
+}
+
+TEST(Dfg, EmptyGraph) {
+  Dfg g;
+  EXPECT_EQ(g.depth(), 0);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_TRUE(g.topo_order().empty());
+}
+
+}  // namespace
+}  // namespace cgraf::hls

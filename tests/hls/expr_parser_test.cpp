@@ -1,0 +1,108 @@
+#include "hls/expr_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cgraf::hls {
+namespace {
+
+TEST(ExprParser, SingleBinaryOp) {
+  const ParseResult r = parse_kernel("out = a + b;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.num_nodes(), 1);
+  EXPECT_EQ(r.dfg.node(0).kind, OpKind::kAdd);
+  EXPECT_EQ(r.dfg.num_edges(), 0);  // both operands are primary inputs
+  EXPECT_EQ(r.symbols.at("out"), 0);
+}
+
+TEST(ExprParser, PrecedenceMulBeforeAdd) {
+  const ParseResult r = parse_kernel("out = a + b * c;");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.dfg.num_nodes(), 2);
+  // The multiply feeds the add.
+  EXPECT_EQ(r.dfg.node(0).kind, OpKind::kMul);
+  EXPECT_EQ(r.dfg.node(1).kind, OpKind::kAdd);
+  ASSERT_EQ(r.dfg.num_edges(), 1);
+  EXPECT_EQ(r.dfg.edges()[0], std::make_pair(0, 1));
+}
+
+TEST(ExprParser, ParenthesesOverridePrecedence) {
+  const ParseResult r = parse_kernel("out = (a + b) * c;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.node(0).kind, OpKind::kAdd);
+  EXPECT_EQ(r.dfg.node(1).kind, OpKind::kMul);
+}
+
+TEST(ExprParser, NamedValuesAreReused) {
+  const ParseResult r = parse_kernel("t = a + b; out = t * t;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.num_nodes(), 2);
+  EXPECT_EQ(r.dfg.num_edges(), 2);  // t feeds the multiply twice... once per operand
+}
+
+TEST(ExprParser, AllOperatorsMap) {
+  const ParseResult r = parse_kernel(
+      "s1 = a - b; s2 = a & b; s3 = a | b; s4 = a ^ b; s5 = a << b;"
+      "s6 = a >> b;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.node(r.symbols.at("s1")).kind, OpKind::kSub);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("s2")).kind, OpKind::kAnd);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("s3")).kind, OpKind::kOr);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("s4")).kind, OpKind::kXor);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("s5")).kind, OpKind::kShift);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("s6")).kind, OpKind::kShift);
+}
+
+TEST(ExprParser, DmuFunctions) {
+  const ParseResult r = parse_kernel(
+      "m = mux(c, a, b); s = shuffle(a, b); e = extract(a); g = merge(a, b);"
+      "q = cmp(a, b);");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.node(r.symbols.at("m")).kind, OpKind::kMux);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("s")).kind, OpKind::kShuffle);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("e")).kind, OpKind::kExtract);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("g")).kind, OpKind::kMerge);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("q")).kind, OpKind::kCmp);
+}
+
+TEST(ExprParser, WidthDirective) {
+  const ParseResult r = parse_kernel("@width 8; x = a + b; @width 32; y = a + b;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.node(r.symbols.at("x")).bitwidth, 8);
+  EXPECT_EQ(r.dfg.node(r.symbols.at("y")).bitwidth, 32);
+}
+
+TEST(ExprParser, CommentsAndWhitespace) {
+  const ParseResult r = parse_kernel(
+      "# leading comment\n  out = a + b; # trailing\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.num_nodes(), 1);
+}
+
+TEST(ExprParser, ChainedStatementsBuildDag) {
+  const ParseResult r = parse_kernel(
+      "p0 = x * c0; p1 = x * c1; acc = p0 + p1; out = acc >> 2;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.num_nodes(), 4);
+  EXPECT_EQ(r.dfg.num_edges(), 3);
+  EXPECT_TRUE(r.dfg.is_dag());
+}
+
+TEST(ExprParser, ErrorsReportPosition) {
+  EXPECT_FALSE(parse_kernel("out = ;").ok);
+  EXPECT_FALSE(parse_kernel("out a + b;").ok);
+  EXPECT_FALSE(parse_kernel("out = (a + b;").ok);
+  EXPECT_FALSE(parse_kernel("out = frob(a);").ok);
+  EXPECT_FALSE(parse_kernel("@width 0; x = a + b;").ok);
+  const ParseResult r = parse_kernel("out = (a + b;");
+  EXPECT_NE(r.error.find("offset"), std::string::npos);
+}
+
+TEST(ExprParser, AliasOfPrimaryInputIsNotAnOp) {
+  const ParseResult r = parse_kernel("x = y; out = x + z;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.dfg.num_nodes(), 1);  // only the add
+  EXPECT_EQ(r.symbols.count("x"), 0u);
+}
+
+}  // namespace
+}  // namespace cgraf::hls

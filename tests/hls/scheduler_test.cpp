@@ -1,0 +1,161 @@
+#include "hls/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/kernels.h"
+
+namespace cgraf::hls {
+namespace {
+
+ScheduleOptions opts(int contexts, int cap) {
+  ScheduleOptions o;
+  o.num_contexts = contexts;
+  o.max_ops_per_context = cap;
+  return o;
+}
+
+double chain_budget(const ScheduleOptions& o) {
+  return o.chain_budget_frac * o.clock_period_ns;
+}
+
+// Checks the structural invariants every legal schedule must satisfy.
+void check_schedule(const Dfg& dfg, const ScheduleResult& res,
+                    const ScheduleOptions& o) {
+  ASSERT_TRUE(res.ok) << res.error;
+  std::vector<int> per_context(static_cast<size_t>(o.num_contexts), 0);
+  for (int u = 0; u < dfg.num_nodes(); ++u) {
+    const int c = res.context_of[static_cast<size_t>(u)];
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, o.num_contexts);
+    ++per_context[static_cast<size_t>(c)];
+  }
+  for (const int n : per_context) EXPECT_LE(n, o.max_ops_per_context);
+  // Dependences never flow backwards.
+  for (const auto& [from, to] : dfg.edges())
+    EXPECT_LE(res.context_of[static_cast<size_t>(from)],
+              res.context_of[static_cast<size_t>(to)]);
+  // Chained (same-context) PE delays fit the budget.
+  std::vector<double> chain(static_cast<size_t>(dfg.num_nodes()), 0.0);
+  for (const int u : dfg.topo_order()) {
+    double in = 0.0;
+    for (const int p : dfg.fanin(u)) {
+      if (res.context_of[static_cast<size_t>(p)] ==
+          res.context_of[static_cast<size_t>(u)])
+        in = std::max(in, chain[static_cast<size_t>(p)]);
+    }
+    Operation op;
+    op.kind = dfg.node(u).kind;
+    op.bitwidth = dfg.node(u).bitwidth;
+    chain[static_cast<size_t>(u)] = in + op_delay_ns(op, o.delays);
+    if (in > 0.0) {
+      EXPECT_LE(chain[static_cast<size_t>(u)], chain_budget(o) + 1e-9);
+    }
+  }
+}
+
+TEST(Scheduler, IndependentOpsPackIntoOneContext) {
+  Dfg g;
+  for (int i = 0; i < 5; ++i) g.add_node(OpKind::kAdd);
+  const ScheduleOptions o = opts(4, 8);
+  const ScheduleResult r = list_schedule(g, o);
+  check_schedule(g, r, o);
+  EXPECT_EQ(r.contexts_used, 1);
+}
+
+TEST(Scheduler, ResourceCapForcesMultipleContexts) {
+  Dfg g;
+  for (int i = 0; i < 10; ++i) g.add_node(OpKind::kAdd);
+  const ScheduleOptions o = opts(4, 4);
+  const ScheduleResult r = list_schedule(g, o);
+  check_schedule(g, r, o);
+  EXPECT_EQ(r.contexts_used, 3);  // ceil(10/4)
+}
+
+TEST(Scheduler, ShortChainsAreChainedInOneContext) {
+  // Two ALU adds chain well within the budget.
+  Dfg g;
+  const int a = g.add_node(OpKind::kAdd);
+  const int b = g.add_node(OpKind::kAdd);
+  g.add_edge(a, b);
+  const ScheduleOptions o = opts(4, 8);
+  const ScheduleResult r = list_schedule(g, o);
+  check_schedule(g, r, o);
+  EXPECT_EQ(r.context_of[static_cast<size_t>(a)],
+            r.context_of[static_cast<size_t>(b)]);
+}
+
+TEST(Scheduler, LongChainsSplitAcrossContexts) {
+  // A chain of DMU ops cannot share a cycle (3.14 + 3.14 > budget).
+  Dfg g;
+  const int a = g.add_node(OpKind::kMux);
+  const int b = g.add_node(OpKind::kMux);
+  g.add_edge(a, b);
+  const ScheduleOptions o = opts(4, 8);
+  const ScheduleResult r = list_schedule(g, o);
+  check_schedule(g, r, o);
+  EXPECT_LT(r.context_of[static_cast<size_t>(a)],
+            r.context_of[static_cast<size_t>(b)]);
+}
+
+TEST(Scheduler, FailsWhenLatencyTooSmall) {
+  Dfg g;
+  int prev = g.add_node(OpKind::kMux);
+  for (int i = 0; i < 5; ++i) {
+    const int next = g.add_node(OpKind::kMux);
+    g.add_edge(prev, next);
+    prev = next;
+  }
+  const ScheduleResult r = list_schedule(g, opts(2, 8));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Scheduler, KernelsScheduleCleanly) {
+  const Dfg fir = workloads::fir_filter(16, 16);
+  const ScheduleOptions o = opts(6, 16);
+  check_schedule(fir, list_schedule(fir, o), o);
+
+  const Dfg poly = workloads::horner_poly(8);
+  const ScheduleOptions o2 = opts(8, 8);
+  check_schedule(poly, list_schedule(poly, o2), o2);
+}
+
+TEST(Scheduler, MinContextsIsMinimal) {
+  const Dfg fir = workloads::fir_filter(12, 16);
+  ScheduleOptions o = opts(1, 8);
+  const int mc = min_contexts(fir, o);
+  ASSERT_GT(mc, 0);
+  o.num_contexts = mc;
+  EXPECT_TRUE(list_schedule(fir, o).ok);
+  if (mc > 1) {
+    o.num_contexts = mc - 1;
+    EXPECT_FALSE(list_schedule(fir, o).ok);
+  }
+}
+
+TEST(Scheduler, BuildDesignCarriesEverythingOver) {
+  const Dfg fir = workloads::fir_filter(8, 16);
+  const ScheduleOptions o = opts(4, 8);
+  const ScheduleResult r = list_schedule(fir, o);
+  ASSERT_TRUE(r.ok);
+  const Fabric fabric(3, 3);
+  const Design d = build_design(fir, r, fabric, 4);
+  EXPECT_EQ(d.num_ops(), fir.num_nodes());
+  EXPECT_EQ(d.edges.size(), static_cast<size_t>(fir.num_edges()));
+  EXPECT_EQ(d.num_contexts, 4);
+  for (int u = 0; u < d.num_ops(); ++u) {
+    EXPECT_EQ(d.ops[static_cast<size_t>(u)].context,
+              r.context_of[static_cast<size_t>(u)]);
+    EXPECT_EQ(d.ops[static_cast<size_t>(u)].kind, fir.node(u).kind);
+  }
+}
+
+TEST(Scheduler, InvalidOptionsReportErrors) {
+  Dfg g;
+  g.add_node(OpKind::kAdd);
+  EXPECT_FALSE(list_schedule(g, opts(0, 4)).ok);
+  EXPECT_FALSE(list_schedule(g, opts(4, 0)).ok);
+}
+
+}  // namespace
+}  // namespace cgraf::hls

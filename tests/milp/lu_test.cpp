@@ -1,0 +1,198 @@
+#include "milp/lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/model.h"
+#include "util/rng.h"
+
+namespace cgraf::milp {
+namespace {
+
+// Builds a CSC matrix directly from dense data (rows x cols).
+CscMatrix from_dense(const std::vector<std::vector<double>>& dense) {
+  CscMatrix a;
+  a.rows = static_cast<int>(dense.size());
+  a.cols = a.rows == 0 ? 0 : static_cast<int>(dense[0].size());
+  a.col_start.assign(static_cast<size_t>(a.cols) + 1, 0);
+  for (int j = 0; j < a.cols; ++j) {
+    a.col_start[static_cast<size_t>(j) + 1] = a.col_start[static_cast<size_t>(j)];
+    for (int i = 0; i < a.rows; ++i) {
+      if (dense[static_cast<size_t>(i)][static_cast<size_t>(j)] != 0.0) {
+        a.row_idx.push_back(i);
+        a.value.push_back(dense[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+        ++a.col_start[static_cast<size_t>(j) + 1];
+      }
+    }
+  }
+  return a;
+}
+
+std::vector<double> multiply(const CscMatrix& a, const std::vector<int>& basis,
+                             const std::vector<double>& x) {
+  std::vector<double> b(static_cast<size_t>(a.rows), 0.0);
+  for (size_t p = 0; p < basis.size(); ++p)
+    a.axpy_col(basis[p], x[p], b);
+  return b;
+}
+
+std::vector<double> multiply_t(const CscMatrix& a,
+                               const std::vector<int>& basis,
+                               const std::vector<double>& x) {
+  std::vector<double> b(basis.size(), 0.0);
+  for (size_t p = 0; p < basis.size(); ++p) b[p] = a.dot_col(basis[p], x);
+  return b;
+}
+
+TEST(BasisLu, IdentityRoundTrip) {
+  const CscMatrix a = from_dense({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, {0, 1, 2}));
+  std::vector<double> x{3.0, -2.0, 7.0};
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+  EXPECT_NEAR(x[2], 7.0, 1e-12);
+}
+
+TEST(BasisLu, DenseMatrixSolves) {
+  const CscMatrix a =
+      from_dense({{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}});
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, {0, 1, 2}));
+  const std::vector<double> want{1.0, -2.0, 3.0};
+  std::vector<double> b = multiply(a, {0, 1, 2}, want);
+  lu.ftran(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(b[static_cast<size_t>(i)], want[static_cast<size_t>(i)], 1e-9);
+
+  std::vector<double> c = multiply_t(a, {0, 1, 2}, want);
+  lu.btran(c);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(c[static_cast<size_t>(i)], want[static_cast<size_t>(i)], 1e-9);
+}
+
+TEST(BasisLu, PermutedBasisColumns) {
+  const CscMatrix a =
+      from_dense({{0, 0, 5}, {3, 0, 0}, {0, -2, 0}});
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, {0, 1, 2}));
+  std::vector<double> b{5.0, 3.0, -2.0};  // = B * (1,1,1)
+  lu.ftran(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+  EXPECT_NEAR(b[2], 1.0, 1e-12);
+}
+
+TEST(BasisLu, SingularMatrixRejected) {
+  const CscMatrix a = from_dense({{1, 2, 3}, {2, 4, 6}, {1, 0, 1}});
+  BasisLu lu;
+  EXPECT_FALSE(lu.factorize(a, {0, 1, 2}));
+}
+
+TEST(BasisLu, StructurallySingularRejected) {
+  const CscMatrix a = from_dense({{1, 0, 1}, {0, 0, 1}, {1, 0, 0}});
+  BasisLu lu;
+  EXPECT_FALSE(lu.factorize(a, {0, 1, 2}));  // column 1 is empty
+}
+
+TEST(BasisLu, EmptyBasis) {
+  const CscMatrix a = from_dense({});
+  BasisLu lu;
+  EXPECT_TRUE(lu.factorize(a, {}));
+  std::vector<double> x;
+  lu.ftran(x);
+  lu.btran(x);
+}
+
+TEST(BasisLu, RandomSparseRoundTrips) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int m = 5 + static_cast<int>(rng.next_below(40));
+    // Random sparse matrix with a guaranteed nonzero diagonal.
+    std::vector<std::vector<double>> dense(
+        static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(m), 0.0));
+    for (int i = 0; i < m; ++i) {
+      dense[static_cast<size_t>(i)][static_cast<size_t>(i)] =
+          1.0 + rng.next_double();
+      for (int k = 0; k < 3; ++k) {
+        const int j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(m)));
+        if (j != i) dense[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            rng.next_double() * 4.0 - 2.0;
+      }
+    }
+    const CscMatrix a = from_dense(dense);
+    std::vector<int> basis(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) basis[static_cast<size_t>(i)] = i;
+
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(a, basis)) << "trial " << trial;
+    std::vector<double> want(static_cast<size_t>(m));
+    for (double& v : want) v = rng.next_double() * 10 - 5;
+    std::vector<double> b = multiply(a, basis, want);
+    lu.ftran(b);
+    for (int i = 0; i < m; ++i)
+      ASSERT_NEAR(b[static_cast<size_t>(i)], want[static_cast<size_t>(i)], 1e-7)
+          << "trial " << trial;
+    std::vector<double> c = multiply_t(a, basis, want);
+    lu.btran(c);
+    for (int i = 0; i < m; ++i)
+      ASSERT_NEAR(c[static_cast<size_t>(i)], want[static_cast<size_t>(i)], 1e-7)
+          << "trial " << trial;
+  }
+}
+
+TEST(BasisLu, EtaUpdateMatchesRefactorization) {
+  Rng rng(7);
+  const int m = 12;
+  std::vector<std::vector<double>> dense(
+      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(m + 4), 0.0));
+  for (int i = 0; i < m; ++i) {
+    dense[static_cast<size_t>(i)][static_cast<size_t>(i)] = 2.0 + rng.next_double();
+    dense[static_cast<size_t>(i)]
+         [static_cast<size_t>((i + 3) % (m + 4))] += 1.0;
+  }
+  for (int i = 0; i < m; ++i)
+    dense[static_cast<size_t>(i)][static_cast<size_t>(m + i % 4)] =
+        rng.next_double() + 0.5;
+  const CscMatrix a = from_dense(dense);
+
+  std::vector<int> basis(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) basis[static_cast<size_t>(i)] = i;
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, basis));
+
+  // Replace basis position 5 with column m+1 via a PFI update.
+  std::vector<double> spike(static_cast<size_t>(m), 0.0);
+  a.axpy_col(m + 1, 1.0, spike);
+  lu.ftran(spike);
+  ASSERT_TRUE(lu.update(spike, 5));
+  basis[5] = m + 1;
+
+  BasisLu fresh;
+  ASSERT_TRUE(fresh.factorize(a, basis));
+
+  std::vector<double> rhs(static_cast<size_t>(m));
+  for (double& v : rhs) v = rng.next_double() * 2 - 1;
+  std::vector<double> via_eta = rhs, via_fresh = rhs;
+  lu.ftran(via_eta);
+  fresh.ftran(via_fresh);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(via_eta[static_cast<size_t>(i)], via_fresh[static_cast<size_t>(i)], 1e-8);
+
+  std::vector<double> bt_eta = rhs, bt_fresh = rhs;
+  lu.btran(bt_eta);
+  fresh.btran(bt_fresh);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(bt_eta[static_cast<size_t>(i)], bt_fresh[static_cast<size_t>(i)], 1e-8);
+}
+
+TEST(BasisLu, UpdateRejectsTinyPivot) {
+  const CscMatrix a = from_dense({{1, 0}, {0, 1}});
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, {0, 1}));
+  std::vector<double> spike{1.0, 0.0};  // zero at position 1
+  EXPECT_FALSE(lu.update(spike, 1));
+}
+
+}  // namespace
+}  // namespace cgraf::milp

@@ -1,0 +1,186 @@
+#include "milp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "milp/branch_and_bound.h"
+#include "util/rng.h"
+
+namespace cgraf::milp {
+namespace {
+
+TEST(Presolve, FixedVariablesAreSubstituted) {
+  Model m;
+  const int x = m.add_continuous(2, 2);         // fixed at 2
+  const int y = m.add_continuous(0, 10, 1.0);
+  m.add_le({{x, 3.0}, {y, 1.0}}, 10.0);         // becomes y <= 4
+  const PresolveResult pre = presolve(m);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_EQ(pre.vars_fixed, 1);
+  EXPECT_EQ(pre.var_map[static_cast<size_t>(x)], -1);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[static_cast<size_t>(x)], 2.0);
+  EXPECT_EQ(pre.reduced.num_vars(), 1);
+  // The surviving row (or bound) must cap y at 4.
+  const LpResult lp = solve_lp(pre.reduced);
+  Model max_y = pre.reduced;
+  max_y.set_sense(Sense::kMaximize);
+  max_y.set_obj(pre.var_map[static_cast<size_t>(y)], 1.0);
+  EXPECT_NEAR(solve_lp(max_y).obj, 4.0, 1e-9);
+  (void)lp;
+}
+
+TEST(Presolve, SingletonRowBecomesBound) {
+  Model m;
+  const int x = m.add_continuous(0, 100);
+  m.add_constraint({{x, 2.0}}, 4.0, 10.0);  // 2 <= x <= 5
+  const PresolveResult pre = presolve(m);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_EQ(pre.reduced.num_constraints(), 0);
+  EXPECT_DOUBLE_EQ(pre.reduced.var(0).lb, 2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.var(0).ub, 5.0);
+}
+
+TEST(Presolve, NegativeSingletonFlipsBounds) {
+  Model m;
+  const int x = m.add_continuous(-100, 100);
+  m.add_constraint({{x, -1.0}}, -3.0, 7.0);  // -7 <= x <= 3
+  const PresolveResult pre = presolve(m);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(pre.reduced.var(0).lb, -7.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.var(0).ub, 3.0);
+}
+
+TEST(Presolve, RedundantRowsDropped) {
+  Model m;
+  const int x = m.add_binary();
+  const int y = m.add_binary();
+  m.add_le({{x, 1.0}, {y, 1.0}}, 5.0);  // always true for binaries
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.reduced.num_constraints(), 0);
+  EXPECT_EQ(pre.rows_dropped, 1);
+}
+
+TEST(Presolve, DetectsInfeasibleRow) {
+  Model m;
+  const int x = m.add_binary();
+  const int y = m.add_binary();
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 3.0);  // max activity is 2
+  EXPECT_EQ(presolve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Presolve, DetectsEmptyInfeasibleRowAfterSubstitution) {
+  Model m;
+  const int x = m.add_continuous(1, 1);
+  m.add_ge({{x, 1.0}}, 2.0);
+  EXPECT_EQ(presolve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Presolve, IntegerBoundsRoundedInward) {
+  Model m;
+  m.add_var(0.3, 2.7, 0.0, VarType::kInteger);
+  const PresolveResult pre = presolve(m);
+  EXPECT_DOUBLE_EQ(pre.reduced.var(0).lb, 1.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.var(0).ub, 2.0);
+}
+
+TEST(Presolve, IntegerWithNoIntegerInRangeIsInfeasible) {
+  Model m;
+  m.add_var(0.2, 0.8, 0.0, VarType::kInteger);
+  EXPECT_EQ(presolve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Presolve, ChainedFixingsPropagate) {
+  // x fixed -> row becomes singleton on y -> y fixed -> row on z redundant.
+  Model m;
+  const int x = m.add_continuous(3, 3);
+  const int y = m.add_continuous(0, 10);
+  const int z = m.add_binary();
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 8.0);          // y = 5
+  m.add_le({{y, 1.0}, {z, 1.0}}, 7.0);          // z <= 2: redundant for binary
+  const PresolveResult pre = presolve(m);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  EXPECT_EQ(pre.vars_fixed, 2);
+  EXPECT_EQ(pre.reduced.num_vars(), 1);  // only z survives
+  EXPECT_EQ(pre.reduced.num_constraints(), 0);
+  const std::vector<double> x_orig = pre.postsolve({1.0});
+  EXPECT_DOUBLE_EQ(x_orig[static_cast<size_t>(x)], 3.0);
+  EXPECT_DOUBLE_EQ(x_orig[static_cast<size_t>(y)], 5.0);
+  EXPECT_DOUBLE_EQ(x_orig[static_cast<size_t>(z)], 1.0);
+}
+
+TEST(Presolve, PostsolveRoundTripsFeasibility) {
+  Model m;
+  const int a = m.add_binary(2.0);
+  const int b = m.add_continuous(1, 1, 3.0);
+  const int c = m.add_continuous(0, 4, -1.0);
+  m.add_le({{a, 1.0}, {b, 2.0}, {c, 1.0}}, 6.0);
+  const PresolveResult pre = presolve(m);
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal);
+  const MipResult r = solve_milp(pre.reduced);
+  ASSERT_TRUE(r.has_solution());
+  const std::vector<double> lifted = pre.postsolve(r.x);
+  EXPECT_LE(m.max_violation(lifted, true), 1e-6);
+  (void)a;
+  (void)b;
+  (void)c;
+}
+
+TEST(Presolve, SolveMilpUsesPresolveTransparently) {
+  // Same optimum with and without presolve, including the objective
+  // contribution of eliminated (fixed) variables.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int fixed = m.add_continuous(2, 2, 10.0);  // contributes 20
+  const int x = m.add_binary(3.0);
+  const int y = m.add_binary(4.0);
+  m.add_le({{x, 1.0}, {y, 1.0}, {fixed, 1.0}}, 3.0);  // x + y <= 1
+  MipOptions with;
+  MipOptions without;
+  without.presolve = false;
+  const MipResult a = solve_milp(m, with);
+  const MipResult b = solve_milp(m, without);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.obj, b.obj, 1e-9);
+  EXPECT_NEAR(a.obj, 24.0, 1e-9);
+  EXPECT_NEAR(a.best_bound, b.best_bound, 1e-6);
+}
+
+class PresolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveProperty, AgreesWithRawSolveOnRandomMips) {
+  Rng rng(4242 + static_cast<std::uint64_t>(GetParam()));
+  Model m;
+  const int nv = 3 + static_cast<int>(rng.next_below(6));
+  for (int j = 0; j < nv; ++j) {
+    if (rng.next_bool(0.3)) {
+      const double v = rng.next_int(0, 3);
+      m.add_continuous(v, v, rng.next_double() * 4 - 2);  // pre-fixed var
+    } else {
+      m.add_binary(rng.next_double() * 4 - 2);
+    }
+  }
+  const int nc = 1 + static_cast<int>(rng.next_below(5));
+  for (int r = 0; r < nc; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < nv; ++j)
+      if (rng.next_bool(0.6)) terms.emplace_back(j, rng.next_double() * 4 - 2);
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    m.add_le(std::move(terms), rng.next_double() * 5);
+  }
+  MipOptions with;
+  MipOptions without;
+  without.presolve = false;
+  const MipResult a = solve_milp(m, with);
+  const MipResult b = solve_milp(m, without);
+  ASSERT_EQ(a.status, b.status) << to_string(a.status) << " vs "
+                                << to_string(b.status);
+  if (a.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(a.obj, b.obj, 1e-6);
+    EXPECT_LE(m.max_violation(a.x, true), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace cgraf::milp

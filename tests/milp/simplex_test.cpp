@@ -1,0 +1,182 @@
+#include "milp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgraf::milp {
+namespace {
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 2y  s.t. x+y <= 4, x+3y <= 6  ->  x=4, y=0, obj=12.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_continuous(0, kInf, 3);
+  const int y = m.add_continuous(0, kInf, 2);
+  m.add_le({{x, 1}, {y, 1}}, 4);
+  m.add_le({{x, 1}, {y, 3}}, 6);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.obj, 12.0, 1e-8);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-8);
+}
+
+TEST(Simplex, Minimization) {
+  // min x + 2y  s.t. x + y >= 3, x <= 2  ->  x=2, y=1, obj=4.
+  Model m;
+  const int x = m.add_continuous(0, 2, 1);
+  const int y = m.add_continuous(0, kInf, 2);
+  m.add_ge({{x, 1}, {y, 1}}, 3);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.obj, 4.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  Model m;
+  const int x = m.add_continuous(0, kInf, 1);
+  const int y = m.add_continuous(0, kInf, 1);
+  m.add_eq({{x, 1}, {y, 1}}, 5);
+  m.add_eq({{x, 1}, {y, -1}}, 1);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-8);
+}
+
+TEST(Simplex, RangedConstraint) {
+  Model m;
+  const int x = m.add_continuous(-10, 10, 1);
+  m.add_constraint({{x, 2.0}}, 4.0, 6.0);  // 2 <= x <= 3
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_continuous(0, 1, 0);
+  m.add_ge({{x, 1}}, 2);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleThroughConflictingRows) {
+  Model m;
+  const int x = m.add_continuous(-kInf, kInf, 0);
+  const int y = m.add_continuous(-kInf, kInf, 0);
+  m.add_eq({{x, 1}, {y, 1}}, 1);
+  m.add_eq({{x, 1}, {y, 1}}, 2);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_continuous(0, kInf, 1);
+  const int y = m.add_continuous(0, kInf, 0);
+  m.add_ge({{x, 1}, {y, -1}}, 0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariables) {
+  // min x, x free, x >= -7 via a row.
+  Model m;
+  const int x = m.add_continuous(-kInf, kInf, 1);
+  m.add_ge({{x, 1}}, -7);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], -7.0, 1e-8);
+}
+
+TEST(Simplex, NegativeBoundsAndCosts) {
+  Model m;
+  const int x = m.add_continuous(-5, -1, -2);  // min -2x -> x at upper (-1)
+  m.add_le({{x, 1}}, 10);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], -1.0, 1e-8);
+}
+
+TEST(Simplex, NullObjectiveReturnsFeasiblePoint) {
+  Model m;
+  const int x = m.add_continuous(0, 10);
+  const int y = m.add_continuous(0, 10);
+  m.add_constraint({{x, 1}, {y, 1}}, 3, 7);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_LE(m.max_violation(r.x), 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Many redundant rows through the same vertex.
+  Model m;
+  const int x = m.add_continuous(0, kInf, -1);
+  const int y = m.add_continuous(0, kInf, -1);
+  m.set_sense(Sense::kMinimize);
+  for (int k = 1; k <= 12; ++k)
+    m.add_ge({{x, static_cast<double>(k)}, {y, static_cast<double>(k)}}, 0.0);
+  m.add_le({{x, 1}, {y, 1}}, 5);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.obj, -5.0, 1e-7);
+}
+
+TEST(Simplex, WarmStartReducesIterations) {
+  Model m;
+  const int n = 30;
+  std::vector<int> xs;
+  for (int i = 0; i < n; ++i)
+    xs.push_back(m.add_continuous(0, 10, 1.0 + 0.1 * i));
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::pair<int, double>> row;
+    for (int i = 0; i <= r; ++i) row.emplace_back(xs[static_cast<size_t>(i)], 1.0);
+    m.add_ge(std::move(row), static_cast<double>(r + 1));
+  }
+  SimplexEngine engine(m);
+  const LpResult cold = engine.solve();
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  // Tighten one bound slightly and re-solve warm.
+  std::vector<double> lb = engine.model_lb();
+  std::vector<double> ub = engine.model_ub();
+  lb[0] = 0.5;
+  const LpResult warm = engine.solve(lb, ub, &cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_LT(warm.iterations, std::max<long>(2, cold.iterations));
+}
+
+TEST(Simplex, IterationLimitReported) {
+  Model m;
+  const int x = m.add_continuous(0, kInf, 1);
+  m.add_ge({{x, 1}}, 5);
+  LpOptions opts;
+  opts.max_iters = 0;
+  EXPECT_EQ(solve_lp(m, opts).status, SolveStatus::kIterLimit);
+}
+
+TEST(Simplex, FixedVariablesAreRespected) {
+  Model m;
+  const int x = m.add_continuous(2, 2, 1);  // fixed at 2
+  const int y = m.add_continuous(0, kInf, 1);
+  m.add_ge({{x, 1}, {y, 1}}, 5);
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.x[static_cast<size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[static_cast<size_t>(y)], 3.0, 1e-8);
+}
+
+TEST(Simplex, ObjectiveConstantSense) {
+  // Maximize and minimize of the same model bracket any feasible value.
+  Model m;
+  const int x = m.add_continuous(0, 1, 1);
+  m.add_le({{x, 1}}, 1);
+  m.set_sense(Sense::kMaximize);
+  const double hi = solve_lp(m).obj;
+  m.set_sense(Sense::kMinimize);
+  const double lo = solve_lp(m).obj;
+  EXPECT_NEAR(hi, 1.0, 1e-9);
+  EXPECT_NEAR(lo, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cgraf::milp

@@ -1,0 +1,70 @@
+#include "milp/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "milp/model.h"
+
+namespace cgraf::milp {
+namespace {
+
+Model two_row_model() {
+  Model m;
+  const int x = m.add_continuous(0, 1);
+  const int y = m.add_continuous(0, 1);
+  const int z = m.add_continuous(0, 1);
+  m.add_le({{x, 2.0}, {z, -1.0}}, 4.0);
+  m.add_eq({{y, 5.0}, {z, 3.0}}, 1.0);
+  return m;
+}
+
+TEST(CscMatrix, ComputationalFormShape) {
+  const Model m = two_row_model();
+  const CscMatrix a = build_computational_form(m);
+  EXPECT_EQ(a.rows, 2);
+  EXPECT_EQ(a.cols, 3 + 2);  // structurals + slacks
+  EXPECT_EQ(a.nnz(), 4 + 2);
+}
+
+TEST(CscMatrix, StructuralColumnsSortedAndCorrect) {
+  const Model m = two_row_model();
+  const CscMatrix a = build_computational_form(m);
+  // Column 2 (variable z) has entries in rows 0 and 1.
+  EXPECT_EQ(a.end(2) - a.begin(2), 2);
+  EXPECT_EQ(a.row_idx[static_cast<size_t>(a.begin(2))], 0);
+  EXPECT_DOUBLE_EQ(a.value[static_cast<size_t>(a.begin(2))], -1.0);
+  EXPECT_EQ(a.row_idx[static_cast<size_t>(a.begin(2)) + 1], 1);
+  EXPECT_DOUBLE_EQ(a.value[static_cast<size_t>(a.begin(2)) + 1], 3.0);
+}
+
+TEST(CscMatrix, SlackColumnsAreMinusIdentity) {
+  const Model m = two_row_model();
+  const CscMatrix a = build_computational_form(m);
+  for (int r = 0; r < 2; ++r) {
+    const int col = 3 + r;
+    ASSERT_EQ(a.end(col) - a.begin(col), 1);
+    EXPECT_EQ(a.row_idx[static_cast<size_t>(a.begin(col))], r);
+    EXPECT_DOUBLE_EQ(a.value[static_cast<size_t>(a.begin(col))], -1.0);
+  }
+}
+
+TEST(CscMatrix, AxpyAndDot) {
+  const Model m = two_row_model();
+  const CscMatrix a = build_computational_form(m);
+  std::vector<double> y(2, 0.0);
+  a.axpy_col(2, 2.0, y);  // z column scaled by 2
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(a.dot_col(2, {1.0, 1.0}), 2.0);  // -1 + 3
+}
+
+TEST(CscMatrix, EmptyModel) {
+  Model m;
+  m.add_continuous(0, 1);
+  const CscMatrix a = build_computational_form(m);
+  EXPECT_EQ(a.rows, 0);
+  EXPECT_EQ(a.cols, 1);
+  EXPECT_EQ(a.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace cgraf::milp

@@ -1,0 +1,100 @@
+#include "thermal/hotspot_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cgraf::thermal {
+namespace {
+
+TEST(Thermal, IdlePEsSettleAtLeakageTemperature) {
+  const Fabric f(4, 4);
+  const ThermalParams p;
+  const std::vector<double> activity(16, 0.0);
+  const auto t = steady_state_temperature(f, activity, p);
+  // Uniform power => uniform temperature = ambient + P_leak * R_vertical.
+  const double expected = p.ambient_k + p.leak_power_w * p.vertical_resistance;
+  for (const double ti : t) EXPECT_NEAR(ti, expected, 1e-4);
+}
+
+TEST(Thermal, UniformActivityIsUniform) {
+  const Fabric f(5, 5);
+  const std::vector<double> activity(25, 0.7);
+  const auto t = steady_state_temperature(f, activity);
+  const double t0 = t[0];
+  for (const double ti : t) EXPECT_NEAR(ti, t0, 1e-4);
+}
+
+TEST(Thermal, HotSpotIsAtTheActivePe) {
+  const Fabric f(5, 5);
+  std::vector<double> activity(25, 0.0);
+  activity[12] = 1.0;  // center PE
+  const auto t = steady_state_temperature(f, activity);
+  const auto hottest = std::max_element(t.begin(), t.end()) - t.begin();
+  EXPECT_EQ(hottest, 12);
+}
+
+TEST(Thermal, LateralSpreadingWarmsNeighbours) {
+  const Fabric f(5, 5);
+  std::vector<double> activity(25, 0.0);
+  activity[12] = 1.0;
+  ThermalParams p;
+  const auto t = steady_state_temperature(f, activity, p);
+  const double idle = p.ambient_k + p.leak_power_w * p.vertical_resistance;
+  EXPECT_GT(t[11], idle + 1e-3);          // direct neighbour
+  EXPECT_GT(t[11], t[10]);                // closer is hotter
+  EXPECT_GT(t[10], t[0] - 1e-9);          // corner is coolest-ish
+}
+
+TEST(Thermal, MorePowerMeansMonotonicallyHotter) {
+  const Fabric f(4, 4);
+  std::vector<double> lo(16, 0.2), hi(16, 0.2);
+  hi[5] = 0.9;
+  const auto t_lo = steady_state_temperature(f, lo);
+  const auto t_hi = steady_state_temperature(f, hi);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_GE(t_hi[static_cast<size_t>(i)],
+              t_lo[static_cast<size_t>(i)] - 1e-9);
+  // 0.7 duty * 0.08 W spread laterally still leaves a clear local rise.
+  EXPECT_GT(t_hi[5], t_lo[5] + 0.2);
+}
+
+TEST(Thermal, SymmetricInputGivesSymmetricField) {
+  const Fabric f(4, 4);
+  std::vector<double> activity(16, 0.0);
+  activity[5] = activity[6] = activity[9] = activity[10] = 1.0;  // center 2x2
+  const auto t = steady_state_temperature(f, activity);
+  EXPECT_NEAR(t[0], t[3], 1e-5);
+  EXPECT_NEAR(t[0], t[12], 1e-5);
+  EXPECT_NEAR(t[0], t[15], 1e-5);
+  EXPECT_NEAR(t[5], t[10], 1e-5);
+}
+
+TEST(Thermal, SpreadingLoadLowersPeak) {
+  const Fabric f(4, 4);
+  std::vector<double> packed(16, 0.0), spread(16, 0.0);
+  packed[0] = packed[1] = packed[4] = packed[5] = 1.0;
+  spread[0] = spread[3] = spread[12] = spread[15] = 1.0;
+  const auto tp = steady_state_temperature(f, packed);
+  const auto ts = steady_state_temperature(f, spread);
+  EXPECT_GT(*std::max_element(tp.begin(), tp.end()),
+            *std::max_element(ts.begin(), ts.end()));
+}
+
+TEST(Thermal, ZeroLateralConductanceDecouplesPEs) {
+  const Fabric f(3, 3);
+  ThermalParams p;
+  p.lateral_conductance = 0.0;
+  std::vector<double> activity(9, 0.0);
+  activity[4] = 1.0;
+  const auto t = steady_state_temperature(f, activity, p);
+  const double idle = p.ambient_k + p.leak_power_w * p.vertical_resistance;
+  EXPECT_NEAR(t[0], idle, 1e-6);
+  EXPECT_NEAR(t[4],
+              p.ambient_k +
+                  (p.leak_power_w + p.active_power_w) * p.vertical_resistance,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace cgraf::thermal

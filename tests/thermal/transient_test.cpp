@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "thermal/hotspot_lite.h"
+
+namespace cgraf::thermal {
+namespace {
+
+TEST(Transient, ZeroDurationReturnsInitial) {
+  const Fabric f(3, 3);
+  const std::vector<double> activity(9, 0.5);
+  const std::vector<double> initial(9, 333.0);
+  const auto t =
+      transient_temperature(f, activity, 0.0, {}, {}, &initial);
+  EXPECT_EQ(t, initial);
+}
+
+TEST(Transient, StartsAtAmbientByDefault) {
+  const Fabric f(3, 3);
+  ThermalParams p;
+  const std::vector<double> activity(9, 1.0);
+  // One tiny step: temperatures barely above ambient.
+  const auto t = transient_temperature(f, activity, 1e-6, p);
+  for (const double ti : t) {
+    EXPECT_GT(ti, p.ambient_k);
+    EXPECT_LT(ti, p.ambient_k + 0.01);
+  }
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  const Fabric f(4, 4);
+  ThermalParams p;
+  std::vector<double> activity(16, 0.0);
+  activity[5] = 1.0;
+  activity[10] = 0.6;
+  const auto steady = steady_state_temperature(f, activity, p);
+  // The slowest (uniform) mode decays with tau = C * R_vertical = 9 s;
+  // integrate ~8 of those.
+  const auto transient = transient_temperature(f, activity, 75.0, p);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NEAR(transient[static_cast<size_t>(i)],
+                steady[static_cast<size_t>(i)], 0.01)
+        << "PE " << i;
+  }
+}
+
+TEST(Transient, SteadyStateIsAFixedPoint) {
+  const Fabric f(3, 3);
+  ThermalParams p;
+  std::vector<double> activity(9, 0.0);
+  activity[4] = 0.8;
+  const auto steady = steady_state_temperature(f, activity, p);
+  const auto after =
+      transient_temperature(f, activity, 1.0, p, {}, &steady);
+  for (int i = 0; i < 9; ++i)
+    EXPECT_NEAR(after[static_cast<size_t>(i)], steady[static_cast<size_t>(i)],
+                5e-3);
+}
+
+TEST(Transient, MonotoneWarmupFromAmbient) {
+  const Fabric f(3, 3);
+  ThermalParams p;
+  std::vector<double> activity(9, 0.7);
+  const auto t1 = transient_temperature(f, activity, 0.05, p);
+  const auto t2 = transient_temperature(f, activity, 0.2, p);
+  const auto t3 = transient_temperature(f, activity, 1.0, p);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_LE(t1[static_cast<size_t>(i)], t2[static_cast<size_t>(i)] + 1e-9);
+    EXPECT_LE(t2[static_cast<size_t>(i)], t3[static_cast<size_t>(i)] + 1e-9);
+  }
+}
+
+TEST(Transient, CooldownAfterReconfiguration) {
+  // Hot floorplan switched to an idle configuration: temperatures decay
+  // toward the idle steady state, never below it.
+  const Fabric f(3, 3);
+  ThermalParams p;
+  std::vector<double> busy(9, 1.0);
+  std::vector<double> idle(9, 0.0);
+  const auto hot = steady_state_temperature(f, busy, p);
+  const auto cooled = transient_temperature(f, idle, 0.5, p, {}, &hot);
+  const auto idle_steady = steady_state_temperature(f, idle, p);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_LT(cooled[static_cast<size_t>(i)], hot[static_cast<size_t>(i)]);
+    EXPECT_GT(cooled[static_cast<size_t>(i)],
+              idle_steady[static_cast<size_t>(i)] - 1e-6);
+  }
+}
+
+TEST(Transient, OversizedTimeStepIsClampedForStability) {
+  const Fabric f(3, 3);
+  ThermalParams p;
+  TransientOptions t;
+  t.time_step_s = 100.0;  // grossly unstable if taken literally
+  std::vector<double> activity(9, 1.0);
+  const auto result = transient_temperature(f, activity, 5.0, p, t);
+  const auto steady = steady_state_temperature(f, activity, p);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_GT(result[static_cast<size_t>(i)], p.ambient_k);
+    EXPECT_LT(result[static_cast<size_t>(i)],
+              steady[static_cast<size_t>(i)] + 1.0);  // no blow-up
+  }
+}
+
+}  // namespace
+}  // namespace cgraf::thermal

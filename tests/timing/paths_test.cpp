@@ -1,0 +1,171 @@
+#include "timing/paths.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "workloads/suite.h"
+
+namespace cgraf::timing {
+namespace {
+
+Design diamond_design() {
+  // 0 -> {1, 2} -> 3 in one context: exactly two source-to-sink paths.
+  Design d{Fabric(4, 4, 5.0, 0.1), 1, {}, {}};
+  const OpKind kinds[] = {OpKind::kAdd, OpKind::kAdd, OpKind::kMux,
+                          OpKind::kAdd};
+  for (int i = 0; i < 4; ++i) {
+    Operation op;
+    op.id = i;
+    op.kind = kinds[i];
+    op.context = 0;
+    d.ops.push_back(op);
+  }
+  d.edges.push_back({0, 1});
+  d.edges.push_back({0, 2});
+  d.edges.push_back({1, 3});
+  d.edges.push_back({2, 3});
+  return d;
+}
+
+TEST(Paths, EnumeratesAllPathsWithFullMargin) {
+  const Design d = diamond_design();
+  const CombGraph g(d);
+  const Floorplan fp{{0, 1, 4, 5}};
+  PathQuery q;
+  q.margin = 0.99;  // keep everything
+  const auto paths = monitored_paths(g, fp, q);
+  EXPECT_EQ(paths.size(), 2u);
+  // Longest first; the DMU branch dominates.
+  EXPECT_EQ(paths[0].ops, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(paths[1].ops, (std::vector<int>{0, 1, 3}));
+  EXPECT_GE(paths[0].delay_ns, paths[1].delay_ns);
+}
+
+TEST(Paths, MarginFiltersShortPaths) {
+  const Design d = diamond_design();
+  const CombGraph g(d);
+  const Floorplan fp{{0, 1, 4, 5}};
+  PathQuery q;
+  q.margin = 0.10;  // the ALU-branch path is far below 90% of CPD
+  const auto paths = monitored_paths(g, fp, q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].ops, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Paths, DelayAndPeDelayAreConsistent) {
+  const Design d = diamond_design();
+  const CombGraph g(d);
+  const Floorplan fp{{0, 1, 4, 5}};
+  PathQuery q;
+  q.margin = 0.99;
+  for (const TimingPath& p : monitored_paths(g, fp, q)) {
+    EXPECT_NEAR(p.delay_ns, path_delay_ns(d, fp, p), 1e-9);
+    EXPECT_LE(p.pe_delay_ns, p.delay_ns + 1e-12);
+  }
+}
+
+TEST(Paths, MaxPathsCapKeepsLongest) {
+  const Design d = diamond_design();
+  const CombGraph g(d);
+  const Floorplan fp{{0, 1, 4, 5}};
+  PathQuery q;
+  q.margin = 0.99;
+  q.max_paths = 1;
+  const auto paths = monitored_paths(g, fp, q);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].ops, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Paths, CriticalPathsAchieveContextCpd) {
+  const Design d = diamond_design();
+  const CombGraph g(d);
+  const Floorplan fp{{0, 1, 4, 5}};
+  const StaResult sta = run_sta(g, fp);
+  const auto cps = critical_paths(g, fp, 0);
+  ASSERT_FALSE(cps.empty());
+  for (const TimingPath& p : cps)
+    EXPECT_NEAR(p.delay_ns, sta.context_cpd_ns[0], 1e-9);
+}
+
+TEST(Paths, IsolatedOpFormsItsOwnPath) {
+  Design d{Fabric(2, 2), 1, {}, {}};
+  Operation op;
+  op.id = 0;
+  op.kind = OpKind::kCmp;
+  op.context = 0;
+  d.ops.push_back(op);
+  const CombGraph g(d);
+  const auto cps = critical_paths(g, Floorplan{{0}}, 0);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0].ops, std::vector<int>{0});
+}
+
+// Brute-force DFS enumeration for cross-checking on generated designs.
+void all_paths_dfs(const CombGraph& g, const Floorplan& fp, int u,
+                   std::vector<int>& cur, std::vector<TimingPath>& out) {
+  cur.push_back(u);
+  if (g.fanout[static_cast<size_t>(u)].empty()) {
+    TimingPath p;
+    p.context = g.design->ops[static_cast<size_t>(u)].context;
+    p.ops = cur;
+    p.delay_ns = path_delay_ns(*g.design, fp, p);
+    out.push_back(std::move(p));
+  } else {
+    for (const int v : g.fanout[static_cast<size_t>(u)])
+      all_paths_dfs(g, fp, v, cur, out);
+  }
+  cur.pop_back();
+}
+
+class PathsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathsPropertyTest, MatchesBruteForceOnGeneratedDesigns) {
+  Rng rng(77 + static_cast<std::uint64_t>(GetParam()));
+  const Fabric fabric(4, 4);
+  const std::vector<int> per_ctx{6, 6, 6, 6};
+  const Design d =
+      workloads::generate_multicontext_design(fabric, 4, per_ctx, rng);
+  hls::PlacerOptions popts;
+  popts.seed = 11 + static_cast<std::uint64_t>(GetParam());
+  popts.moves_per_op = 60;
+  const Floorplan fp = place_baseline(d, popts);
+  const CombGraph g(d);
+
+  std::vector<TimingPath> brute;
+  std::vector<int> cur;
+  for (int u = 0; u < d.num_ops(); ++u)
+    if (g.fanin[static_cast<size_t>(u)].empty())
+      all_paths_dfs(g, fp, u, cur, brute);
+
+  const StaResult sta = run_sta(g, fp);
+  const double threshold = 0.8 * sta.cpd_ns;
+  std::multiset<double> expected;
+  for (const auto& p : brute)
+    if (p.delay_ns >= threshold - 1e-9) expected.insert(p.delay_ns);
+
+  PathQuery q;  // default margin 0.2
+  q.max_paths = 100000;
+  const auto got = monitored_paths(g, fp, q);
+  ASSERT_EQ(got.size(), expected.size());
+  // Non-increasing order and the same delay multiset.
+  std::multiset<double> got_delays;
+  for (size_t i = 0; i < got.size(); ++i) {
+    got_delays.insert(got[i].delay_ns);
+    if (i > 0) {
+      EXPECT_LE(got[i].delay_ns, got[i - 1].delay_ns + 1e-9);
+    }
+  }
+  auto it = expected.begin();
+  for (const double dly : got_delays) {
+    EXPECT_NEAR(dly, *it, 1e-9);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathsPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace cgraf::timing

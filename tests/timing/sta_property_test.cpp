@@ -1,0 +1,60 @@
+// Property: the STA's CPD equals the delay of the longest enumerated path,
+// on randomized generated designs and floorplans.
+#include <gtest/gtest.h>
+
+#include "timing/paths.h"
+#include "util/rng.h"
+#include "workloads/suite.h"
+
+namespace cgraf::timing {
+namespace {
+
+class StaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaProperty, CpdMatchesLongestEnumeratedPath) {
+  Rng rng(900 + static_cast<std::uint64_t>(GetParam()));
+  const Fabric fabric(5, 5);
+  std::vector<int> per_context;
+  const int contexts = 2 + static_cast<int>(rng.next_below(4));
+  for (int c = 0; c < contexts; ++c)
+    per_context.push_back(3 + static_cast<int>(rng.next_below(10)));
+  const Design design = workloads::generate_multicontext_design(
+      fabric, contexts, per_context, rng);
+
+  // A random (valid) floorplan, not a placed one: STA must not care.
+  Floorplan fp;
+  fp.op_to_pe.assign(design.ops.size(), -1);
+  const auto by_context = design.ops_by_context();
+  for (const auto& ops : by_context) {
+    std::vector<int> pes(static_cast<std::size_t>(fabric.num_pes()));
+    for (int i = 0; i < fabric.num_pes(); ++i) pes[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(pes);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      fp.op_to_pe[static_cast<std::size_t>(ops[i])] = pes[i];
+  }
+  std::string why;
+  ASSERT_TRUE(is_valid(design, fp, &why)) << why;
+
+  const CombGraph graph(design);
+  const StaResult sta = run_sta(graph, fp);
+
+  PathQuery q;
+  q.margin = 0.0;  // only paths achieving the CPD
+  q.max_paths = 4;
+  const auto longest = monitored_paths(graph, fp, q);
+  ASSERT_FALSE(longest.empty());
+  EXPECT_NEAR(longest.front().delay_ns, sta.cpd_ns, 1e-9);
+  // And the per-context CPDs are achieved by that context's critical paths.
+  for (int c = 0; c < design.num_contexts; ++c) {
+    const auto cps = critical_paths(graph, fp, c, 4);
+    if (sta.context_cpd_ns[static_cast<std::size_t>(c)] <= 0.0) continue;
+    ASSERT_FALSE(cps.empty()) << "context " << c;
+    EXPECT_NEAR(cps.front().delay_ns,
+                sta.context_cpd_ns[static_cast<std::size_t>(c)], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cgraf::timing

@@ -1,0 +1,121 @@
+#include "timing/sta.h"
+
+#include <gtest/gtest.h>
+
+namespace cgraf::timing {
+namespace {
+
+// Chain of three 32-bit adders in context 0 on a 4x4 fabric.
+Design chain_design() {
+  Design d{Fabric(4, 4, 5.0, 0.2), 1, {}, {}};
+  for (int i = 0; i < 3; ++i) {
+    Operation op;
+    op.id = i;
+    op.kind = OpKind::kAdd;
+    op.context = 0;
+    d.ops.push_back(op);
+  }
+  d.edges.push_back({0, 1});
+  d.edges.push_back({1, 2});
+  return d;
+}
+
+TEST(Sta, SingleOpDelay) {
+  Design d{Fabric(4, 4), 1, {}, {}};
+  Operation op;
+  op.id = 0;
+  op.kind = OpKind::kMux;
+  op.context = 0;
+  d.ops.push_back(op);
+  const StaResult r = run_sta(d, Floorplan{{0}});
+  EXPECT_NEAR(r.cpd_ns, 3.14, 1e-12);
+}
+
+TEST(Sta, ChainDelayIncludesWires) {
+  const Design d = chain_design();
+  // Adjacent placements: ops at (0,0), (1,0), (2,0): 2 wires of length 1.
+  const StaResult r = run_sta(d, Floorplan{{0, 1, 2}});
+  EXPECT_NEAR(r.cpd_ns, 3 * 0.87 + 2 * 0.2, 1e-9);
+}
+
+TEST(Sta, LongerWiresIncreaseCpd) {
+  const Design d = chain_design();
+  const StaResult near = run_sta(d, Floorplan{{0, 1, 2}});
+  const StaResult far = run_sta(d, Floorplan{{0, 3, 15}});
+  EXPECT_GT(far.cpd_ns, near.cpd_ns);
+}
+
+TEST(Sta, CpdIsMaxOverContexts) {
+  Design d{Fabric(4, 4), 2, {}, {}};
+  Operation a;
+  a.id = 0;
+  a.kind = OpKind::kAdd;  // 0.87
+  a.context = 0;
+  Operation b;
+  b.id = 1;
+  b.kind = OpKind::kShuffle;  // 3.14
+  b.context = 1;
+  d.ops = {a, b};
+  const StaResult r = run_sta(d, Floorplan{{0, 0}});
+  EXPECT_NEAR(r.context_cpd_ns[0], 0.87, 1e-12);
+  EXPECT_NEAR(r.context_cpd_ns[1], 3.14, 1e-12);
+  EXPECT_NEAR(r.cpd_ns, 3.14, 1e-12);
+}
+
+TEST(Sta, CrossContextEdgesAreRegisteredNotChained) {
+  Design d{Fabric(4, 4, 5.0, 0.2), 2, {}, {}};
+  Operation a;
+  a.id = 0;
+  a.kind = OpKind::kAdd;
+  a.context = 0;
+  Operation b;
+  b.id = 1;
+  b.kind = OpKind::kAdd;
+  b.context = 1;
+  d.ops = {a, b};
+  d.edges.push_back({0, 1});  // crosses contexts: no combinational path
+  const StaResult r = run_sta(d, Floorplan{{0, 15}});
+  EXPECT_NEAR(r.cpd_ns, 0.87, 1e-12);  // not 2*0.87 + wire
+}
+
+TEST(Sta, ReconvergentFanoutTakesWorstBranch) {
+  // 0 -> {1, 2} -> 3, with op2 a slow DMU.
+  Design d{Fabric(4, 4, 5.0, 0.1), 1, {}, {}};
+  const OpKind kinds[] = {OpKind::kAdd, OpKind::kAdd, OpKind::kMux,
+                          OpKind::kAdd};
+  for (int i = 0; i < 4; ++i) {
+    Operation op;
+    op.id = i;
+    op.kind = kinds[i];
+    op.context = 0;
+    d.ops.push_back(op);
+  }
+  d.edges.push_back({0, 1});
+  d.edges.push_back({0, 2});
+  d.edges.push_back({1, 3});
+  d.edges.push_back({2, 3});
+  // Square placement: all wires length 1.
+  const StaResult r = run_sta(d, Floorplan{{0, 1, 4, 5}});
+  EXPECT_NEAR(r.cpd_ns, 0.87 + 0.1 + 3.14 + 0.1 + 0.87, 1e-9);
+}
+
+TEST(Sta, PathDelayMatchesStaOnCriticalChain) {
+  const Design d = chain_design();
+  const Floorplan fp{{0, 5, 10}};
+  TimingPath path;
+  path.context = 0;
+  path.ops = {0, 1, 2};
+  const StaResult r = run_sta(d, fp);
+  EXPECT_NEAR(path_delay_ns(d, fp, path), r.cpd_ns, 1e-9);
+}
+
+TEST(Sta, CombGraphTopoCoversAllOps) {
+  const Design d = chain_design();
+  const CombGraph g(d);
+  EXPECT_EQ(g.topo.size(), 3u);
+  EXPECT_EQ(g.fanout[0].size(), 1u);
+  EXPECT_EQ(g.fanin[2].size(), 1u);
+}
+
+}  // namespace
+}  // namespace cgraf::timing

@@ -1,0 +1,63 @@
+#include "util/ascii.h"
+
+#include <gtest/gtest.h>
+
+namespace cgraf {
+namespace {
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Every rendered line has the same width (alignment invariant).
+  std::size_t line_len = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (line_len == 0) line_len = len;
+    EXPECT_EQ(len, line_len);
+    start = end + 1;
+  }
+}
+
+TEST(AsciiTable, SeparatorAddsRule) {
+  AsciiTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // 3 rules around header/body + 1 separator = at least 4 '+--' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       pos += 2)
+    ++rules;
+  EXPECT_GE(rules, 4);
+}
+
+TEST(HeatMap, ZeroIsBlankAndMaxIsDarkest) {
+  const std::string out = render_heat_map({0.0, 1.0, 0.5, 0.25}, 2, 2);
+  EXPECT_EQ(out[0], ' ');   // zero cell
+  EXPECT_EQ(out[2], '@');   // max cell
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+TEST(HeatMap, ExternalScaleCapsShading) {
+  // With scale_max = 2.0 the value 1.0 sits mid-ramp, not at '@'.
+  const std::string out = render_heat_map({1.0}, 1, 1, 2.0);
+  EXPECT_NE(out[0], '@');
+  EXPECT_NE(out[0], ' ');
+}
+
+}  // namespace
+}  // namespace cgraf

@@ -1,0 +1,70 @@
+#include "util/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace cgraf {
+namespace {
+
+TEST(Point, ArithmeticAndComparison) {
+  const Point a{1, 2};
+  const Point b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(a - b, (Point{-2, 3}));
+  EXPECT_EQ(a, (Point{1, 2}));
+  EXPECT_NE(a, b);
+}
+
+TEST(Manhattan, BasicDistances) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, 1}, {2, -1}), 6);
+}
+
+TEST(Manhattan, TriangleInequality) {
+  const Point pts[] = {{0, 0}, {5, 2}, {-3, 7}, {1, 1}, {9, -4}};
+  for (const Point a : pts)
+    for (const Point b : pts)
+      for (const Point c : pts)
+        EXPECT_LE(manhattan(a, c), manhattan(a, b) + manhattan(b, c));
+}
+
+TEST(Rect, EmptyByDefault) {
+  const Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.height(), 0);
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_FALSE(r.contains({0, 0}));
+}
+
+TEST(Rect, ExpandGrowsToCover) {
+  Rect r;
+  r.expand({2, 3});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.area(), 1);
+  EXPECT_TRUE(r.contains({2, 3}));
+
+  r.expand({5, 1});
+  EXPECT_EQ(r.x0, 2);
+  EXPECT_EQ(r.x1, 5);
+  EXPECT_EQ(r.y0, 1);
+  EXPECT_EQ(r.y1, 3);
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 3);
+  EXPECT_EQ(r.area(), 12);
+  EXPECT_TRUE(r.contains({3, 2}));
+  EXPECT_FALSE(r.contains({6, 2}));
+}
+
+TEST(Rect, ExpandIsIdempotentForInteriorPoints) {
+  Rect r;
+  r.expand({0, 0});
+  r.expand({4, 4});
+  const Rect snapshot = r;
+  r.expand({2, 2});
+  EXPECT_EQ(r, snapshot);
+}
+
+}  // namespace
+}  // namespace cgraf

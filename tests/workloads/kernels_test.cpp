@@ -1,0 +1,88 @@
+#include "workloads/kernels.h"
+
+#include <gtest/gtest.h>
+
+namespace cgraf::workloads {
+namespace {
+
+int count_kind(const hls::Dfg& g, OpKind kind) {
+  int n = 0;
+  for (int i = 0; i < g.num_nodes(); ++i)
+    if (g.node(i).kind == kind) ++n;
+  return n;
+}
+
+TEST(Kernels, FirFilterStructure) {
+  const hls::Dfg g = fir_filter(8, 16);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_EQ(count_kind(g, OpKind::kMul), 8);
+  EXPECT_EQ(count_kind(g, OpKind::kAdd), 7);  // reduction tree of 8 leaves
+  // Exactly one sink: the tree root.
+  int sinks = 0;
+  for (int i = 0; i < g.num_nodes(); ++i)
+    if (g.fanout(i).empty()) ++sinks;
+  EXPECT_EQ(sinks, 1);
+}
+
+TEST(Kernels, FirFilterSingleTap) {
+  const hls::Dfg g = fir_filter(1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Kernels, HornerPolyIsAChain) {
+  const int degree = 6;
+  const hls::Dfg g = horner_poly(degree);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_EQ(g.depth(), g.num_nodes());  // pure chain
+  EXPECT_EQ(count_kind(g, OpKind::kAdd), degree);
+}
+
+TEST(Kernels, MatvecHasIndependentRows) {
+  const int n = 4;
+  const hls::Dfg g = matvec(n, 16);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_EQ(count_kind(g, OpKind::kMul), n * n);
+  int sinks = 0;
+  for (int i = 0; i < g.num_nodes(); ++i)
+    if (g.fanout(i).empty()) ++sinks;
+  EXPECT_EQ(sinks, n);  // one dot-product root per row
+}
+
+TEST(Kernels, Stencil3x3Shape) {
+  const hls::Dfg g = stencil3x3();
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_EQ(count_kind(g, OpKind::kMul), 9);
+  EXPECT_EQ(count_kind(g, OpKind::kShift), 1);
+}
+
+TEST(Kernels, ButterflyMixesAluAndDmu) {
+  const hls::Dfg g = butterfly(8, 16);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_GT(count_kind(g, OpKind::kAdd), 0);
+  EXPECT_GT(count_kind(g, OpKind::kSub), 0);
+  EXPECT_GT(count_kind(g, OpKind::kShuffle), 0);
+}
+
+TEST(Kernels, LayeredRandomIsDeterministicPerSeed) {
+  Rng r1(5), r2(5), r3(6);
+  const hls::Dfg a = layered_random(r1, 4, 6);
+  const hls::Dfg b = layered_random(r2, 4, 6);
+  const hls::Dfg c = layered_random(r3, 4, 6);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.edges(), b.edges());
+  // Different seed: almost surely different wiring.
+  EXPECT_TRUE(a.num_edges() != c.num_edges() || !(a.edges() == c.edges()));
+}
+
+TEST(Kernels, LayeredRandomEveryLaterNodeHasInput) {
+  Rng rng(9);
+  const hls::Dfg g = layered_random(rng, 5, 4, 0.2, 0.2);
+  EXPECT_TRUE(g.is_dag());
+  // Nodes beyond layer 0 are guaranteed at least one fanin.
+  for (int i = 4; i < g.num_nodes(); ++i)
+    EXPECT_FALSE(g.fanin(i).empty()) << "node " << i;
+}
+
+}  // namespace
+}  // namespace cgraf::workloads

@@ -1,0 +1,102 @@
+#include "workloads/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cgrra/stress.h"
+#include "timing/sta.h"
+
+namespace cgraf::workloads {
+namespace {
+
+TEST(Suite, TwentySevenSpecsCoverTheGrid) {
+  const auto specs = table1_specs(false);
+  ASSERT_EQ(specs.size(), 27u);
+  std::set<std::tuple<int, int, UsageBand>> combos;
+  std::set<std::string> names;
+  for (const auto& s : specs) {
+    combos.insert({s.contexts, s.fabric_dim, s.band});
+    names.insert(s.name);
+    EXPECT_GT(s.usage, 0.0);
+    EXPECT_LT(s.usage, 1.0);
+  }
+  EXPECT_EQ(combos.size(), 27u);  // full 3x3x3 grid, no duplicates
+  EXPECT_EQ(names.size(), 27u);
+  EXPECT_EQ(specs.front().name, "B1");
+  EXPECT_EQ(specs.back().name, "B27");
+}
+
+TEST(Suite, PaperScaleUsesPaperFabrics) {
+  std::set<int> dims_default, dims_paper;
+  for (const auto& s : table1_specs(false)) dims_default.insert(s.fabric_dim);
+  for (const auto& s : table1_specs(true)) dims_paper.insert(s.fabric_dim);
+  EXPECT_EQ(dims_default, (std::set<int>{4, 6, 8}));
+  EXPECT_EQ(dims_paper, (std::set<int>{4, 8, 16}));
+}
+
+TEST(Suite, UsageBandsAreOrdered) {
+  const auto specs = table1_specs(false);
+  double low = 0, med = 0, high = 0;
+  for (const auto& s : specs) {
+    if (s.band == UsageBand::kLow) low += s.usage;
+    if (s.band == UsageBand::kMedium) med += s.usage;
+    if (s.band == UsageBand::kHigh) high += s.usage;
+  }
+  EXPECT_LT(low, med);
+  EXPECT_LT(med, high);
+}
+
+TEST(Suite, GeneratedBenchmarkMatchesSpec) {
+  const auto specs = table1_specs(false);
+  const auto bench = generate_benchmark(specs[0]);  // B1: 4 ctx, 4x4, low
+  EXPECT_EQ(bench.design.num_contexts, 4);
+  EXPECT_EQ(bench.design.fabric.num_pes(), 16);
+  EXPECT_EQ(bench.total_ops, bench.design.num_ops());
+  // Total ops near usage * contexts * pes (10% per-context jitter).
+  const double expected = specs[0].usage * 4 * 16;
+  EXPECT_NEAR(bench.total_ops, expected, 0.25 * expected + 4);
+  std::string why;
+  EXPECT_TRUE(is_valid(bench.design, bench.baseline, &why)) << why;
+}
+
+TEST(Suite, GenerationIsDeterministic) {
+  const auto specs = table1_specs(false);
+  const auto a = generate_benchmark(specs[4]);
+  const auto b = generate_benchmark(specs[4]);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.baseline.op_to_pe, b.baseline.op_to_pe);
+}
+
+TEST(Suite, DirectGeneratorHonoursPerContextCounts) {
+  Rng rng(3);
+  const Fabric fabric(4, 4);
+  const std::vector<int> want{3, 7, 1, 12};
+  const Design d = generate_multicontext_design(fabric, 4, want, rng);
+  const auto by = d.ops_by_context();
+  for (int c = 0; c < 4; ++c)
+    EXPECT_EQ(static_cast<int>(by[static_cast<size_t>(c)].size()),
+              want[static_cast<size_t>(c)]);
+}
+
+TEST(Suite, GeneratedChainsFitTheClockAfterPlacement) {
+  // The generator's chain budget + the placer must together meet timing.
+  for (int idx : {0, 1, 3, 4}) {
+    const auto bench = generate_benchmark(table1_specs(false)[static_cast<size_t>(idx)]);
+    const auto sta = timing::run_sta(bench.design, bench.baseline);
+    EXPECT_LE(sta.cpd_ns, bench.design.fabric.clock_period_ns() + 1e-9)
+        << "benchmark index " << idx;
+  }
+}
+
+TEST(Suite, CrossContextEdgesExist) {
+  const auto bench = generate_benchmark(table1_specs(false)[9]);
+  int cross = 0, comb = 0;
+  for (const Edge& e : bench.design.edges)
+    (bench.design.same_context(e) ? comb : cross) += 1;
+  EXPECT_GT(cross, 0);
+  EXPECT_GT(comb, 0);
+}
+
+}  // namespace
+}  // namespace cgraf::workloads

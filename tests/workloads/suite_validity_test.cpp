@@ -1,0 +1,51 @@
+// Every (small/medium fabric) Table-I spec must generate a structurally
+// valid, timing-clean benchmark. Parameterized across the suite.
+#include <gtest/gtest.h>
+
+#include "cgrra/stress.h"
+#include "timing/sta.h"
+#include "workloads/suite.h"
+
+namespace cgraf::workloads {
+namespace {
+
+class SuiteValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteValidity, GeneratesValidTimedBenchmarks) {
+  const auto specs = table1_specs(false);
+  const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+  if (spec.fabric_dim > 6) GTEST_SKIP() << "kept fast; 8x8 covered elsewhere";
+  const auto bench = generate_benchmark(spec);
+
+  std::string why;
+  ASSERT_TRUE(is_valid(bench.design, bench.baseline, &why))
+      << spec.name << ": " << why;
+
+  // Op counts respect both the usage target and the per-context cap.
+  const auto by_context = bench.design.ops_by_context();
+  ASSERT_EQ(static_cast<int>(by_context.size()), spec.contexts);
+  for (const auto& ops : by_context) {
+    EXPECT_GE(static_cast<int>(ops.size()), 1);
+    EXPECT_LE(static_cast<int>(ops.size()),
+              bench.design.fabric.num_pes());
+  }
+
+  // The baseline meets the clock (the paper's aging-unaware flow does).
+  const auto sta = timing::run_sta(bench.design, bench.baseline);
+  EXPECT_LE(sta.cpd_ns, bench.design.fabric.clock_period_ns() + 1e-9)
+      << spec.name;
+
+  // Stress sanity: total stress equals the sum of per-op stress.
+  const StressMap stress = compute_stress(bench.design, bench.baseline);
+  double total = 0.0;
+  for (const double v : stress.accumulated) total += v;
+  double expected = 0.0;
+  for (const Operation& op : bench.design.ops)
+    expected += op_stress(op, bench.design.fabric);
+  EXPECT_NEAR(total, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SuiteValidity, ::testing::Range(0, 27));
+
+}  // namespace
+}  // namespace cgraf::workloads

@@ -1,0 +1,291 @@
+// cgraf_cli — drive the floorplanner from the command line.
+//
+//   cgraf_cli gen    --contexts 8 --dim 6 --usage 0.5 --seed 7 --out d.cgraf
+//   cgraf_cli gen    --spec B13 --out d.cgraf          (Table I suite entry)
+//   cgraf_cli place  --design d.cgraf --seed 1 --out base.fp
+//   cgraf_cli remap  --design d.cgraf --floorplan base.fp \
+//                    --mode rotate --out aged.fp
+//   cgraf_cli report --design d.cgraf --floorplan base.fp [--compare aged.fp]
+//
+// Every artifact is the text format of cgrra/io.h, so the steps compose
+// with shell pipelines and with hand-edited fixtures.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "aging/mechanisms.h"
+#include "cgrra/io.h"
+#include "core/analysis.h"
+#include "cgrra/stress.h"
+#include "core/remapper.h"
+#include "hls/placer.h"
+#include "timing/sta.h"
+#include "util/ascii.h"
+#include "workloads/suite.h"
+
+namespace {
+
+using namespace cgraf;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cgraf_cli <gen|place|remap|report> [options]\n"
+               "  gen    --out FILE  [--spec B1..B27 | --contexts N --dim D"
+               " --usage U] [--seed S] [--paper-scale]\n"
+               "  place  --design FILE --out FILE [--seed S]\n"
+               "  remap  --design FILE --floorplan FILE --out FILE"
+               " [--mode freeze|rotate] [--margin F] [--seed S] [--verbose]\n"
+               "  report --design FILE --floorplan FILE [--compare FILE]\n");
+  return 2;
+}
+
+// Minimal flag parser: every option takes a value except boolean switches.
+struct Args {
+  std::map<std::string, std::string> values;
+  bool ok = true;
+
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        ok = false;
+        return;
+      }
+      key = key.substr(2);
+      if (key == "paper-scale" || key == "verbose") {
+        values[key] = "1";
+      } else if (i + 1 < argc) {
+        values[key] = argv[++i];
+      } else {
+        ok = false;
+        return;
+      }
+    }
+  }
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values.find(key);
+    return it == values.end() ? std::nullopt
+                              : std::optional<std::string>(it->second);
+  }
+  std::string get_or(const std::string& key, const std::string& dflt) const {
+    return get(key).value_or(dflt);
+  }
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+};
+
+std::optional<Design> load_design(const Args& args, std::string* error) {
+  const auto path = args.get("design");
+  if (!path) {
+    *error = "--design is required";
+    return std::nullopt;
+  }
+  const auto text = read_file(*path, error);
+  if (!text) return std::nullopt;
+  return design_from_text(*text, error);
+}
+
+std::optional<Floorplan> load_floorplan(const Args& args,
+                                        const std::string& key,
+                                        std::string* error) {
+  const auto path = args.get(key);
+  if (!path) {
+    *error = "--" + key + " is required";
+    return std::nullopt;
+  }
+  const auto text = read_file(*path, error);
+  if (!text) return std::nullopt;
+  return floorplan_from_text(*text, error);
+}
+
+int cmd_gen(const Args& args) {
+  const auto out = args.get("out");
+  if (!out) return usage();
+  workloads::BenchmarkSpec spec;
+  if (const auto name = args.get("spec")) {
+    bool found = false;
+    for (const auto& s :
+         workloads::table1_specs(args.has("paper-scale"))) {
+      if (s.name == *name) {
+        spec = s;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown suite spec '%s' (use B1..B27)\n",
+                   name->c_str());
+      return 1;
+    }
+  } else {
+    spec.name = "custom";
+    spec.contexts = std::atoi(args.get_or("contexts", "4").c_str());
+    spec.fabric_dim = std::atoi(args.get_or("dim", "4").c_str());
+    spec.usage = std::atof(args.get_or("usage", "0.5").c_str());
+  }
+  if (const auto seed = args.get("seed"))
+    spec.seed = std::strtoull(seed->c_str(), nullptr, 10);
+  if (spec.contexts <= 0 || spec.fabric_dim <= 0 || spec.usage <= 0 ||
+      spec.usage > 1.0) {
+    std::fprintf(stderr, "invalid generation parameters\n");
+    return 1;
+  }
+  const auto bench = workloads::generate_benchmark(spec);
+  std::string error;
+  if (!write_file(*out, to_text(bench.design), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d contexts, %dx%d fabric, %d ops\n", out->c_str(),
+              bench.design.num_contexts, bench.design.fabric.rows(),
+              bench.design.fabric.cols(), bench.total_ops);
+  return 0;
+}
+
+int cmd_place(const Args& args) {
+  std::string error;
+  const auto design = load_design(args, &error);
+  const auto out = args.get("out");
+  if (!design || !out) {
+    std::fprintf(stderr, "%s\n", error.empty() ? "--out is required"
+                                               : error.c_str());
+    return 1;
+  }
+  hls::PlacerOptions opts;
+  opts.seed = std::strtoull(args.get_or("seed", "1").c_str(), nullptr, 10);
+  const Floorplan fp = place_baseline(*design, opts);
+  if (!write_file(*out, to_text(fp), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto sta = timing::run_sta(*design, fp);
+  const StressMap stress = compute_stress(*design, fp);
+  std::printf("wrote %s: cpd=%.3f ns, max stress=%.3f, avg=%.3f\n",
+              out->c_str(), sta.cpd_ns, stress.max_accumulated(),
+              stress.avg_accumulated());
+  return 0;
+}
+
+int cmd_remap(const Args& args) {
+  std::string error;
+  const auto design = load_design(args, &error);
+  if (!design) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto baseline = load_floorplan(args, "floorplan", &error);
+  const auto out = args.get("out");
+  if (!baseline || !out) {
+    std::fprintf(stderr, "%s\n", error.empty() ? "--out is required"
+                                               : error.c_str());
+    return 1;
+  }
+  std::string why;
+  if (!is_valid(*design, *baseline, &why)) {
+    std::fprintf(stderr, "input floorplan invalid: %s\n", why.c_str());
+    return 1;
+  }
+  core::RemapOptions opts;
+  const std::string mode = args.get_or("mode", "rotate");
+  if (mode == "freeze") opts.mode = core::RemapMode::kFreeze;
+  else if (mode == "rotate") opts.mode = core::RemapMode::kRotate;
+  else {
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
+    return 1;
+  }
+  opts.path_margin = std::atof(args.get_or("margin", "0.2").c_str());
+  opts.seed = std::strtoull(args.get_or("seed", "1").c_str(), nullptr, 10);
+  opts.verbose = args.has("verbose");
+
+  const core::RemapResult result =
+      aging_aware_remap(*design, *baseline, opts);
+  if (!write_file(*out, to_text(result.floorplan), &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out->c_str());
+  std::printf("cpd: %.3f -> %.3f ns | max stress: %.3f -> %.3f | "
+              "MTTF: %.2f -> %.2f years (%.2fx)\n",
+              result.cpd_before_ns, result.cpd_after_ns, result.st_max_before,
+              result.st_max_after, result.mttf_before.mttf_years,
+              result.mttf_after.mttf_years, result.mttf_gain);
+  std::printf("%s\n", result.note.c_str());
+  return result.improved ? 0 : 3;  // 3: valid but no improvement found
+}
+
+int cmd_report(const Args& args) {
+  std::string error;
+  const auto design = load_design(args, &error);
+  if (!design) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto fp = load_floorplan(args, "floorplan", &error);
+  if (!fp) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string why;
+  if (!is_valid(*design, *fp, &why)) {
+    std::fprintf(stderr, "floorplan invalid: %s\n", why.c_str());
+    return 1;
+  }
+
+  auto describe = [&](const Floorplan& plan, const char* label) {
+    const auto sta = timing::run_sta(*design, plan);
+    const StressMap stress = compute_stress(*design, plan);
+    const auto mttf = aging::compute_mttf_combined(*design, plan);
+    std::printf("[%s]\n", label);
+    std::printf("  cpd          : %.3f ns (clock %.1f ns)\n", sta.cpd_ns,
+                design->fabric.clock_period_ns());
+    std::printf("  stress max   : %.3f (fabric avg %.3f)\n",
+                stress.max_accumulated(), stress.avg_accumulated());
+    std::printf("  MTTF         : %.2f years (limited by %s on PE %d)\n",
+                mttf.mttf_years, to_string(mttf.limiting_mechanism),
+                mttf.limiting_pe);
+    std::printf("  per mechanism: NBTI %.2fy | HCI %.2fy | EM %.2fy\n",
+                mttf.nbti_mttf_seconds / aging::kSecondsPerYear,
+                mttf.hci_mttf_seconds / aging::kSecondsPerYear,
+                mttf.em_mttf_seconds / aging::kSecondsPerYear);
+    std::printf("  accumulated stress map:\n%s\n",
+                render_heat_map(stress.accumulated, design->fabric.rows(),
+                                design->fabric.cols())
+                    .c_str());
+    return mttf.mttf_years;
+  };
+
+  const double base_years = describe(*fp, "floorplan");
+  if (args.has("compare")) {
+    const auto other = load_floorplan(args, "compare", &error);
+    if (!other) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (!is_valid(*design, *other, &why)) {
+      std::fprintf(stderr, "comparison floorplan invalid: %s\n", why.c_str());
+      return 1;
+    }
+    const double other_years = describe(*other, "compare");
+    std::printf("[diff floorplan -> compare]\n%s",
+                format_diff(core::diff_floorplans(*design, *fp, *other))
+                    .c_str());
+    std::printf("MTTF ratio (compare / floorplan): %.2fx\n",
+                other_years / base_years);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.ok) return usage();
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "place") return cmd_place(args);
+  if (cmd == "remap") return cmd_remap(args);
+  if (cmd == "report") return cmd_report(args);
+  return usage();
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aging_models.dir/ablation_aging_models.cpp.o"
+  "CMakeFiles/ablation_aging_models.dir/ablation_aging_models.cpp.o.d"
+  "ablation_aging_models"
+  "ablation_aging_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aging_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

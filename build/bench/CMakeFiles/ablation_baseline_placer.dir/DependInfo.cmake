@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_baseline_placer.cpp" "bench/CMakeFiles/ablation_baseline_placer.dir/ablation_baseline_placer.cpp.o" "gcc" "bench/CMakeFiles/ablation_baseline_placer.dir/ablation_baseline_placer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgraf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_cgrra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_placer.dir/ablation_baseline_placer.cpp.o"
+  "CMakeFiles/ablation_baseline_placer.dir/ablation_baseline_placer.cpp.o.d"
+  "ablation_baseline_placer"
+  "ablation_baseline_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

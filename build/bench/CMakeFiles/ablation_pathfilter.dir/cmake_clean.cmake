@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pathfilter.dir/ablation_pathfilter.cpp.o"
+  "CMakeFiles/ablation_pathfilter.dir/ablation_pathfilter.cpp.o.d"
+  "ablation_pathfilter"
+  "ablation_pathfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pathfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

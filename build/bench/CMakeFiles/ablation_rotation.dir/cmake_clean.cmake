@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rotation.dir/ablation_rotation.cpp.o"
+  "CMakeFiles/ablation_rotation.dir/ablation_rotation.cpp.o.d"
+  "ablation_rotation"
+  "ablation_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rounding.dir/ablation_rounding.cpp.o"
+  "CMakeFiles/ablation_rounding.dir/ablation_rounding.cpp.o.d"
+  "ablation_rounding"
+  "ablation_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

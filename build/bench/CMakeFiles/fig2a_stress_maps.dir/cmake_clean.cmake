@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_stress_maps.dir/fig2a_stress_maps.cpp.o"
+  "CMakeFiles/fig2a_stress_maps.dir/fig2a_stress_maps.cpp.o.d"
+  "fig2a_stress_maps"
+  "fig2a_stress_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_stress_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

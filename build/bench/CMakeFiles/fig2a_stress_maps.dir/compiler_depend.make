@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2a_stress_maps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2a_stress_maps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_vth_curves.dir/fig2b_vth_curves.cpp.o"
+  "CMakeFiles/fig2b_vth_curves.dir/fig2b_vth_curves.cpp.o.d"
+  "fig2b_vth_curves"
+  "fig2b_vth_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_vth_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

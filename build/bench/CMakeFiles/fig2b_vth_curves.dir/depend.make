@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_vth_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mttf_by_config.dir/fig5_mttf_by_config.cpp.o"
+  "CMakeFiles/fig5_mttf_by_config.dir/fig5_mttf_by_config.cpp.o.d"
+  "fig5_mttf_by_config"
+  "fig5_mttf_by_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mttf_by_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sta.dir/micro_sta.cpp.o"
+  "CMakeFiles/micro_sta.dir/micro_sta.cpp.o.d"
+  "micro_sta"
+  "micro_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

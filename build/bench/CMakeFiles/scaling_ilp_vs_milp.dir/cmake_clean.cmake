@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_ilp_vs_milp.dir/scaling_ilp_vs_milp.cpp.o"
+  "CMakeFiles/scaling_ilp_vs_milp.dir/scaling_ilp_vs_milp.cpp.o.d"
+  "scaling_ilp_vs_milp"
+  "scaling_ilp_vs_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_ilp_vs_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scaling_ilp_vs_milp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mttf.dir/table1_mttf.cpp.o"
+  "CMakeFiles/table1_mttf.dir/table1_mttf.cpp.o.d"
+  "table1_mttf"
+  "table1_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_dsl.dir/custom_kernel_dsl.cpp.o"
+  "CMakeFiles/custom_kernel_dsl.dir/custom_kernel_dsl.cpp.o.d"
+  "custom_kernel_dsl"
+  "custom_kernel_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_recovery.dir/fault_recovery.cpp.o"
+  "CMakeFiles/fault_recovery.dir/fault_recovery.cpp.o.d"
+  "fault_recovery"
+  "fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_tour.dir/solver_tour.cpp.o"
+  "CMakeFiles/solver_tour.dir/solver_tour.cpp.o.d"
+  "solver_tour"
+  "solver_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_map_report.dir/stress_map_report.cpp.o"
+  "CMakeFiles/stress_map_report.dir/stress_map_report.cpp.o.d"
+  "stress_map_report"
+  "stress_map_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_map_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_aging.dir/aging/mechanisms.cpp.o"
+  "CMakeFiles/cgraf_aging.dir/aging/mechanisms.cpp.o.d"
+  "CMakeFiles/cgraf_aging.dir/aging/mttf.cpp.o"
+  "CMakeFiles/cgraf_aging.dir/aging/mttf.cpp.o.d"
+  "CMakeFiles/cgraf_aging.dir/aging/nbti.cpp.o"
+  "CMakeFiles/cgraf_aging.dir/aging/nbti.cpp.o.d"
+  "libcgraf_aging.a"
+  "libcgraf_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgrra/fabric.cpp" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/fabric.cpp.o" "gcc" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/fabric.cpp.o.d"
+  "/root/repo/src/cgrra/floorplan.cpp" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/floorplan.cpp.o" "gcc" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/floorplan.cpp.o.d"
+  "/root/repo/src/cgrra/io.cpp" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/io.cpp.o" "gcc" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/io.cpp.o.d"
+  "/root/repo/src/cgrra/operation.cpp" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/operation.cpp.o" "gcc" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/operation.cpp.o.d"
+  "/root/repo/src/cgrra/stress.cpp" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/stress.cpp.o" "gcc" "src/CMakeFiles/cgraf_cgrra.dir/cgrra/stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgraf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/fabric.cpp.o"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/fabric.cpp.o.d"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/floorplan.cpp.o"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/floorplan.cpp.o.d"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/io.cpp.o"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/io.cpp.o.d"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/operation.cpp.o"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/operation.cpp.o.d"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/stress.cpp.o"
+  "CMakeFiles/cgraf_cgrra.dir/cgrra/stress.cpp.o.d"
+  "libcgraf_cgrra.a"
+  "libcgraf_cgrra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_cgrra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

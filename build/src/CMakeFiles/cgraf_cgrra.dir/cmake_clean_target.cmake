@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgraf_cgrra.a"
+)

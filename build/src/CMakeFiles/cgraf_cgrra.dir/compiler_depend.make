@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cgraf_cgrra.
+# This may be replaced when dependencies are built.

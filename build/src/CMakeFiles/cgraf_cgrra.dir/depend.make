@@ -1,0 +1,2 @@
+# Empty dependencies file for cgraf_cgrra.
+# This may be replaced when dependencies are built.

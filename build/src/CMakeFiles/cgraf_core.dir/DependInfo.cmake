@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/cgraf_core.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/candidates.cpp" "src/CMakeFiles/cgraf_core.dir/core/candidates.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/candidates.cpp.o.d"
+  "/root/repo/src/core/model_builder.cpp" "src/CMakeFiles/cgraf_core.dir/core/model_builder.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/model_builder.cpp.o.d"
+  "/root/repo/src/core/remapper.cpp" "src/CMakeFiles/cgraf_core.dir/core/remapper.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/remapper.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/cgraf_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/rotation.cpp" "src/CMakeFiles/cgraf_core.dir/core/rotation.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/rotation.cpp.o.d"
+  "/root/repo/src/core/st_target.cpp" "src/CMakeFiles/cgraf_core.dir/core/st_target.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/st_target.cpp.o.d"
+  "/root/repo/src/core/two_step.cpp" "src/CMakeFiles/cgraf_core.dir/core/two_step.cpp.o" "gcc" "src/CMakeFiles/cgraf_core.dir/core/two_step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgraf_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_cgrra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_core.dir/core/analysis.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/analysis.cpp.o.d"
+  "CMakeFiles/cgraf_core.dir/core/candidates.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/candidates.cpp.o.d"
+  "CMakeFiles/cgraf_core.dir/core/model_builder.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/model_builder.cpp.o.d"
+  "CMakeFiles/cgraf_core.dir/core/remapper.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/remapper.cpp.o.d"
+  "CMakeFiles/cgraf_core.dir/core/report.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/cgraf_core.dir/core/rotation.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/rotation.cpp.o.d"
+  "CMakeFiles/cgraf_core.dir/core/st_target.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/st_target.cpp.o.d"
+  "CMakeFiles/cgraf_core.dir/core/two_step.cpp.o"
+  "CMakeFiles/cgraf_core.dir/core/two_step.cpp.o.d"
+  "libcgraf_core.a"
+  "libcgraf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

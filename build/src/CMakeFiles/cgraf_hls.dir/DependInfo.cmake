@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/dfg.cpp" "src/CMakeFiles/cgraf_hls.dir/hls/dfg.cpp.o" "gcc" "src/CMakeFiles/cgraf_hls.dir/hls/dfg.cpp.o.d"
+  "/root/repo/src/hls/expr_parser.cpp" "src/CMakeFiles/cgraf_hls.dir/hls/expr_parser.cpp.o" "gcc" "src/CMakeFiles/cgraf_hls.dir/hls/expr_parser.cpp.o.d"
+  "/root/repo/src/hls/placer.cpp" "src/CMakeFiles/cgraf_hls.dir/hls/placer.cpp.o" "gcc" "src/CMakeFiles/cgraf_hls.dir/hls/placer.cpp.o.d"
+  "/root/repo/src/hls/scheduler.cpp" "src/CMakeFiles/cgraf_hls.dir/hls/scheduler.cpp.o" "gcc" "src/CMakeFiles/cgraf_hls.dir/hls/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgraf_cgrra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_hls.dir/hls/dfg.cpp.o"
+  "CMakeFiles/cgraf_hls.dir/hls/dfg.cpp.o.d"
+  "CMakeFiles/cgraf_hls.dir/hls/expr_parser.cpp.o"
+  "CMakeFiles/cgraf_hls.dir/hls/expr_parser.cpp.o.d"
+  "CMakeFiles/cgraf_hls.dir/hls/placer.cpp.o"
+  "CMakeFiles/cgraf_hls.dir/hls/placer.cpp.o.d"
+  "CMakeFiles/cgraf_hls.dir/hls/scheduler.cpp.o"
+  "CMakeFiles/cgraf_hls.dir/hls/scheduler.cpp.o.d"
+  "libcgraf_hls.a"
+  "libcgraf_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/milp/branch_and_bound.cpp" "src/CMakeFiles/cgraf_milp.dir/milp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/cgraf_milp.dir/milp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/milp/lu.cpp" "src/CMakeFiles/cgraf_milp.dir/milp/lu.cpp.o" "gcc" "src/CMakeFiles/cgraf_milp.dir/milp/lu.cpp.o.d"
+  "/root/repo/src/milp/model.cpp" "src/CMakeFiles/cgraf_milp.dir/milp/model.cpp.o" "gcc" "src/CMakeFiles/cgraf_milp.dir/milp/model.cpp.o.d"
+  "/root/repo/src/milp/presolve.cpp" "src/CMakeFiles/cgraf_milp.dir/milp/presolve.cpp.o" "gcc" "src/CMakeFiles/cgraf_milp.dir/milp/presolve.cpp.o.d"
+  "/root/repo/src/milp/simplex.cpp" "src/CMakeFiles/cgraf_milp.dir/milp/simplex.cpp.o" "gcc" "src/CMakeFiles/cgraf_milp.dir/milp/simplex.cpp.o.d"
+  "/root/repo/src/milp/sparse.cpp" "src/CMakeFiles/cgraf_milp.dir/milp/sparse.cpp.o" "gcc" "src/CMakeFiles/cgraf_milp.dir/milp/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgraf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_milp.dir/milp/branch_and_bound.cpp.o"
+  "CMakeFiles/cgraf_milp.dir/milp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/cgraf_milp.dir/milp/lu.cpp.o"
+  "CMakeFiles/cgraf_milp.dir/milp/lu.cpp.o.d"
+  "CMakeFiles/cgraf_milp.dir/milp/model.cpp.o"
+  "CMakeFiles/cgraf_milp.dir/milp/model.cpp.o.d"
+  "CMakeFiles/cgraf_milp.dir/milp/presolve.cpp.o"
+  "CMakeFiles/cgraf_milp.dir/milp/presolve.cpp.o.d"
+  "CMakeFiles/cgraf_milp.dir/milp/simplex.cpp.o"
+  "CMakeFiles/cgraf_milp.dir/milp/simplex.cpp.o.d"
+  "CMakeFiles/cgraf_milp.dir/milp/sparse.cpp.o"
+  "CMakeFiles/cgraf_milp.dir/milp/sparse.cpp.o.d"
+  "libcgraf_milp.a"
+  "libcgraf_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

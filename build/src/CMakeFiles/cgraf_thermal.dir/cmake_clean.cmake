@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_thermal.dir/thermal/hotspot_lite.cpp.o"
+  "CMakeFiles/cgraf_thermal.dir/thermal/hotspot_lite.cpp.o.d"
+  "libcgraf_thermal.a"
+  "libcgraf_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_timing.dir/timing/paths.cpp.o"
+  "CMakeFiles/cgraf_timing.dir/timing/paths.cpp.o.d"
+  "CMakeFiles/cgraf_timing.dir/timing/sta.cpp.o"
+  "CMakeFiles/cgraf_timing.dir/timing/sta.cpp.o.d"
+  "libcgraf_timing.a"
+  "libcgraf_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_util.dir/util/ascii.cpp.o"
+  "CMakeFiles/cgraf_util.dir/util/ascii.cpp.o.d"
+  "CMakeFiles/cgraf_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cgraf_util.dir/util/rng.cpp.o.d"
+  "libcgraf_util.a"
+  "libcgraf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

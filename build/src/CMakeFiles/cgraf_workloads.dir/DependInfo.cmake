@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels.cpp" "src/CMakeFiles/cgraf_workloads.dir/workloads/kernels.cpp.o" "gcc" "src/CMakeFiles/cgraf_workloads.dir/workloads/kernels.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/cgraf_workloads.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/cgraf_workloads.dir/workloads/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgraf_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_cgrra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

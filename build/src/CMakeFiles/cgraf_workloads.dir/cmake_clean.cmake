@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_workloads.dir/workloads/kernels.cpp.o"
+  "CMakeFiles/cgraf_workloads.dir/workloads/kernels.cpp.o.d"
+  "CMakeFiles/cgraf_workloads.dir/workloads/suite.cpp.o"
+  "CMakeFiles/cgraf_workloads.dir/workloads/suite.cpp.o.d"
+  "libcgraf_workloads.a"
+  "libcgraf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

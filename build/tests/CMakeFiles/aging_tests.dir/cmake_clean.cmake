@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_tests.dir/aging/mechanisms_test.cpp.o"
+  "CMakeFiles/aging_tests.dir/aging/mechanisms_test.cpp.o.d"
+  "CMakeFiles/aging_tests.dir/aging/mttf_test.cpp.o"
+  "CMakeFiles/aging_tests.dir/aging/mttf_test.cpp.o.d"
+  "CMakeFiles/aging_tests.dir/aging/nbti_test.cpp.o"
+  "CMakeFiles/aging_tests.dir/aging/nbti_test.cpp.o.d"
+  "aging_tests"
+  "aging_tests.pdb"
+  "aging_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

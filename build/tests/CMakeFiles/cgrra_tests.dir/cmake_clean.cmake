@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgrra_tests.dir/cgrra/fabric_test.cpp.o"
+  "CMakeFiles/cgrra_tests.dir/cgrra/fabric_test.cpp.o.d"
+  "CMakeFiles/cgrra_tests.dir/cgrra/floorplan_test.cpp.o"
+  "CMakeFiles/cgrra_tests.dir/cgrra/floorplan_test.cpp.o.d"
+  "CMakeFiles/cgrra_tests.dir/cgrra/io_test.cpp.o"
+  "CMakeFiles/cgrra_tests.dir/cgrra/io_test.cpp.o.d"
+  "CMakeFiles/cgrra_tests.dir/cgrra/operation_test.cpp.o"
+  "CMakeFiles/cgrra_tests.dir/cgrra/operation_test.cpp.o.d"
+  "CMakeFiles/cgrra_tests.dir/cgrra/stress_test.cpp.o"
+  "CMakeFiles/cgrra_tests.dir/cgrra/stress_test.cpp.o.d"
+  "cgrra_tests"
+  "cgrra_tests.pdb"
+  "cgrra_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgrra_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

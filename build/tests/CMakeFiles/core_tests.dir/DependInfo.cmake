@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/candidates_test.cpp" "tests/CMakeFiles/core_tests.dir/core/candidates_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/candidates_test.cpp.o.d"
+  "/root/repo/tests/core/fault_recovery_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fault_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fault_recovery_test.cpp.o.d"
+  "/root/repo/tests/core/fig4_example_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fig4_example_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fig4_example_test.cpp.o.d"
+  "/root/repo/tests/core/model_builder_test.cpp" "tests/CMakeFiles/core_tests.dir/core/model_builder_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/model_builder_test.cpp.o.d"
+  "/root/repo/tests/core/remapper_options_test.cpp" "tests/CMakeFiles/core_tests.dir/core/remapper_options_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/remapper_options_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/rotation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/rotation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rotation_test.cpp.o.d"
+  "/root/repo/tests/core/st_target_test.cpp" "tests/CMakeFiles/core_tests.dir/core/st_target_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/st_target_test.cpp.o.d"
+  "/root/repo/tests/core/two_step_test.cpp" "tests/CMakeFiles/core_tests.dir/core/two_step_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/two_step_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgraf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_cgrra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cgraf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

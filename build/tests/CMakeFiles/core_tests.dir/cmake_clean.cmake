@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/analysis_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/analysis_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/candidates_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/candidates_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/fault_recovery_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fault_recovery_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/fig4_example_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fig4_example_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/model_builder_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/model_builder_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/remapper_options_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/remapper_options_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/rotation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/rotation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/st_target_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/st_target_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/two_step_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/two_step_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_tests.dir/hls/dfg_test.cpp.o"
+  "CMakeFiles/hls_tests.dir/hls/dfg_test.cpp.o.d"
+  "CMakeFiles/hls_tests.dir/hls/expr_parser_test.cpp.o"
+  "CMakeFiles/hls_tests.dir/hls/expr_parser_test.cpp.o.d"
+  "CMakeFiles/hls_tests.dir/hls/placer_test.cpp.o"
+  "CMakeFiles/hls_tests.dir/hls/placer_test.cpp.o.d"
+  "CMakeFiles/hls_tests.dir/hls/scheduler_test.cpp.o"
+  "CMakeFiles/hls_tests.dir/hls/scheduler_test.cpp.o.d"
+  "hls_tests"
+  "hls_tests.pdb"
+  "hls_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/full_flow_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/full_flow_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/remap_pipeline_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/remap_pipeline_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_tests.dir/milp/branch_and_bound_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/branch_and_bound_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/lu_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/lu_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/model_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/model_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/presolve_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/presolve_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/random_property_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/random_property_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/simplex_edge_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/simplex_edge_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/simplex_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/simplex_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/sparse_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/sparse_test.cpp.o.d"
+  "CMakeFiles/milp_tests.dir/milp/vertex_oracle_test.cpp.o"
+  "CMakeFiles/milp_tests.dir/milp/vertex_oracle_test.cpp.o.d"
+  "milp_tests"
+  "milp_tests.pdb"
+  "milp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

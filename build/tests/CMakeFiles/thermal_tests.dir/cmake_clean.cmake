@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_tests.dir/thermal/hotspot_lite_test.cpp.o"
+  "CMakeFiles/thermal_tests.dir/thermal/hotspot_lite_test.cpp.o.d"
+  "CMakeFiles/thermal_tests.dir/thermal/transient_test.cpp.o"
+  "CMakeFiles/thermal_tests.dir/thermal/transient_test.cpp.o.d"
+  "thermal_tests"
+  "thermal_tests.pdb"
+  "thermal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

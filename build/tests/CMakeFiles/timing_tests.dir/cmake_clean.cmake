@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_tests.dir/timing/paths_test.cpp.o"
+  "CMakeFiles/timing_tests.dir/timing/paths_test.cpp.o.d"
+  "CMakeFiles/timing_tests.dir/timing/sta_property_test.cpp.o"
+  "CMakeFiles/timing_tests.dir/timing/sta_property_test.cpp.o.d"
+  "CMakeFiles/timing_tests.dir/timing/sta_test.cpp.o"
+  "CMakeFiles/timing_tests.dir/timing/sta_test.cpp.o.d"
+  "timing_tests"
+  "timing_tests.pdb"
+  "timing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

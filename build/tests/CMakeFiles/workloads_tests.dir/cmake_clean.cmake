@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/workloads/kernels_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/kernels_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/suite_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/suite_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/suite_validity_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/suite_validity_test.cpp.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/milp_tests[1]_include.cmake")
+include("/root/repo/build/tests/cgrra_tests[1]_include.cmake")
+include("/root/repo/build/tests/timing_tests[1]_include.cmake")
+include("/root/repo/build/tests/thermal_tests[1]_include.cmake")
+include("/root/repo/build/tests/aging_tests[1]_include.cmake")
+include("/root/repo/build/tests/hls_tests[1]_include.cmake")
+include("/root/repo/build/tests/workloads_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

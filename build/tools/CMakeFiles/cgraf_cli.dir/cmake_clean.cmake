@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgraf_cli.dir/cgraf_cli.cpp.o"
+  "CMakeFiles/cgraf_cli.dir/cgraf_cli.cpp.o.d"
+  "cgraf_cli"
+  "cgraf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgraf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

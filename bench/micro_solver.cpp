@@ -1,6 +1,14 @@
 // Micro-benchmarks of the MILP substrate: basis factorization, FTRAN/BTRAN,
 // LP solves on assignment-shaped models, and small branch & bound runs.
+//
+// Besides the google-benchmark timing table, every case emits one
+// machine-readable JSON line on stdout (prefix `CGRAF_BENCH_JSON `) with the
+// wall seconds, LP iteration count, node count, thread count and the
+// solver's per-stage counters, so a BENCH_*.json trajectory can be tracked
+// across commits.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "milp/branch_and_bound.h"
 #include "milp/lu.h"
@@ -12,6 +20,37 @@ namespace {
 
 using namespace cgraf;
 using namespace cgraf::milp;
+
+void emit_lp_json(const char* name, long arg, const LpResult& r,
+                  Pricing pricing) {
+  std::printf(
+      "CGRAF_BENCH_JSON {\"case\":\"%s\",\"arg\":%ld,\"pricing\":\"%s\","
+      "\"wall_seconds\":%.6f,\"lp_iterations\":%ld,\"nodes\":0,\"threads\":1,"
+      "\"pricing_seconds\":%.6f,\"ftran_seconds\":%.6f,"
+      "\"btran_seconds\":%.6f,\"factor_seconds\":%.6f,"
+      "\"incremental_updates\":%ld,\"full_refreshes\":%ld,"
+      "\"bucket_rebuilds\":%ld}\n",
+      name, arg, pricing == Pricing::kCandidateList ? "candidate" : "full",
+      r.seconds, r.iterations, r.stats.pricing_seconds,
+      r.stats.ftran_seconds, r.stats.btran_seconds, r.stats.factor_seconds,
+      r.stats.incremental_updates, r.stats.full_refreshes,
+      r.stats.bucket_rebuilds);
+}
+
+void emit_mip_json(const char* name, long arg, const MipResult& r) {
+  std::printf(
+      "CGRAF_BENCH_JSON {\"case\":\"%s\",\"arg\":%ld,"
+      "\"wall_seconds\":%.6f,\"lp_iterations\":%ld,\"nodes\":%ld,"
+      "\"threads\":%d,\"pricing_seconds\":%.6f,\"ftran_seconds\":%.6f,"
+      "\"btran_seconds\":%.6f,\"factor_seconds\":%.6f,"
+      "\"incremental_updates\":%ld,\"full_refreshes\":%ld,"
+      "\"bucket_rebuilds\":%ld}\n",
+      name, arg, r.seconds, r.lp_iterations, r.nodes, r.threads_used,
+      r.lp_stats.pricing_seconds, r.lp_stats.ftran_seconds,
+      r.lp_stats.btran_seconds, r.lp_stats.factor_seconds,
+      r.lp_stats.incremental_updates, r.lp_stats.full_refreshes,
+      r.lp_stats.bucket_rebuilds);
+}
 
 // ops x pes assignment feasibility model with stress rows (the shape the
 // floorplanner generates).
@@ -67,31 +106,51 @@ std::vector<int> optimal_basis(const Model& m) {
   return basis;
 }
 
+// range(0) = ops, range(1) = pricing scheme (0 full, 1 candidate list).
 void BM_LpAssignment(benchmark::State& state) {
   const int ops = static_cast<int>(state.range(0));
+  const Pricing pricing =
+      state.range(1) == 0 ? Pricing::kFullDantzig : Pricing::kCandidateList;
   const Model m = assignment_model(ops, 36, 4, 42, /*integer=*/false);
+  LpOptions opts;
+  opts.pricing = pricing;
   for (auto _ : state) {
-    const LpResult r = solve_lp(m);
+    const LpResult r = solve_lp(m, opts);
     benchmark::DoNotOptimize(r.obj);
     if (r.status != SolveStatus::kOptimal) state.SkipWithError("LP failed");
   }
   state.counters["vars"] = m.num_vars();
   state.counters["rows"] = m.num_constraints();
+  const LpResult probe = solve_lp(m, opts);
+  state.counters["lp_iters"] = static_cast<double>(probe.iterations);
+  emit_lp_json("lp_assignment", state.range(0), probe, pricing);
 }
-BENCHMARK(BM_LpAssignment)->Arg(24)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LpAssignment)
+    ->Args({24, 0})->Args({24, 1})
+    ->Args({48, 0})->Args({48, 1})
+    ->Args({96, 0})->Args({96, 1})
+    ->Unit(benchmark::kMillisecond);
 
+// range(0) = ops, range(1) = branch & bound worker threads.
 void BM_MilpAssignment(benchmark::State& state) {
   const int ops = static_cast<int>(state.range(0));
   const Model m = assignment_model(ops, 16, 4, 7, /*integer=*/true);
   MipOptions opts;
   opts.stop_at_first_incumbent = true;
+  opts.num_threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
     const MipResult r = solve_milp(m, opts);
     benchmark::DoNotOptimize(r.nodes);
     if (!r.has_solution()) state.SkipWithError("MILP failed");
   }
+  const MipResult probe = solve_milp(m, opts);
+  state.counters["nodes"] = static_cast<double>(probe.nodes);
+  emit_mip_json("milp_assignment", state.range(0), probe);
 }
-BENCHMARK(BM_MilpAssignment)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MilpAssignment)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})
+    ->Args({24, 1})->Args({24, 2})->Args({24, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LuFactorize(benchmark::State& state) {
   const int ops = static_cast<int>(state.range(0));

@@ -8,7 +8,9 @@
 // under a wall-clock budget per instance and reports a timeout where the
 // paper reports "no solution within 5 days".
 #include <cstdio>
+#include <thread>
 
+#include "cgrra/stress.h"
 #include "core/report.h"
 #include "core/st_target.h"
 #include "util/ascii.h"
@@ -25,9 +27,13 @@ struct Row {
   long ilp_nodes = 0;
   milp::SolveStatus dive_status = milp::SolveStatus::kNumericalError;
   double dive_seconds = 0.0;
+  double ilp_obj = 0.0;
+  core::TwoStepStats ilp_stats;
+  core::TwoStepStats dive_stats;
 };
 
-Row run_one(const workloads::BenchmarkSpec& spec, double ilp_budget_s) {
+Row run_one(const workloads::BenchmarkSpec& spec, double ilp_budget_s,
+            int threads) {
   const auto bench = workloads::generate_benchmark(spec);
   const Design& design = bench.design;
   const timing::CombGraph graph(design);
@@ -69,16 +75,22 @@ Row run_one(const workloads::BenchmarkSpec& spec, double ilp_budget_s) {
     opts.mip.stop_at_first_incumbent = true;
     opts.mip.time_limit_s = ilp_budget_s;
     opts.mip.max_nodes = 1000000000;
+    opts.mip.num_threads = threads;
     const auto r = solve_two_step(rm, opts);
     row.ilp_status = r.status;
     row.ilp_seconds = r.stats.mip_seconds;
     row.ilp_nodes = r.stats.mip_nodes;
+    row.ilp_stats = r.stats;
+    if (!r.floorplan.op_to_pe.empty())
+      row.ilp_obj = compute_stress(design, r.floorplan).max_accumulated();
   }
   {  // Two-step relaxation (iterated dive).
     core::TwoStepOptions opts;
+    opts.mip.num_threads = threads;
     const auto r = solve_two_step(rm, opts);
     row.dive_status = r.status;
     row.dive_seconds = r.stats.lp_seconds + r.stats.mip_seconds;
+    row.dive_stats = r.stats;
   }
   return row;
 }
@@ -88,10 +100,15 @@ Row run_one(const workloads::BenchmarkSpec& spec, double ilp_budget_s) {
 int main(int argc, char** argv) {
   double budget = 60.0;
   if (argc > 1) budget = std::atof(argv[1]);
+  int threads = 0;  // 0 = hardware_concurrency
+  if (argc > 2) threads = std::atoi(argv[2]);
+  const int threads_eff =
+      threads > 0 ? threads
+                  : std::max(1u, std::thread::hardware_concurrency());
   std::printf("== Section V.A: one-shot ILP vs two-step MILP ==\n");
   std::printf("(one-shot ILP wall-clock budget: %.0fs per instance; the "
-              "paper's was 5 days)\n\n",
-              budget);
+              "paper's was 5 days; B&B threads: %d)\n\n",
+              budget, threads_eff);
 
   std::vector<workloads::BenchmarkSpec> sweep;
   for (const auto& spec : workloads::table1_specs(false)) {
@@ -100,8 +117,10 @@ int main(int argc, char** argv) {
 
   AsciiTable table({"instance", "binaries", "one-shot ILP", "ILP nodes",
                     "two-step", "speedup"});
+  std::vector<Row> rows;
   for (const auto& spec : sweep) {
-    const Row row = run_one(spec, budget);
+    const Row row = run_one(spec, budget, threads);
+    rows.push_back(row);
     const bool ilp_solved = row.ilp_status == milp::SolveStatus::kOptimal ||
                             row.ilp_status == milp::SolveStatus::kFeasible;
     table.add_row(
@@ -121,5 +140,25 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   std::printf("\n\n%s\n", table.render().c_str());
+
+  std::printf("solver stages, largest instance (%s):\n%s\n",
+              rows.back().name.c_str(),
+              core::format_solver_stats(rows.back().ilp_stats).c_str());
+
+  // One machine-readable line per instance for the BENCH_*.json trajectory.
+  for (const Row& row : rows) {
+    std::printf(
+        "CGRAF_BENCH_JSON {\"case\":\"scaling_ilp_vs_milp\","
+        "\"instance\":\"%s\",\"binaries\":%d,\"threads\":%d,"
+        "\"ilp_status\":\"%s\",\"ilp_wall_seconds\":%.6f,"
+        "\"ilp_nodes\":%ld,\"ilp_max_stress\":%.9f,"
+        "\"dive_status\":\"%s\",\"dive_wall_seconds\":%.6f,"
+        "\"ilp\":{%s},\"dive\":{%s}}\n",
+        row.name.c_str(), row.vars, threads_eff,
+        milp::to_string(row.ilp_status), row.ilp_seconds, row.ilp_nodes,
+        row.ilp_obj, milp::to_string(row.dive_status), row.dive_seconds,
+        core::solver_stats_json(row.ilp_stats).c_str(),
+        core::solver_stats_json(row.dive_stats).c_str());
+  }
   return 0;
 }

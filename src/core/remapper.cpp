@@ -1,22 +1,13 @@
 #include "core/remapper.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "cgrra/stress.h"
 #include "util/ascii.h"
 #include "util/check.h"
+#include "util/clock.h"
 
 namespace cgraf::core {
-namespace {
-
-double now_seconds() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
                               const RemapOptions& opts) {

@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 
 #include "util/ascii.h"
@@ -96,6 +97,60 @@ std::string format_fig5(const std::vector<BenchmarkRun>& runs) {
                    cell(workloads::UsageBand::kHigh)});
   }
   return table.render();
+}
+
+std::string format_solver_stats(const TwoStepStats& stats) {
+  const milp::LpStageStats& s = stats.lp_stage;
+  AsciiTable table({"counter", "value"});
+  table.add_row({"LP iterations (dive)", std::to_string(stats.lp_iterations)});
+  table.add_row({"LP iterations (B&B)",
+                 std::to_string(stats.mip_lp_iterations)});
+  table.add_row({"phase-1 iterations", std::to_string(s.phase1_iterations)});
+  table.add_row({"B&B nodes", std::to_string(stats.mip_nodes)});
+  table.add_row({"B&B threads", std::to_string(stats.mip_threads)});
+  std::string per_thread;
+  for (const long n : stats.mip_nodes_per_thread) {
+    if (!per_thread.empty()) per_thread += "/";
+    per_thread += std::to_string(n);
+  }
+  table.add_row({"nodes per thread",
+                 per_thread.empty() ? std::string("-") : per_thread});
+  table.add_row({"pricing time", fmt_double(s.pricing_seconds, 4) + "s"});
+  table.add_row({"ftran time", fmt_double(s.ftran_seconds, 4) + "s"});
+  table.add_row({"btran time", fmt_double(s.btran_seconds, 4) + "s"});
+  table.add_row({"factorize time", fmt_double(s.factor_seconds, 4) + "s"});
+  table.add_row({"incremental price updates",
+                 std::to_string(s.incremental_updates)});
+  table.add_row({"full pricing refreshes",
+                 std::to_string(s.full_refreshes)});
+  table.add_row({"candidate bucket rebuilds",
+                 std::to_string(s.bucket_rebuilds)});
+  return table.render();
+}
+
+std::string solver_stats_json(const TwoStepStats& stats) {
+  const milp::LpStageStats& s = stats.lp_stage;
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"lp_iterations\":%ld,\"mip_lp_iterations\":%ld,"
+      "\"phase1_iterations\":%ld,\"nodes\":%ld,\"threads\":%d,"
+      "\"pricing_seconds\":%.6f,\"ftran_seconds\":%.6f,"
+      "\"btran_seconds\":%.6f,\"factor_seconds\":%.6f,"
+      "\"incremental_updates\":%ld,\"full_refreshes\":%ld,"
+      "\"bucket_rebuilds\":%ld",
+      stats.lp_iterations, stats.mip_lp_iterations, s.phase1_iterations,
+      stats.mip_nodes, stats.mip_threads, s.pricing_seconds, s.ftran_seconds,
+      s.btran_seconds, s.factor_seconds, s.incremental_updates,
+      s.full_refreshes, s.bucket_rebuilds);
+  std::string out = buf;
+  out += ",\"nodes_per_thread\":[";
+  for (size_t i = 0; i < stats.mip_nodes_per_thread.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(stats.mip_nodes_per_thread[i]);
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace cgraf::core

@@ -30,4 +30,14 @@ std::string format_table1(const std::vector<BenchmarkRun>& runs);
 // low/medium/high benchmarks.
 std::string format_fig5(const std::vector<BenchmarkRun>& runs);
 
+// Renders the solver's per-stage instrumentation (pricing / FTRAN / BTRAN /
+// factorization time, candidate refreshes, nodes per B&B worker) for one
+// two-step solve, as a small human-readable table.
+std::string format_solver_stats(const TwoStepStats& stats);
+
+// The same counters as a flat JSON object fragment (no surrounding braces),
+// e.g. `"lp_iterations":123,"pricing_seconds":0.004,...` — the benches embed
+// it in their one-line-per-case JSON records.
+std::string solver_stats_json(const TwoStepStats& stats);
+
 }  // namespace cgraf::core

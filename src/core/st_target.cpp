@@ -47,6 +47,7 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
     const TwoStepResult r = solve_two_step(rm, solver);
     ++res.probes;
     res.lp_iterations += r.stats.lp_iterations;
+    res.lp_stage.add(r.stats.lp_stage);
     return r.status == milp::SolveStatus::kOptimal;
   };
 

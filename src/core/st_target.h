@@ -32,6 +32,7 @@ struct StTargetResult {
   double st_up = 0.0;      // max accumulated stress of the baseline
   int probes = 0;
   long lp_iterations = 0;
+  milp::LpStageStats lp_stage;  // aggregated over all probe LPs
 };
 
 StTargetResult find_st_target(const Design& design, const Floorplan& baseline,

@@ -44,6 +44,9 @@ void run_bnb(const milp::Model& model, const RemapModel& rm,
   res.stats.mip_nodes += mip.nodes;
   res.stats.mip_lp_iterations += mip.lp_iterations;
   res.stats.mip_seconds += mip.seconds;
+  res.stats.mip_threads = mip.threads_used;
+  res.stats.mip_nodes_per_thread = mip.nodes_per_thread;
+  res.stats.lp_stage.add(mip.lp_stats);
   if (mip.has_solution()) {
     res.status = milp::SolveStatus::kOptimal;
     res.floorplan = rm.decode(mip.x);
@@ -99,6 +102,7 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
     res.stats.lp_iterations += lp.iterations;
     res.stats.lp_seconds += lp.seconds;
     res.stats.lp_status = lp.status;
+    res.stats.lp_stage.add(lp.stats);
 
     if (lp.status != milp::SolveStatus::kOptimal) {
       if (history.empty()) {
@@ -221,6 +225,7 @@ TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
   res.stats.lp_status = lp.status;
   res.stats.lp_iterations = lp.iterations;
   res.stats.lp_seconds = lp.seconds;
+  res.stats.lp_stage.add(lp.stats);
   if (lp.status != milp::SolveStatus::kOptimal) {
     res.status = lp.status == milp::SolveStatus::kUnbounded
                      ? milp::SolveStatus::kNumericalError

@@ -58,6 +58,9 @@ struct TwoStepStats {
   milp::SolveStatus lp_status = milp::SolveStatus::kNumericalError;
   milp::SolveStatus mip_status = milp::SolveStatus::kNumericalError;
   bool fallback_unfixed = false;  // dive/fixing dead-ended; B&B re-solve
+  int mip_threads = 1;            // worker threads of the last B&B run
+  std::vector<long> mip_nodes_per_thread;
+  milp::LpStageStats lp_stage;    // aggregated over every LP solved
 };
 
 struct TwoStepResult {

@@ -3,21 +3,18 @@
 #include "milp/presolve.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 
 #include "util/check.h"
+#include "util/clock.h"
 
 namespace cgraf::milp {
 namespace {
-
-double now_seconds() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
 
 // A bound change relative to the parent node; nodes share ancestry chains.
 struct Delta {
@@ -40,10 +37,34 @@ struct NodeOrder {
   }
 };
 
+// Search state shared by all workers, guarded by `mu` except where noted.
+struct Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  int active = 0;   // workers currently expanding a node
+  bool stop = false;
+  SolveStatus limit_hit = SolveStatus::kOptimal;  // which limit fired, if any
+  bool root_unbounded = false;
+  bool proof_incomplete = false;
+  double incumbent_internal = kInf;
+  std::vector<double> incumbent_x;
+  double exhausted_bound = kInf;  // min bound among pruned-by-gap nodes
+  long nodes = 0;
+  long lp_iterations = 0;
+  LpStageStats lp_stats;
+};
+
 }  // namespace
 
 MipResult solve_milp(const Model& model, const MipOptions& opts) {
   const double t_start = now_seconds();
+
+  const int threads = [&] {
+    int k = opts.num_threads;
+    if (k <= 0) k = static_cast<int>(std::thread::hardware_concurrency());
+    return std::max(1, k);
+  }();
 
   if (opts.presolve) {
     PresolveResult pre = presolve(model);
@@ -51,6 +72,8 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       MipResult res;
       res.status = SolveStatus::kInfeasible;
       res.seconds = now_seconds() - t_start;
+      res.threads_used = threads;
+      res.nodes_per_thread.assign(static_cast<size_t>(threads), 0);
       return res;
     }
     MipOptions inner = opts;
@@ -74,6 +97,8 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
   }
 
   MipResult res;
+  res.threads_used = threads;
+  res.nodes_per_thread.assign(static_cast<size_t>(threads), 0);
 
   const int n = model.num_vars();
   const double sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
@@ -83,11 +108,13 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     if (model.var(j).type != VarType::kContinuous) int_vars.push_back(j);
   }
 
-  SimplexEngine engine(model, opts.lp);
+  // Prototype engine; each worker solves on a private copy so the (possibly
+  // large) constraint matrix is standardized only once.
+  const SimplexEngine proto(model, opts.lp);
 
   // Root bounds, with integer bounds pre-rounded inward.
-  std::vector<double> root_lb(engine.model_lb());
-  std::vector<double> root_ub(engine.model_ub());
+  std::vector<double> root_lb(proto.model_lb());
+  std::vector<double> root_ub(proto.model_ub());
   for (const int j : int_vars) {
     root_lb[static_cast<size_t>(j)] =
         std::ceil(root_lb[static_cast<size_t>(j)] - opts.int_tol);
@@ -100,184 +127,248 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     }
   }
 
-  double incumbent_internal = kInf;
-  std::vector<double> incumbent_x;
-  bool proof_incomplete = false;
+  Shared sh;
+  sh.open.push(Node{nullptr, nullptr, -kInf, 0});
 
-  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  open.push(Node{nullptr, nullptr, -kInf, 0});
-  double exhausted_bound = kInf;  // min bound among pruned-by-gap nodes
-
-  std::vector<double> lb, ub;
-  auto build_bounds = [&](const Node& node) {
-    lb = root_lb;
-    ub = root_ub;
-    for (const Delta* d = node.deltas.get(); d != nullptr;
-         d = d->parent.get()) {
-      lb[static_cast<size_t>(d->var)] =
-          std::max(lb[static_cast<size_t>(d->var)], d->lb);
-      ub[static_cast<size_t>(d->var)] =
-          std::min(ub[static_cast<size_t>(d->var)], d->ub);
-    }
-  };
-
-  auto try_incumbent = [&](const std::vector<double>& x) {
-    // Round integer variables and accept only exactly-feasible points.
-    std::vector<double> xi = x;
+  // Rounds integer variables of an LP point; returns the internal objective
+  // when exactly feasible, or nullopt-style (false) otherwise. Pure; called
+  // outside the lock.
+  auto round_candidate = [&](const std::vector<double>& x,
+                             std::vector<double>& xi, double& internal) {
+    xi = x;
     for (const int j : int_vars)
       xi[static_cast<size_t>(j)] = std::round(xi[static_cast<size_t>(j)]);
     if (model.max_violation(xi) > 10 * opts.lp.tol_feas) return false;
-    const double internal = sign * model.objective_value(xi);
-    if (internal < incumbent_internal - 1e-12) {
-      incumbent_internal = internal;
-      incumbent_x = std::move(xi);
-      return true;
-    }
-    return false;
+    internal = sign * model.objective_value(xi);
+    return true;
   };
 
-  SolveStatus limit_hit = SolveStatus::kOptimal;  // records which limit fired
-  while (!open.empty()) {
-    if (res.nodes >= opts.max_nodes) {
-      limit_hit = SolveStatus::kNodeLimit;
-      break;
-    }
-    if (now_seconds() - t_start > opts.time_limit_s) {
-      limit_hit = SolveStatus::kTimeLimit;
-      break;
-    }
+  auto worker = [&](int tid) {
+    SimplexEngine engine = proto;
+    std::vector<double> lb, ub;
+    std::vector<double> cand_x;
+    long my_nodes = 0;
 
-    Node node = open.top();
-    open.pop();
-    if (node.bound >= incumbent_internal - opts.abs_gap) {
-      // Every remaining node is at least as bad: best-first order.
-      exhausted_bound = std::min(exhausted_bound, node.bound);
-      break;
-    }
-    ++res.nodes;
-    build_bounds(node);
-
-    LpOptions lp_opts = opts.lp;
-    lp_opts.time_limit_s =
-        std::min(lp_opts.time_limit_s,
-                 opts.time_limit_s - (now_seconds() - t_start));
-    engine.set_options(lp_opts);
-    LpResult lp = engine.solve(lb, ub, node.warm.get());
-    res.lp_iterations += lp.iterations;
-
-    if (lp.status == SolveStatus::kInfeasible) continue;
-    if (lp.status == SolveStatus::kUnbounded) {
-      if (node.depth == 0 && int_vars.empty()) {
-        res.status = SolveStatus::kUnbounded;
-        res.seconds = now_seconds() - t_start;
-        return res;
+    auto build_bounds = [&](const Node& node) {
+      lb = root_lb;
+      ub = root_ub;
+      for (const Delta* d = node.deltas.get(); d != nullptr;
+           d = d->parent.get()) {
+        lb[static_cast<size_t>(d->var)] =
+            std::max(lb[static_cast<size_t>(d->var)], d->lb);
+        ub[static_cast<size_t>(d->var)] =
+            std::min(ub[static_cast<size_t>(d->var)], d->ub);
       }
-      // Unbounded relaxation of a node with integers: cannot bound; treat
-      // the proof as incomplete and keep searching siblings.
-      proof_incomplete = true;
-      continue;
-    }
-    if (lp.status != SolveStatus::kOptimal) {
-      proof_incomplete = true;
-      continue;
-    }
+    };
 
-    const double node_bound = sign * lp.obj;
-    if (node_bound >= incumbent_internal - opts.abs_gap) continue;
+    std::unique_lock<std::mutex> lk(sh.mu);
+    while (true) {
+      sh.cv.wait(lk, [&] {
+        return sh.stop || !sh.open.empty() || sh.active == 0;
+      });
+      if (sh.stop || (sh.open.empty() && sh.active == 0)) break;
+      if (sh.open.empty()) continue;  // spurious wake with workers active
 
-    // Find the most fractional integer variable.
-    int branch_var = -1;
-    double branch_val = 0.0;
-    double best_frac_dist = opts.int_tol;
-    for (const int j : int_vars) {
-      const double v = lp.x[static_cast<size_t>(j)];
-      const double dist = std::abs(v - std::round(v));
-      if (dist > best_frac_dist) {
-        // prefer the variable closest to 0.5 fractionality
-        const double score = 0.5 - std::abs(v - std::floor(v) - 0.5);
-        const double best_score =
-            branch_var < 0 ? -1.0
-                           : 0.5 - std::abs(branch_val -
-                                            std::floor(branch_val) - 0.5);
-        if (score > best_score) {
-          branch_var = j;
-          branch_val = v;
+      if (sh.nodes >= opts.max_nodes) {
+        sh.limit_hit = SolveStatus::kNodeLimit;
+        sh.stop = true;
+        sh.cv.notify_all();
+        break;
+      }
+      if (now_seconds() - t_start > opts.time_limit_s) {
+        sh.limit_hit = SolveStatus::kTimeLimit;
+        sh.stop = true;
+        sh.cv.notify_all();
+        break;
+      }
+
+      Node node = sh.open.top();
+      sh.open.pop();
+      if (node.bound >= sh.incumbent_internal - opts.abs_gap) {
+        // Best-first pool: every node still queued is at least as bad, and
+        // the incumbent only improves, so the whole pool prunes with it.
+        // In-flight workers may still push better-bounded children.
+        sh.exhausted_bound = std::min(sh.exhausted_bound, node.bound);
+        while (!sh.open.empty()) sh.open.pop();
+        sh.cv.notify_all();
+        continue;
+      }
+      ++sh.nodes;
+      const long node_seq = sh.nodes;
+      const bool have_incumbent = sh.incumbent_internal < kInf;
+      const double incumbent_at_pop = sh.incumbent_internal;
+      ++sh.active;
+      lk.unlock();
+
+      ++my_nodes;
+      build_bounds(node);
+
+      LpOptions lp_opts = opts.lp;
+      const double remaining = opts.time_limit_s - (now_seconds() - t_start);
+      lp_opts.time_limit_s =
+          std::min(lp_opts.time_limit_s, std::max(0.0, remaining));
+      engine.set_options(lp_opts);
+      LpResult lp = engine.solve(lb, ub, node.warm.get());
+
+      // Everything after the LP is cheap; classify the node and prepare any
+      // incumbent candidate / children outside the lock, then fold in.
+      const double node_bound = sign * lp.obj;
+      int branch_var = -1;
+      double branch_val = 0.0;
+      bool cand_ok = false;
+      double cand_internal = kInf;
+
+      if (lp.status == SolveStatus::kOptimal) {
+        // Find the most fractional integer variable.
+        double best_frac_dist = opts.int_tol;
+        for (const int j : int_vars) {
+          const double v = lp.x[static_cast<size_t>(j)];
+          const double dist = std::abs(v - std::round(v));
+          if (dist > best_frac_dist) {
+            // prefer the variable closest to 0.5 fractionality
+            const double score = 0.5 - std::abs(v - std::floor(v) - 0.5);
+            const double best_score =
+                branch_var < 0 ? -1.0
+                               : 0.5 - std::abs(branch_val -
+                                                std::floor(branch_val) - 0.5);
+            if (score > best_score) {
+              branch_var = j;
+              branch_val = v;
+            }
+          }
+        }
+        // Integral point, or the cheap rounding heuristic on early /
+        // post-incumbent fractional nodes: try to round into an incumbent.
+        const bool prunable = node_bound >= incumbent_at_pop - opts.abs_gap;
+        if (!prunable &&
+            (branch_var < 0 || have_incumbent || node_seq <= 64)) {
+          cand_ok = round_candidate(lp.x, cand_x, cand_internal);
         }
       }
-    }
 
-    if (branch_var < 0) {
-      // Integral: candidate incumbent.
-      try_incumbent(lp.x);
-      if (opts.stop_at_first_incumbent && !incumbent_x.empty()) {
-        limit_hit = SolveStatus::kFeasible;
-        break;
+      lk.lock();
+      --sh.active;
+      sh.lp_iterations += lp.iterations;
+      sh.lp_stats.add(lp.stats);
+      res.nodes_per_thread[static_cast<size_t>(tid)] = my_nodes;
+
+      if (lp.status == SolveStatus::kInfeasible) {
+        sh.cv.notify_all();
+        continue;
       }
-      continue;
-    }
-
-    // Cheap rounding heuristic to seed the incumbent early.
-    if (!incumbent_x.empty() || res.nodes <= 64) {
-      try_incumbent(lp.x);
-      if (opts.stop_at_first_incumbent && !incumbent_x.empty()) {
-        limit_hit = SolveStatus::kFeasible;
-        break;
+      if (lp.status == SolveStatus::kUnbounded) {
+        if (node.depth == 0 && int_vars.empty()) {
+          sh.root_unbounded = true;
+          sh.stop = true;
+        } else {
+          // Unbounded relaxation of a node with integers: cannot bound;
+          // treat the proof as incomplete and keep searching siblings.
+          sh.proof_incomplete = true;
+        }
+        sh.cv.notify_all();
+        continue;
       }
-    }
+      if (lp.status != SolveStatus::kOptimal) {
+        sh.proof_incomplete = true;
+        sh.cv.notify_all();
+        continue;
+      }
 
-    auto warm = std::make_shared<std::vector<ColStatus>>(std::move(lp.basis));
-    const double down = std::floor(branch_val);
-    auto mk_delta = [&](double dlb, double dub) {
-      auto d = std::make_shared<Delta>();
-      d->var = branch_var;
-      d->lb = dlb;
-      d->ub = dub;
-      d->parent = node.deltas;
-      return d;
-    };
-    // Push the child on the side the LP value leans toward last so the
-    // (bound, depth) order dives into it first on ties.
-    const bool lean_up = (branch_val - down) > 0.5;
-    Node child_down{mk_delta(-kInf, down), warm, node_bound, node.depth + 1};
-    Node child_up{mk_delta(down + 1.0, kInf), warm, node_bound,
-                  node.depth + 1};
-    if (lean_up) {
-      open.push(child_down);
-      open.push(child_up);
-    } else {
-      open.push(child_up);
-      open.push(child_down);
+      if (cand_ok && cand_internal < sh.incumbent_internal - 1e-12) {
+        sh.incumbent_internal = cand_internal;
+        sh.incumbent_x = cand_x;
+        if (opts.stop_at_first_incumbent) {
+          sh.limit_hit = SolveStatus::kFeasible;
+          sh.stop = true;
+          sh.cv.notify_all();
+          continue;
+        }
+      }
+
+      if (node_bound >= sh.incumbent_internal - opts.abs_gap ||
+          branch_var < 0) {
+        sh.cv.notify_all();
+        continue;
+      }
+
+      auto warm =
+          std::make_shared<std::vector<ColStatus>>(std::move(lp.basis));
+      const double down = std::floor(branch_val);
+      auto mk_delta = [&](double dlb, double dub) {
+        auto d = std::make_shared<Delta>();
+        d->var = branch_var;
+        d->lb = dlb;
+        d->ub = dub;
+        d->parent = node.deltas;
+        return d;
+      };
+      // Push the child on the side the LP value leans toward last so the
+      // (bound, depth) order dives into it first on ties.
+      const bool lean_up = (branch_val - down) > 0.5;
+      Node child_down{mk_delta(-kInf, down), warm, node_bound,
+                      node.depth + 1};
+      Node child_up{mk_delta(down + 1.0, kInf), warm, node_bound,
+                    node.depth + 1};
+      if (lean_up) {
+        sh.open.push(child_down);
+        sh.open.push(child_up);
+      } else {
+        sh.open.push(child_up);
+        sh.open.push(child_down);
+      }
+      sh.cv.notify_all();
     }
+    sh.cv.notify_all();
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads) - 1);
+    for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+    worker(0);
+    for (std::thread& t : pool) t.join();
   }
 
-  // --- Assemble the result.
+  // --- Assemble the result (workers are done; no locking needed).
   res.seconds = now_seconds() - t_start;
-  double open_bound = exhausted_bound;
-  if (!open.empty()) open_bound = std::min(open_bound, open.top().bound);
-  const bool exhausted = open.empty() && limit_hit == SolveStatus::kOptimal;
+  res.nodes = sh.nodes;
+  res.lp_iterations = sh.lp_iterations;
+  res.lp_stats = sh.lp_stats;
 
-  if (!incumbent_x.empty()) {
-    res.x = incumbent_x;
-    res.obj = sign * incumbent_internal;
-    const double bb =
-        exhausted ? incumbent_internal : std::min(open_bound,
-                                                  incumbent_internal);
+  if (sh.root_unbounded) {
+    res.status = SolveStatus::kUnbounded;
+    return res;
+  }
+
+  double open_bound = sh.exhausted_bound;
+  if (!sh.open.empty()) open_bound = std::min(open_bound, sh.open.top().bound);
+  const bool exhausted =
+      sh.open.empty() && sh.limit_hit == SolveStatus::kOptimal;
+
+  if (!sh.incumbent_x.empty()) {
+    res.x = sh.incumbent_x;
+    res.obj = sign * sh.incumbent_internal;
+    const double bb = exhausted
+                          ? sh.incumbent_internal
+                          : std::min(open_bound, sh.incumbent_internal);
     res.best_bound = sign * bb;
-    const double gap = incumbent_internal - bb;
+    const double gap = sh.incumbent_internal - bb;
     const bool gap_closed =
         gap <= opts.abs_gap ||
-        gap <= opts.rel_gap * std::max(1.0, std::abs(incumbent_internal));
-    res.status = (exhausted && !proof_incomplete) || gap_closed
+        gap <= opts.rel_gap * std::max(1.0, std::abs(sh.incumbent_internal));
+    res.status = (exhausted && !sh.proof_incomplete) || gap_closed
                      ? SolveStatus::kOptimal
                      : SolveStatus::kFeasible;
     return res;
   }
 
   res.best_bound = sign * open_bound;
-  if (exhausted && !proof_incomplete) {
+  if (exhausted && !sh.proof_incomplete) {
     res.status = SolveStatus::kInfeasible;
-  } else if (limit_hit != SolveStatus::kOptimal) {
-    res.status = limit_hit;
+  } else if (sh.limit_hit != SolveStatus::kOptimal) {
+    res.status = sh.limit_hit;
   } else {
     res.status = SolveStatus::kNumericalError;
   }

@@ -5,6 +5,10 @@
 // feasibility models (every node bound is 0) — exactly the behaviour needed
 // to find an integer floorplan quickly or prove that a stress target is
 // infeasible.
+//
+// The search runs on a shared best-first node pool served by num_threads
+// workers, each owning a private SimplexEngine clone; see solve_milp below
+// for the determinism guarantees.
 #pragma once
 
 #include <vector>
@@ -26,6 +30,10 @@ struct MipOptions {
   bool stop_at_first_incumbent = false;
   // Run the exact presolve reductions (milp/presolve.h) before the search.
   bool presolve = true;
+  // Worker threads for the branch & bound search. 0 picks
+  // std::thread::hardware_concurrency(); 1 runs the search inline on the
+  // calling thread (no workers are spawned).
+  int num_threads = 0;
 };
 
 struct MipResult {
@@ -36,10 +44,18 @@ struct MipResult {
   long nodes = 0;
   long lp_iterations = 0;
   double seconds = 0.0;
+  int threads_used = 1;
+  std::vector<long> nodes_per_thread;  // size threads_used
+  LpStageStats lp_stats;               // aggregated over all node LPs
 
   bool has_solution() const { return !x.empty(); }
 };
 
+// Solves the model exactly. Deterministic result semantics: a run that
+// proves optimality (status kOptimal) reports the same optimal objective for
+// any thread count — only node/iteration counts and which of the co-optimal
+// solutions is returned may differ. Runs cut short by stop_at_first_incumbent
+// or by limits may legitimately differ across thread counts.
 MipResult solve_milp(const Model& model, const MipOptions& opts = {});
 
 }  // namespace cgraf::milp

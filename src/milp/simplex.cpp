@@ -1,11 +1,11 @@
 #include "milp/simplex.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "milp/lu.h"
 #include "util/check.h"
+#include "util/clock.h"
 
 namespace cgraf::milp {
 
@@ -27,12 +27,8 @@ namespace {
 
 constexpr double kPivotZero = 1e-9;   // |w_i| below this cannot pivot
 constexpr long kBlandTrigger = 2000;  // stalled iterations before Bland mode
-
-double now_seconds() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
+constexpr double kRhoZero = 1e-12;    // pricing-update row entries below this
+                                      // are treated as exact zeros
 
 // All mutable state of one solve, kept together so helper lambdas stay small.
 struct Work {
@@ -53,6 +49,7 @@ SimplexEngine::SimplexEngine(const Model& model, LpOptions opts)
   n_ = model.num_vars();
   m_ = model.num_constraints();
   a_ = build_computational_form(model);
+  a_rows_ = build_row_major(a_);
   sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
 
   cost_.assign(static_cast<size_t>(n_ + m_), 0.0);
@@ -102,6 +99,25 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
   }
   w.cost = cost_;
 
+  LpResult res;
+
+  auto timed_ftran = [&](std::vector<double>& v) {
+    const double t0 = now_seconds();
+    w.lu.ftran(v);
+    res.stats.ftran_seconds += now_seconds() - t0;
+  };
+  auto timed_btran = [&](std::vector<double>& v) {
+    const double t0 = now_seconds();
+    w.lu.btran(v);
+    res.stats.btran_seconds += now_seconds() - t0;
+  };
+  auto timed_factorize = [&] {
+    const double t0 = now_seconds();
+    const bool ok = w.lu.factorize(a_, w.basis);
+    res.stats.factor_seconds += now_seconds() - t0;
+    return ok;
+  };
+
   auto default_status = [&](int j) {
     const double l = w.lb[static_cast<size_t>(j)];
     const double u = w.ub[static_cast<size_t>(j)];
@@ -119,8 +135,7 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
       if (w.status[static_cast<size_t>(j)] == ColStatus::kBasic)
         w.basis.push_back(j);
     }
-    if (static_cast<int>(w.basis.size()) == m_ &&
-        w.lu.factorize(a_, w.basis)) {
+    if (static_cast<int>(w.basis.size()) == m_ && timed_factorize()) {
       // Sanitize nonbasic statuses against the (possibly tightened) bounds.
       for (int j = 0; j < w.total; ++j) {
         ColStatus& s = w.status[static_cast<size_t>(j)];
@@ -141,7 +156,7 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
       w.basis[static_cast<size_t>(r)] = n_ + r;
       w.status[static_cast<size_t>(n_ + r)] = ColStatus::kBasic;
     }
-    const bool ok = w.lu.factorize(a_, w.basis);
+    const bool ok = timed_factorize();
     CGRAF_ASSERT(ok);  // slack basis is -I, always nonsingular
   }
 
@@ -163,7 +178,7 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
       w.x[static_cast<size_t>(j)] = v;
       if (v != 0.0) a_.axpy_col(j, -v, rhs);
     }
-    w.lu.ftran(rhs);
+    timed_ftran(rhs);
     for (int i = 0; i < m_; ++i)
       w.x[static_cast<size_t>(w.basis[static_cast<size_t>(i)])] =
           rhs[static_cast<size_t>(i)];
@@ -181,12 +196,102 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     return s;
   };
 
-  LpResult res;
   std::vector<double> y(static_cast<size_t>(m_));
   std::vector<double> spike(static_cast<size_t>(m_));
   long stalled = 0;
   double last_progress_metric = kInf;
   bool last_phase1 = true;
+
+  // --- Candidate-list pricing state. `d` carries the phase-2 reduced cost
+  // of every column (0 for basics) and is maintained across pivots by a
+  // rank-one update from the BTRAN'd pivot row; it is only trusted while
+  // `d_valid` holds, and is rebuilt exactly from scratch on phase changes,
+  // refactorizations, and every pricing_refresh_interval updates.
+  std::vector<double> d(static_cast<size_t>(w.total), 0.0);
+  bool d_valid = false;
+  long updates_since_refresh = 0;
+  std::vector<int> bucket;
+  int rotate = 0;
+  std::vector<double> rho(static_cast<size_t>(m_));
+  std::vector<double> alpha(static_cast<size_t>(w.total), 0.0);
+  std::vector<char> alpha_mark(static_cast<size_t>(w.total), 0);
+  std::vector<int> alpha_touched;
+  const int bucket_cap =
+      opts_.candidate_bucket > 0
+          ? opts_.candidate_bucket
+          : std::clamp(w.total / 8, 16, 512);
+
+  auto eligible = [&](int j, double dj) {
+    const ColStatus s = w.status[static_cast<size_t>(j)];
+    if (s == ColStatus::kBasic) return false;
+    if (w.lb[static_cast<size_t>(j)] == w.ub[static_cast<size_t>(j)])
+      return false;  // fixed, can never move
+    if (s == ColStatus::kAtLower) return dj < -told;
+    if (s == ColStatus::kAtUpper) return dj > told;
+    return std::abs(dj) > told;  // free
+  };
+
+  // Exact rebuild of the whole reduced-cost vector (phase-2 costs).
+  auto refresh_d = [&] {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (int i = 0; i < m_; ++i)
+      y[static_cast<size_t>(i)] =
+          w.cost[static_cast<size_t>(w.basis[static_cast<size_t>(i)])];
+    timed_btran(y);
+    const double t0 = now_seconds();
+    for (int j = 0; j < w.total; ++j) {
+      d[static_cast<size_t>(j)] =
+          w.status[static_cast<size_t>(j)] == ColStatus::kBasic
+              ? 0.0
+              : w.cost[static_cast<size_t>(j)] - a_.dot_col(j, y);
+    }
+    res.stats.pricing_seconds += now_seconds() - t0;
+    d_valid = true;
+    updates_since_refresh = 0;
+    ++res.stats.full_refreshes;
+  };
+
+  // Refill the bucket with the most attractive eligible columns, scanning
+  // round-robin from `rotate` so slow-moving columns still get their turn.
+  auto rebuild_bucket = [&] {
+    bucket.clear();
+    const int scan_cap = 4 * bucket_cap;
+    int scanned = 0;
+    for (int k = 0; k < w.total && static_cast<int>(bucket.size()) < scan_cap;
+         ++k) {
+      const int j = (rotate + k) % w.total;
+      scanned = k + 1;
+      if (eligible(j, d[static_cast<size_t>(j)])) bucket.push_back(j);
+    }
+    rotate = (rotate + scanned) % w.total;
+    if (static_cast<int>(bucket.size()) > bucket_cap) {
+      std::nth_element(bucket.begin(), bucket.begin() + bucket_cap,
+                       bucket.end(), [&](int a, int b) {
+                         return std::abs(d[static_cast<size_t>(a)]) >
+                                std::abs(d[static_cast<size_t>(b)]);
+                       });
+      bucket.resize(static_cast<size_t>(bucket_cap));
+    }
+    ++res.stats.bucket_rebuilds;
+  };
+
+  // Best still-eligible column in the bucket (dropping dead entries).
+  auto pick_from_bucket = [&] {
+    int best = -1;
+    double best_abs = told;
+    size_t keep = 0;
+    for (const int j : bucket) {
+      const double dj = d[static_cast<size_t>(j)];
+      if (!eligible(j, dj)) continue;
+      bucket[keep++] = j;
+      if (std::abs(dj) > best_abs) {
+        best_abs = std::abs(dj);
+        best = j;
+      }
+    }
+    bucket.resize(keep);
+    return best;
+  };
 
   auto finish = [&](SolveStatus st) {
     res.status = st;
@@ -206,26 +311,18 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
       return finish(SolveStatus::kTimeLimit);
     res.iterations = iter;
 
-    // --- Phase detection and (possibly composite) cost of the basics.
+    // --- Phase detection: any basic outside its bounds forces phase 1.
     bool phase1 = false;
-    std::fill(y.begin(), y.end(), 0.0);
     for (int i = 0; i < m_; ++i) {
       const int j = w.basis[static_cast<size_t>(i)];
       const double xj = w.x[static_cast<size_t>(j)];
-      if (xj > w.ub[static_cast<size_t>(j)] + tolf) {
-        y[static_cast<size_t>(i)] = 1.0;  // minimize overshoot
+      if (xj > w.ub[static_cast<size_t>(j)] + tolf ||
+          xj < w.lb[static_cast<size_t>(j)] - tolf) {
         phase1 = true;
-      } else if (xj < w.lb[static_cast<size_t>(j)] - tolf) {
-        y[static_cast<size_t>(i)] = -1.0;
-        phase1 = true;
+        break;
       }
     }
-    if (!phase1) {
-      for (int i = 0; i < m_; ++i)
-        y[static_cast<size_t>(i)] =
-            w.cost[static_cast<size_t>(w.basis[static_cast<size_t>(i)])];
-    }
-    w.lu.btran(y);
+    if (phase1) ++res.stats.phase1_iterations;
 
     // --- Stall detection drives the Bland anti-cycling fallback. The
     // metric is phase-specific, so reset the tracker on phase changes.
@@ -248,41 +345,92 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     }
     const bool bland = stalled > kBlandTrigger;
 
-    // --- Pricing.
+    // --- Pricing. Phase-1 costs change with the violated set, and Bland
+    // mode needs exact first-eligible semantics, so both use the full path;
+    // feasible Dantzig iterations use the maintained vector + bucket.
+    const bool candidate_mode =
+        opts_.pricing == Pricing::kCandidateList && !phase1 && !bland;
     int enter = -1;
     double enter_d = 0.0;
-    double best_score = told;
-    for (int j = 0; j < w.total; ++j) {
-      const ColStatus s = w.status[static_cast<size_t>(j)];
-      if (s == ColStatus::kBasic) continue;
-      if (w.lb[static_cast<size_t>(j)] == w.ub[static_cast<size_t>(j)])
-        continue;  // fixed, can never move
-      const double cj = phase1 ? 0.0 : w.cost[static_cast<size_t>(j)];
-      const double d = cj - a_.dot_col(j, y);
-      bool eligible = false;
-      if (s == ColStatus::kAtLower) eligible = d < -told;
-      else if (s == ColStatus::kAtUpper) eligible = d > told;
-      else eligible = std::abs(d) > told;  // free
-      if (!eligible) continue;
-      if (bland) {  // first eligible index
-        enter = j;
-        enter_d = d;
-        break;
-      }
-      if (std::abs(d) > best_score) {
-        best_score = std::abs(d);
-        enter = j;
-        enter_d = d;
-      }
-    }
-
-    if (enter < 0) {
+    if (!candidate_mode) {
+      d_valid = false;
+      std::fill(y.begin(), y.end(), 0.0);
       if (phase1) {
-        return total_infeasibility() > 10 * tolf
-                   ? finish(SolveStatus::kInfeasible)
-                   : finish(SolveStatus::kOptimal);
+        for (int i = 0; i < m_; ++i) {
+          const int j = w.basis[static_cast<size_t>(i)];
+          const double xj = w.x[static_cast<size_t>(j)];
+          if (xj > w.ub[static_cast<size_t>(j)] + tolf)
+            y[static_cast<size_t>(i)] = 1.0;  // minimize overshoot
+          else if (xj < w.lb[static_cast<size_t>(j)] - tolf)
+            y[static_cast<size_t>(i)] = -1.0;
+        }
+      } else {
+        for (int i = 0; i < m_; ++i)
+          y[static_cast<size_t>(i)] =
+              w.cost[static_cast<size_t>(w.basis[static_cast<size_t>(i)])];
       }
-      return finish(SolveStatus::kOptimal);
+      timed_btran(y);
+
+      const double t_price = now_seconds();
+      double best_score = told;
+      for (int j = 0; j < w.total; ++j) {
+        const ColStatus s = w.status[static_cast<size_t>(j)];
+        if (s == ColStatus::kBasic) continue;
+        if (w.lb[static_cast<size_t>(j)] == w.ub[static_cast<size_t>(j)])
+          continue;  // fixed, can never move
+        const double cj = phase1 ? 0.0 : w.cost[static_cast<size_t>(j)];
+        const double dj = cj - a_.dot_col(j, y);
+        bool elig = false;
+        if (s == ColStatus::kAtLower) elig = dj < -told;
+        else if (s == ColStatus::kAtUpper) elig = dj > told;
+        else elig = std::abs(dj) > told;  // free
+        if (!elig) continue;
+        if (bland) {  // first eligible index
+          enter = j;
+          enter_d = dj;
+          break;
+        }
+        if (std::abs(dj) > best_score) {
+          best_score = std::abs(dj);
+          enter = j;
+          enter_d = dj;
+        }
+      }
+      res.stats.pricing_seconds += now_seconds() - t_price;
+
+      if (enter < 0) {
+        if (phase1) {
+          return total_infeasibility() > 10 * tolf
+                     ? finish(SolveStatus::kInfeasible)
+                     : finish(SolveStatus::kOptimal);
+        }
+        return finish(SolveStatus::kOptimal);
+      }
+    } else {
+      if (!d_valid ||
+          updates_since_refresh >= opts_.pricing_refresh_interval) {
+        refresh_d();
+      }
+      const double t_price = now_seconds();
+      enter = pick_from_bucket();
+      if (enter < 0) {
+        rebuild_bucket();
+        enter = pick_from_bucket();
+      }
+      res.stats.pricing_seconds += now_seconds() - t_price;
+      if (enter < 0) {
+        // The maintained vector says optimal; confirm with exact reduced
+        // costs before declaring it, so drift can never change the answer.
+        if (updates_since_refresh > 0) {
+          refresh_d();
+          const double t2 = now_seconds();
+          rebuild_bucket();
+          enter = pick_from_bucket();
+          res.stats.pricing_seconds += now_seconds() - t2;
+        }
+        if (enter < 0) return finish(SolveStatus::kOptimal);
+      }
+      enter_d = d[static_cast<size_t>(enter)];
     }
 
     const double dir = (w.status[static_cast<size_t>(enter)] ==
@@ -293,7 +441,7 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     // --- FTRAN the entering column.
     std::fill(spike.begin(), spike.end(), 0.0);
     a_.axpy_col(enter, 1.0, spike);
-    w.lu.ftran(spike);
+    timed_ftran(spike);
 
     // --- Ratio test. Basic i changes at rate -dir*spike[i] per unit step.
     double t_limit = w.ub[static_cast<size_t>(enter)] -
@@ -364,7 +512,8 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     }
 
     if (leave_pos < 0) {
-      // Bound flip: the entering variable traversed its whole range.
+      // Bound flip: the entering variable traversed its whole range. The
+      // basis is unchanged, so the maintained reduced costs stay valid.
       w.status[static_cast<size_t>(enter)] =
           dir > 0 ? ColStatus::kAtUpper : ColStatus::kAtLower;
       w.x[static_cast<size_t>(enter)] =
@@ -381,13 +530,53 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     w.status[static_cast<size_t>(enter)] = ColStatus::kBasic;
     w.basis[static_cast<size_t>(leave_pos)] = enter;
 
-    const bool need_refactor =
-        w.lu.num_updates() >= opts_.refactor_interval ||
-        !w.lu.update(spike, leave_pos);
-    if (need_refactor) {
-      if (!w.lu.factorize(a_, w.basis))
-        return finish(SolveStatus::kNumericalError);
+    // --- Incremental reduced-cost update: with rho = B_old^-T e_r, every
+    // d_j drops by (d_enter / w_r) * (rho . a_j). Must run before the LU is
+    // touched so the BTRAN still refers to the outgoing basis; the row-major
+    // mirror makes the scatter proportional to the pivot row's support, not
+    // to nnz(A).
+    if (d_valid) {
+      const double w_r = spike[static_cast<size_t>(leave_pos)];
+      std::fill(rho.begin(), rho.end(), 0.0);
+      rho[static_cast<size_t>(leave_pos)] = 1.0;
+      timed_btran(rho);
+      const double t0 = now_seconds();
+      const double theta = d[static_cast<size_t>(enter)] / w_r;
+      alpha_touched.clear();
+      for (int i = 0; i < m_; ++i) {
+        const double ri = rho[static_cast<size_t>(i)];
+        if (std::abs(ri) < kRhoZero) continue;
+        for (int q = a_rows_.begin(i); q < a_rows_.end(i); ++q) {
+          const int j = a_rows_.col_idx[static_cast<size_t>(q)];
+          if (!alpha_mark[static_cast<size_t>(j)]) {
+            alpha_mark[static_cast<size_t>(j)] = 1;
+            alpha_touched.push_back(j);
+          }
+          alpha[static_cast<size_t>(j)] +=
+              ri * a_rows_.value[static_cast<size_t>(q)];
+        }
+      }
+      for (const int j : alpha_touched) {
+        alpha_mark[static_cast<size_t>(j)] = 0;
+        const double aj = alpha[static_cast<size_t>(j)];
+        alpha[static_cast<size_t>(j)] = 0.0;
+        if (w.status[static_cast<size_t>(j)] == ColStatus::kBasic) continue;
+        d[static_cast<size_t>(j)] -= theta * aj;
+      }
+      d[static_cast<size_t>(enter)] = 0.0;
+      ++updates_since_refresh;
+      ++res.stats.incremental_updates;
+      res.stats.pricing_seconds += now_seconds() - t0;
+    }
+
+    const double t_upd = now_seconds();
+    const bool updated = w.lu.num_updates() < opts_.refactor_interval &&
+                         w.lu.update(spike, leave_pos);
+    res.stats.factor_seconds += now_seconds() - t_upd;
+    if (!updated) {
+      if (!timed_factorize()) return finish(SolveStatus::kNumericalError);
       recompute_basics();
+      d_valid = false;  // refreshed on the next candidate-mode iteration
     }
   }
 }

@@ -26,12 +26,31 @@ enum class SolveStatus {
 
 const char* to_string(SolveStatus s);
 
+// Entering-variable selection scheme for the (feasible) phase-2 iterations.
+enum class Pricing {
+  // Recompute every nonbasic reduced cost from scratch each iteration and
+  // take the most negative (textbook Dantzig). O(nnz(A)) per pivot.
+  kFullDantzig,
+  // Maintain the reduced-cost vector incrementally across pivots (one extra
+  // sparse BTRAN per basis change) and select from a rotating candidate
+  // bucket of attractive columns, with periodic full refreshes and an exact
+  // full-pricing confirmation before optimality is declared. Same optima,
+  // much cheaper pivots on large sparse models.
+  kCandidateList,
+};
+
 struct LpOptions {
   long max_iters = 500000;
   double time_limit_s = 1e18;
   double tol_feas = 1e-7;   // bound/row feasibility tolerance
   double tol_cost = 1e-7;   // reduced-cost (dual) tolerance
   int refactor_interval = 100;
+  Pricing pricing = Pricing::kCandidateList;
+  // Candidate bucket size; 0 picks clamp(total_cols / 8, 16, 512).
+  int candidate_bucket = 0;
+  // Full reduced-cost refresh at least every this many incremental updates
+  // (numerical hygiene; refactorizations force one too).
+  int pricing_refresh_interval = 64;
 };
 
 // Nonbasic/basic status of one column, used for warm starts.
@@ -42,6 +61,30 @@ enum class ColStatus : signed char {
   kFreeZero = 3,
 };
 
+// Per-stage instrumentation of one or more solves. Additive so branch &
+// bound / the two-step driver can aggregate across LPs and across threads.
+struct LpStageStats {
+  double pricing_seconds = 0.0;  // entering-column selection + d[] upkeep
+  double ftran_seconds = 0.0;    // entering-column FTRANs
+  double btran_seconds = 0.0;    // dual/pricing BTRANs
+  double factor_seconds = 0.0;   // basis (re)factorizations
+  long phase1_iterations = 0;    // iterations spent restoring feasibility
+  long full_refreshes = 0;       // full reduced-cost recomputations
+  long bucket_rebuilds = 0;      // candidate bucket rebuilds
+  long incremental_updates = 0;  // pivots priced via the incremental path
+
+  void add(const LpStageStats& o) {
+    pricing_seconds += o.pricing_seconds;
+    ftran_seconds += o.ftran_seconds;
+    btran_seconds += o.btran_seconds;
+    factor_seconds += o.factor_seconds;
+    phase1_iterations += o.phase1_iterations;
+    full_refreshes += o.full_refreshes;
+    bucket_rebuilds += o.bucket_rebuilds;
+    incremental_updates += o.incremental_updates;
+  }
+};
+
 struct LpResult {
   SolveStatus status = SolveStatus::kNumericalError;
   double obj = 0.0;                // in the model's original sense
@@ -49,6 +92,7 @@ struct LpResult {
   long iterations = 0;
   double seconds = 0.0;
   std::vector<ColStatus> basis;    // size n+m, for warm starting
+  LpStageStats stats;
 };
 
 class SimplexEngine {
@@ -73,6 +117,7 @@ class SimplexEngine {
   int n_ = 0;  // structural columns
   int m_ = 0;  // rows == slack columns
   CscMatrix a_;                 // n_ structural + m_ slack columns
+  RowMajorMatrix a_rows_;       // row-major mirror for pricing updates
   std::vector<double> cost_;    // size n_+m_, minimization sense
   std::vector<double> model_lb_, model_ub_;  // structural bounds (size n_)
   std::vector<double> slack_lb_, slack_ub_;  // slack bounds (size m_)

@@ -21,6 +21,32 @@ double CscMatrix::dot_col(int j, const std::vector<double>& y) const {
   return acc;
 }
 
+RowMajorMatrix build_row_major(const CscMatrix& a) {
+  RowMajorMatrix r;
+  r.rows = a.rows;
+  r.cols = a.cols;
+  r.row_start.assign(static_cast<size_t>(a.rows) + 1, 0);
+  for (const int i : a.row_idx) ++r.row_start[static_cast<size_t>(i) + 1];
+  for (int i = 0; i < a.rows; ++i)
+    r.row_start[static_cast<size_t>(i) + 1] +=
+        r.row_start[static_cast<size_t>(i)];
+  r.col_idx.resize(a.row_idx.size());
+  r.value.resize(a.value.size());
+  std::vector<int> fill(static_cast<size_t>(a.rows), 0);
+  // Columns are visited in increasing order, so each row's entries come out
+  // sorted by column.
+  for (int j = 0; j < a.cols; ++j) {
+    for (int p = a.begin(j); p < a.end(j); ++p) {
+      const int i = a.row_idx[static_cast<size_t>(p)];
+      const int q = r.row_start[static_cast<size_t>(i)] +
+                    fill[static_cast<size_t>(i)]++;
+      r.col_idx[static_cast<size_t>(q)] = j;
+      r.value[static_cast<size_t>(q)] = a.value[static_cast<size_t>(p)];
+    }
+  }
+  return r;
+}
+
 CscMatrix build_computational_form(const Model& model) {
   const int m = model.num_constraints();
   const int n = model.num_vars();

@@ -29,6 +29,22 @@ struct CscMatrix {
   double dot_col(int j, const std::vector<double>& y) const;
 };
 
+// Row-major mirror of a CscMatrix. The simplex pricing update needs the
+// product rho^T A for a sparse rho, which is only cheap when the rows of A
+// can be scattered directly; column indices within a row are sorted.
+struct RowMajorMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> row_start;  // size rows+1
+  std::vector<int> col_idx;    // size nnz
+  std::vector<double> value;   // size nnz
+
+  int begin(int i) const { return row_start[static_cast<size_t>(i)]; }
+  int end(int i) const { return row_start[static_cast<size_t>(i) + 1]; }
+};
+
+RowMajorMatrix build_row_major(const CscMatrix& a);
+
 // Builds the simplex "computational form" matrix for a model:
 //   columns [0, n_struct)           structural variables,
 //   columns [n_struct, n_struct+m)  one slack per row with coefficient -1,

@@ -1,0 +1,15 @@
+// Shared monotonic wall-clock helper for solver timing and limits.
+#pragma once
+
+#include <chrono>
+
+namespace cgraf {
+
+// Seconds on the steady (monotonic) clock; only differences are meaningful.
+inline double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace cgraf

@@ -1,0 +1,146 @@
+// Determinism of the parallel branch & bound: a run that proves optimality
+// must report the same optimal objective (and the same feasibility verdict)
+// for any worker-thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/branch_and_bound.h"
+#include "milp/model.h"
+#include "util/rng.h"
+
+namespace cgraf::milp {
+namespace {
+
+Model random_milp(Rng& rng, int max_vars, int max_rows) {
+  Model m;
+  const int nv =
+      3 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_vars)));
+  const int nc =
+      2 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_rows)));
+  for (int j = 0; j < nv; ++j) m.add_binary(rng.next_double() * 10 - 5);
+  for (int r = 0; r < nc; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < nv; ++j)
+      if (rng.next_bool(0.6)) terms.emplace_back(j, rng.next_double() * 6 - 3);
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    const double rhs = rng.next_double() * 6 - 1;
+    switch (rng.next_below(3)) {
+      case 0: m.add_le(std::move(terms), rhs); break;
+      case 1: m.add_ge(std::move(terms), -rhs); break;
+      default: m.add_constraint(std::move(terms), -2.0 - rhs, 2.0 + rhs); break;
+    }
+  }
+  if (rng.next_bool(0.5)) m.set_sense(Sense::kMaximize);
+  return m;
+}
+
+// A small ops x pes assignment feasibility model (the floorplanner's shape)
+// with enough structure to branch a few levels deep.
+Model assignment_milp(std::uint64_t seed, int ops, int pes) {
+  Rng rng(seed);
+  Model m;
+  std::vector<std::vector<int>> vars(static_cast<size_t>(ops));
+  for (int j = 0; j < ops; ++j) {
+    for (int k = 0; k < pes; ++k)
+      vars[static_cast<size_t>(j)].push_back(m.add_binary(rng.next_double()));
+    std::vector<std::pair<int, double>> row;
+    for (const int v : vars[static_cast<size_t>(j)]) row.emplace_back(v, 1.0);
+    m.add_eq(std::move(row), 1.0);
+  }
+  for (int k = 0; k < pes; ++k) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < ops; ++j)
+      row.emplace_back(vars[static_cast<size_t>(j)][static_cast<size_t>(k)],
+                       1.0);
+    m.add_le(std::move(row), 1.0 + ops / pes);
+  }
+  return m;
+}
+
+class ParallelBnbDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelBnbDeterminism, SameObjectiveForAnyThreadCount) {
+  Rng rng(777 + static_cast<std::uint64_t>(GetParam()));
+  const Model m = random_milp(rng, 10, 8);
+
+  MipResult ref;
+  bool have_ref = false;
+  for (const int threads : {1, 2, 4}) {
+    MipOptions opts;
+    opts.num_threads = threads;
+    const MipResult r = solve_milp(m, opts);
+    EXPECT_EQ(r.threads_used, threads);
+    EXPECT_EQ(static_cast<int>(r.nodes_per_thread.size()), threads);
+    long total = 0;
+    for (const long n : r.nodes_per_thread) total += n;
+    EXPECT_EQ(total, r.nodes);
+    if (!have_ref) {
+      ref = r;
+      have_ref = true;
+      continue;
+    }
+    ASSERT_EQ(r.status, ref.status) << "threads=" << threads;
+    if (r.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(r.obj, ref.obj, 1e-6 * (1.0 + std::abs(ref.obj)))
+          << "threads=" << threads;
+      EXPECT_LE(m.max_violation(r.x, /*check_integrality=*/true), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelBnbDeterminism,
+                         ::testing::Range(0, 24));
+
+TEST(ParallelBnb, AssignmentModelOptimumMatchesAcrossThreadCounts) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const Model m = assignment_milp(seed, 8, 4);
+    MipOptions serial;
+    serial.num_threads = 1;
+    const MipResult r1 = solve_milp(m, serial);
+    ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+    for (const int threads : {2, 4}) {
+      MipOptions opts;
+      opts.num_threads = threads;
+      const MipResult rk = solve_milp(m, opts);
+      ASSERT_EQ(rk.status, SolveStatus::kOptimal) << "threads=" << threads;
+      EXPECT_NEAR(rk.obj, r1.obj, 1e-6) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBnb, StopAtFirstIncumbentStillFeasibleWithThreads) {
+  const Model m = assignment_milp(5, 10, 5);
+  MipOptions opts;
+  opts.num_threads = 4;
+  opts.stop_at_first_incumbent = true;
+  const MipResult r = solve_milp(m, opts);
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_LE(m.max_violation(r.x, /*check_integrality=*/true), 1e-6);
+}
+
+TEST(ParallelBnb, NodeLimitRespectedWithThreads) {
+  Rng rng(4242);
+  const Model m = random_milp(rng, 10, 8);
+  MipOptions opts;
+  opts.num_threads = 4;
+  opts.max_nodes = 0;
+  const MipResult r = solve_milp(m, opts);
+  EXPECT_FALSE(r.has_solution());
+}
+
+TEST(ParallelBnb, NegativeTimeBudgetClampsToZero) {
+  // An exhausted wall-clock budget must not turn into a negative child-LP
+  // limit (which used to disable the LP's own time check entirely).
+  const Model m = assignment_milp(9, 8, 4);
+  MipOptions opts;
+  opts.num_threads = 2;
+  opts.time_limit_s = 0.0;
+  const MipResult r = solve_milp(m, opts);
+  EXPECT_TRUE(r.status == SolveStatus::kTimeLimit ||
+              r.status == SolveStatus::kFeasible ||
+              r.status == SolveStatus::kOptimal);
+}
+
+}  // namespace
+}  // namespace cgraf::milp

@@ -1,0 +1,136 @@
+// Candidate-list pricing must be an optimization, never a behaviour change:
+// status and objective agree with full Dantzig pricing on every model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+#include "util/rng.h"
+
+namespace cgraf::milp {
+namespace {
+
+Model random_lp(Rng& rng, int max_vars, int max_rows) {
+  Model m;
+  const int nv =
+      2 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_vars)));
+  const int nc =
+      1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(max_rows)));
+  for (int j = 0; j < nv; ++j)
+    m.add_continuous(0, 5 + rng.next_double() * 5, rng.next_double() * 10 - 5);
+  for (int r = 0; r < nc; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < nv; ++j)
+      if (rng.next_bool(0.6)) terms.emplace_back(j, rng.next_double() * 6 - 3);
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    const double rhs = rng.next_double() * 6 - 1;
+    switch (rng.next_below(3)) {
+      case 0: m.add_le(std::move(terms), rhs); break;
+      case 1: m.add_ge(std::move(terms), -rhs); break;
+      default: m.add_constraint(std::move(terms), -2.0 - rhs, 2.0 + rhs); break;
+    }
+  }
+  if (rng.next_bool(0.5)) m.set_sense(Sense::kMaximize);
+  return m;
+}
+
+// The floorplanner's LP shape: assignment rows + capacity rows, with a
+// dense-enough objective that phase 2 does real pricing work.
+Model assignment_lp(std::uint64_t seed, int ops, int pes) {
+  Rng rng(seed);
+  Model m;
+  std::vector<std::vector<int>> vars(static_cast<size_t>(ops));
+  std::vector<double> stress(static_cast<size_t>(ops));
+  for (int j = 0; j < ops; ++j) {
+    stress[static_cast<size_t>(j)] = 0.2 + 0.6 * rng.next_double();
+    for (int k = 0; k < pes; ++k)
+      vars[static_cast<size_t>(j)].push_back(
+          m.add_continuous(0, 1, rng.next_double()));
+    std::vector<std::pair<int, double>> row;
+    for (const int v : vars[static_cast<size_t>(j)]) row.emplace_back(v, 1.0);
+    m.add_eq(std::move(row), 1.0);
+  }
+  double total = 0.0;
+  for (const double s : stress) total += s;
+  const double cap = std::max(1.3 * total / pes, 0.85);
+  for (int k = 0; k < pes; ++k) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < ops; ++j)
+      row.emplace_back(vars[static_cast<size_t>(j)][static_cast<size_t>(k)],
+                       stress[static_cast<size_t>(j)]);
+    m.add_le(std::move(row), cap);
+  }
+  return m;
+}
+
+void expect_equivalent(const Model& m, const char* label) {
+  LpOptions full;
+  full.pricing = Pricing::kFullDantzig;
+  LpOptions cand;
+  cand.pricing = Pricing::kCandidateList;
+  const LpResult rf = solve_lp(m, full);
+  const LpResult rc = solve_lp(m, cand);
+  ASSERT_EQ(rc.status, rf.status) << label;
+  if (rf.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(rc.obj, rf.obj, 1e-6 * (1.0 + std::abs(rf.obj))) << label;
+    EXPECT_LE(m.max_violation(rc.x), 1e-6) << label;
+  }
+}
+
+class PricingEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PricingEquivalence, RandomLpsAgree) {
+  Rng rng(31000 + static_cast<std::uint64_t>(GetParam()));
+  const Model m = random_lp(rng, 12, 9);
+  expect_equivalent(m, "random");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PricingEquivalence, ::testing::Range(0, 40));
+
+TEST(PricingEquivalenceAssignment, LargerStructuredModelsAgree) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    expect_equivalent(assignment_lp(seed, 32, 12), "assignment");
+  }
+}
+
+TEST(PricingEquivalenceAssignment, WarmStartedResolvesAgree) {
+  const Model m = assignment_lp(7, 24, 10);
+  for (const Pricing pricing :
+       {Pricing::kFullDantzig, Pricing::kCandidateList}) {
+    LpOptions opts;
+    opts.pricing = pricing;
+    SimplexEngine engine(m, opts);
+    const LpResult first = engine.solve();
+    ASSERT_EQ(first.status, SolveStatus::kOptimal);
+    // Tighten a handful of bounds and re-solve warm, as branch & bound does.
+    std::vector<double> lb = engine.model_lb();
+    std::vector<double> ub = engine.model_ub();
+    for (int v = 0; v < 5; ++v) ub[static_cast<size_t>(v)] = 0.0;
+    const LpResult warm = engine.solve(lb, ub, &first.basis);
+    const LpResult cold = engine.solve(lb, ub);
+    ASSERT_EQ(warm.status, cold.status);
+    if (warm.status == SolveStatus::kOptimal)
+      EXPECT_NEAR(warm.obj, cold.obj, 1e-6 * (1.0 + std::abs(cold.obj)));
+  }
+}
+
+TEST(PricingInstrumentation, CandidateModeCountsIncrementalUpdates) {
+  const Model m = assignment_lp(13, 32, 12);
+  LpOptions cand;
+  cand.pricing = Pricing::kCandidateList;
+  const LpResult rc = solve_lp(m, cand);
+  ASSERT_EQ(rc.status, SolveStatus::kOptimal);
+  EXPECT_GT(rc.stats.incremental_updates, 0);
+  EXPECT_GT(rc.stats.full_refreshes, 0);
+  EXPECT_GT(rc.stats.bucket_rebuilds, 0);
+
+  LpOptions full;
+  full.pricing = Pricing::kFullDantzig;
+  const LpResult rf = solve_lp(m, full);
+  ASSERT_EQ(rf.status, SolveStatus::kOptimal);
+  EXPECT_EQ(rf.stats.incremental_updates, 0);
+}
+
+}  // namespace
+}  // namespace cgraf::milp

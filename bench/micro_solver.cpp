@@ -9,11 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "milp/branch_and_bound.h"
 #include "milp/lu.h"
 #include "milp/model.h"
 #include "milp/simplex.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -21,35 +24,51 @@ namespace {
 using namespace cgraf;
 using namespace cgraf::milp;
 
+// Set by main() from the CGRAF_TRACE env var; when tracing, each bench JSON
+// line carries the trace path so the trajectory links back to the profile.
+const char* g_trace_path = nullptr;
+
+void append_stage_fields(obs::JsonWriter& w, const LpStageStats& s) {
+  w.field("pricing_seconds", s.pricing_seconds)
+      .field("ftran_seconds", s.ftran_seconds)
+      .field("btran_seconds", s.btran_seconds)
+      .field("factor_seconds", s.factor_seconds)
+      .field("incremental_updates", s.incremental_updates)
+      .field("full_refreshes", s.full_refreshes)
+      .field("bucket_rebuilds", s.bucket_rebuilds);
+}
+
 void emit_lp_json(const char* name, long arg, const LpResult& r,
                   Pricing pricing) {
-  std::printf(
-      "CGRAF_BENCH_JSON {\"case\":\"%s\",\"arg\":%ld,\"pricing\":\"%s\","
-      "\"wall_seconds\":%.6f,\"lp_iterations\":%ld,\"nodes\":0,\"threads\":1,"
-      "\"pricing_seconds\":%.6f,\"ftran_seconds\":%.6f,"
-      "\"btran_seconds\":%.6f,\"factor_seconds\":%.6f,"
-      "\"incremental_updates\":%ld,\"full_refreshes\":%ld,"
-      "\"bucket_rebuilds\":%ld}\n",
-      name, arg, pricing == Pricing::kCandidateList ? "candidate" : "full",
-      r.seconds, r.iterations, r.stats.pricing_seconds,
-      r.stats.ftran_seconds, r.stats.btran_seconds, r.stats.factor_seconds,
-      r.stats.incremental_updates, r.stats.full_refreshes,
-      r.stats.bucket_rebuilds);
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("case", name)
+      .field("arg", arg)
+      .field("pricing",
+             pricing == Pricing::kCandidateList ? "candidate" : "full")
+      .field("wall_seconds", r.seconds)
+      .field("lp_iterations", r.iterations)
+      .field("nodes", 0L)
+      .field("threads", 1L);
+  append_stage_fields(w, r.stats);
+  if (g_trace_path != nullptr) w.field("trace", g_trace_path);
+  w.end_object();
+  std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
 }
 
 void emit_mip_json(const char* name, long arg, const MipResult& r) {
-  std::printf(
-      "CGRAF_BENCH_JSON {\"case\":\"%s\",\"arg\":%ld,"
-      "\"wall_seconds\":%.6f,\"lp_iterations\":%ld,\"nodes\":%ld,"
-      "\"threads\":%d,\"pricing_seconds\":%.6f,\"ftran_seconds\":%.6f,"
-      "\"btran_seconds\":%.6f,\"factor_seconds\":%.6f,"
-      "\"incremental_updates\":%ld,\"full_refreshes\":%ld,"
-      "\"bucket_rebuilds\":%ld}\n",
-      name, arg, r.seconds, r.lp_iterations, r.nodes, r.threads_used,
-      r.lp_stats.pricing_seconds, r.lp_stats.ftran_seconds,
-      r.lp_stats.btran_seconds, r.lp_stats.factor_seconds,
-      r.lp_stats.incremental_updates, r.lp_stats.full_refreshes,
-      r.lp_stats.bucket_rebuilds);
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("case", name)
+      .field("arg", arg)
+      .field("wall_seconds", r.seconds)
+      .field("lp_iterations", r.lp_iterations)
+      .field("nodes", r.nodes)
+      .field("threads", r.threads_used);
+  append_stage_fields(w, r.lp_stats);
+  if (g_trace_path != nullptr) w.field("trace", g_trace_path);
+  w.end_object();
+  std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
 }
 
 // ops x pes assignment feasibility model with stress rows (the shape the
@@ -192,4 +211,23 @@ BENCHMARK(BM_FtranBtran)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so tracing can wrap the runs: CGRAF_TRACE=<path>
+// records every solver span fired by the benchmark bodies.
+int main(int argc, char** argv) {
+  g_trace_path = std::getenv("CGRAF_TRACE");
+  if (g_trace_path != nullptr && *g_trace_path == '\0') g_trace_path = nullptr;
+  if (g_trace_path != nullptr) obs::Tracer::global().enable();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (g_trace_path != nullptr) {
+    obs::Tracer::global().disable();
+    std::string error;
+    if (!obs::Tracer::global().write_json(g_trace_path, &error))
+      std::fprintf(stderr, "failed to write trace: %s\n", error.c_str());
+  }
+  return 0;
+}

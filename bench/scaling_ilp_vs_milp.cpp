@@ -8,11 +8,14 @@
 // under a wall-clock budget per instance and reports a timeout where the
 // paper reports "no solution within 5 days".
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "cgrra/stress.h"
 #include "core/report.h"
 #include "core/st_target.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
 #include "util/ascii.h"
 
 using namespace cgraf;
@@ -98,6 +101,11 @@ Row run_one(const workloads::BenchmarkSpec& spec, double ilp_budget_s,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // CGRAF_TRACE=<path>: record a Chrome trace of the whole sweep; each
+  // CGRAF_BENCH_JSON line then carries the trace path.
+  const char* trace_path = std::getenv("CGRAF_TRACE");
+  if (trace_path != nullptr && *trace_path == '\0') trace_path = nullptr;
+  if (trace_path != nullptr) obs::Tracer::global().enable();
   double budget = 60.0;
   if (argc > 1) budget = std::atof(argv[1]);
   int threads = 0;  // 0 = hardware_concurrency
@@ -145,20 +153,35 @@ int main(int argc, char** argv) {
               rows.back().name.c_str(),
               core::format_solver_stats(rows.back().ilp_stats).c_str());
 
+  if (trace_path != nullptr) {
+    obs::Tracer::global().disable();
+    std::string error;
+    if (!obs::Tracer::global().write_json(trace_path, &error)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", error.c_str());
+      trace_path = nullptr;
+    }
+  }
+
   // One machine-readable line per instance for the BENCH_*.json trajectory.
   for (const Row& row : rows) {
-    std::printf(
-        "CGRAF_BENCH_JSON {\"case\":\"scaling_ilp_vs_milp\","
-        "\"instance\":\"%s\",\"binaries\":%d,\"threads\":%d,"
-        "\"ilp_status\":\"%s\",\"ilp_wall_seconds\":%.6f,"
-        "\"ilp_nodes\":%ld,\"ilp_max_stress\":%.9f,"
-        "\"dive_status\":\"%s\",\"dive_wall_seconds\":%.6f,"
-        "\"ilp\":{%s},\"dive\":{%s}}\n",
-        row.name.c_str(), row.vars, threads_eff,
-        milp::to_string(row.ilp_status), row.ilp_seconds, row.ilp_nodes,
-        row.ilp_obj, milp::to_string(row.dive_status), row.dive_seconds,
-        core::solver_stats_json(row.ilp_stats).c_str(),
-        core::solver_stats_json(row.dive_stats).c_str());
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("case", "scaling_ilp_vs_milp")
+        .field("instance", row.name)
+        .field("binaries", row.vars)
+        .field("threads", threads_eff)
+        .field("ilp_status", milp::to_string(row.ilp_status))
+        .field("ilp_wall_seconds", row.ilp_seconds)
+        .field("ilp_nodes", row.ilp_nodes)
+        .field("ilp_max_stress", row.ilp_obj)
+        .field("dive_status", milp::to_string(row.dive_status))
+        .field("dive_wall_seconds", row.dive_seconds)
+        .raw_field("ilp", "{" + core::solver_stats_json(row.ilp_stats) + "}")
+        .raw_field("dive",
+                   "{" + core::solver_stats_json(row.dive_stats) + "}");
+    if (trace_path != nullptr) w.field("trace", trace_path);
+    w.end_object();
+    std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
   }
   return 0;
 }

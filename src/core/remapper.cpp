@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "cgrra/stress.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/ascii.h"
 #include "util/check.h"
 #include "util/clock.h"
@@ -12,6 +15,10 @@ namespace cgraf::core {
 RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
                               const RemapOptions& opts) {
   const double t_start = now_seconds();
+  obs::Span remap_span("remap");
+  remap_span.arg("ops", design.num_ops())
+      .arg("contexts", design.num_contexts)
+      .arg("pes", design.fabric.num_pes());
   RemapResult res;
   std::string why;
   CGRAF_ASSERT(is_valid(design, baseline, &why));
@@ -93,6 +100,8 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
                                       : 1;
   for (int round = 0; round < rotation_rounds; ++round) {
     ++res.rotation_attempts;
+    obs::Span round_span("remap.rotation");
+    round_span.arg("round", round);
     Floorplan base = baseline;
     if (opts.mode == RemapMode::kRotate) {
       RotationOptions ropts;
@@ -152,6 +161,7 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
 
     double st_target = std::max(res.st_target_initial, 1e-12);
     if (opts.lp_presearch) {
+      obs::Span presearch_span("remap.presearch");
       TwoStepOptions probe_opts = opts.solver;
       probe_opts.lp_only = true;
       // Smallest LP-feasible target (with path constraints) for a given
@@ -197,14 +207,13 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
           base = baseline;
           candidates = id_cand;
           st_target = id_target;
-          if (opts.verbose)
-            std::fprintf(stderr,
-                         "  [remap] identity geometry wins presearch\n");
+          obs::Progress::global().logf(
+              opts.verbose, "  [remap] identity geometry wins presearch");
         }
       }
-      if (opts.verbose)
-        std::fprintf(stderr, "  [remap] lp presearch -> st_target=%.4f\n",
-                     st_target);
+      presearch_span.arg("st_target", st_target);
+      obs::Progress::global().logf(
+          opts.verbose, "  [remap] lp presearch -> st_target=%.4f", st_target);
     }
 
     // Attempts one st_target: solve, validate, and re-check the CPD with a
@@ -213,6 +222,11 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
     auto attempt = [&](double target, Floorplan& out, double& out_cpd) {
       ++res.outer_iterations;
       res.st_target_final = target;
+      // One span per Delta-relaxation attempt: the probed target plus the
+      // solver verdict and the post-hoc STA check.
+      obs::Span attempt_span("remap.attempt");
+      attempt_span.arg("st_target", target).arg("iter", res.outer_iterations);
+      obs::Metrics::global().counter("remap.attempts").add(1);
       const RemapModel rm = build_remap_model(make_spec(target));
       const double t_iter = now_seconds();
       TwoStepOptions solver_opts = opts.solver;
@@ -232,16 +246,17 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
           out_cpd = sta1.cpd_ns;
         }
       }
-      if (opts.verbose) {
-        std::fprintf(
-            stderr,
-            "  [remap] iter=%d st_target=%.4f vars=%d paths=%d status=%s "
-            "cpd_ok=%d rounds=%d fixed=%d nodes=%ld %.2fs\n",
-            res.outer_iterations, target, rm.num_binary_vars,
-            rm.num_path_rows, milp::to_string(solved.status), cpd_ok ? 1 : 0,
-            solved.stats.dive_rounds, solved.stats.vars_fixed,
-            solved.stats.mip_nodes, now_seconds() - t_iter);
-      }
+      attempt_span.arg("status", milp::to_string(solved.status))
+          .arg("cpd_ok", cpd_ok)
+          .arg("vars", rm.num_binary_vars);
+      obs::Progress::global().logf(
+          opts.verbose,
+          "  [remap] iter=%d st_target=%.4f vars=%d paths=%d status=%s "
+          "cpd_ok=%d rounds=%d fixed=%d nodes=%ld %.2fs",
+          res.outer_iterations, target, rm.num_binary_vars, rm.num_path_rows,
+          milp::to_string(solved.status), cpd_ok ? 1 : 0,
+          solved.stats.dive_rounds, solved.stats.vars_fixed,
+          solved.stats.mip_nodes, now_seconds() - t_iter);
       return cpd_ok;
     };
 
@@ -267,6 +282,7 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       if (st_target >= scan_cap * (1.0 + 1e-9)) break;
       const double step = std::max(delta, (scan_cap - st_target) / 3.0);
       st_target = std::min(st_target + step, scan_cap * (1.0 + 1e-9));
+      obs::Metrics::global().counter("remap.relaxations").add(1);
     }
 
     if (found_at >= 0.0) {
@@ -314,6 +330,12 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       res.mttf_gain =
           res.mttf_after.mttf_seconds / res.mttf_before.mttf_seconds;
       res.seconds = now_seconds() - t_start;
+      obs::Metrics::global().gauge("remap.st_target_final")
+          .set(res.st_target_final);
+      obs::Metrics::global().gauge("remap.mttf_gain").set(res.mttf_gain);
+      remap_span.arg("improved", res.improved)
+          .arg("st_target_final", res.st_target_final)
+          .arg("attempts", res.outer_iterations);
       return res;
     }
     // No feasible floorplan with this rotation: re-draw (Rotate) or give up.
@@ -326,6 +348,7 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
   res.mttf_gain = 1.0;
   res.note = "no improving floorplan found; baseline kept";
   res.seconds = now_seconds() - t_start;
+  remap_span.arg("improved", false).arg("attempts", res.outer_iterations);
   return res;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/json_writer.h"
 #include "util/ascii.h"
 #include "util/check.h"
 
@@ -129,28 +130,26 @@ std::string format_solver_stats(const TwoStepStats& stats) {
 }
 
 std::string solver_stats_json(const TwoStepStats& stats) {
+  // Emitted as an object-body fragment (no surrounding braces): callers
+  // embed it inside their own records, e.g. `"solver":{%s}`.
   const milp::LpStageStats& s = stats.lp_stage;
-  char buf[640];
-  std::snprintf(
-      buf, sizeof buf,
-      "\"lp_iterations\":%ld,\"mip_lp_iterations\":%ld,"
-      "\"phase1_iterations\":%ld,\"nodes\":%ld,\"threads\":%d,"
-      "\"pricing_seconds\":%.6f,\"ftran_seconds\":%.6f,"
-      "\"btran_seconds\":%.6f,\"factor_seconds\":%.6f,"
-      "\"incremental_updates\":%ld,\"full_refreshes\":%ld,"
-      "\"bucket_rebuilds\":%ld",
-      stats.lp_iterations, stats.mip_lp_iterations, s.phase1_iterations,
-      stats.mip_nodes, stats.mip_threads, s.pricing_seconds, s.ftran_seconds,
-      s.btran_seconds, s.factor_seconds, s.incremental_updates,
-      s.full_refreshes, s.bucket_rebuilds);
-  std::string out = buf;
-  out += ",\"nodes_per_thread\":[";
-  for (size_t i = 0; i < stats.mip_nodes_per_thread.size(); ++i) {
-    if (i > 0) out += ",";
-    out += std::to_string(stats.mip_nodes_per_thread[i]);
-  }
-  out += "]";
-  return out;
+  obs::JsonWriter w;
+  w.field("lp_iterations", stats.lp_iterations)
+      .field("mip_lp_iterations", stats.mip_lp_iterations)
+      .field("phase1_iterations", s.phase1_iterations)
+      .field("nodes", stats.mip_nodes)
+      .field("threads", stats.mip_threads)
+      .field("pricing_seconds", s.pricing_seconds)
+      .field("ftran_seconds", s.ftran_seconds)
+      .field("btran_seconds", s.btran_seconds)
+      .field("factor_seconds", s.factor_seconds)
+      .field("incremental_updates", s.incremental_updates)
+      .field("full_refreshes", s.full_refreshes)
+      .field("bucket_rebuilds", s.bucket_rebuilds);
+  w.key("nodes_per_thread").begin_array();
+  for (const long n : stats.mip_nodes_per_thread) w.value(n);
+  w.end_array();
+  return w.str();
 }
 
 }  // namespace cgraf::core

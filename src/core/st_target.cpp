@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "cgrra/stress.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cgraf::core {
 
 StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
                               const StTargetOptions& opts) {
+  obs::Span search_span("st_target.search");
   StTargetResult res;
   const StressMap stress = compute_stress(design, baseline);
   res.st_up = stress.max_accumulated();
@@ -30,6 +33,10 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
   }
 
   auto feasible = [&](double target) {
+    // One span per binary-search probe, annotated with the probed target
+    // and whether the (LP or ILP) feasibility oracle accepted it.
+    obs::Span probe_span("st_target.probe");
+    probe_span.arg("st_target", target);
     RemapModelSpec spec;
     spec.design = &design;
     spec.base = &baseline;
@@ -48,7 +55,10 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
     ++res.probes;
     res.lp_iterations += r.stats.lp_iterations;
     res.lp_stage.add(r.stats.lp_stage);
-    return r.status == milp::SolveStatus::kOptimal;
+    const bool ok = r.status == milp::SolveStatus::kOptimal;
+    probe_span.arg("feasible", ok);
+    obs::Metrics::global().counter("st_target.probes").add(1);
+    return ok;
   };
 
   double lo = res.st_low;
@@ -73,6 +83,10 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
   }
   res.ok = true;
   res.st_target = best;
+  search_span.arg("st_target", res.st_target)
+      .arg("st_low", res.st_low)
+      .arg("st_up", res.st_up)
+      .arg("probes", static_cast<long>(res.probes));
   return res;
 }
 

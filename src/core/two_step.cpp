@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "milp/simplex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -39,7 +41,9 @@ int randomized_fix(const RemapModel& rm, const std::vector<double>& lp_x,
 // Runs branch & bound on `model` and folds its result into `res`.
 void run_bnb(const milp::Model& model, const RemapModel& rm,
              const TwoStepOptions& opts, TwoStepResult& res) {
+  obs::Span span("two_step.residual_ilp");
   const milp::MipResult mip = milp::solve_milp(model, opts.mip);
+  span.arg("status", milp::to_string(mip.status)).arg("nodes", mip.nodes);
   res.stats.mip_status = mip.status;
   res.stats.mip_nodes += mip.nodes;
   res.stats.mip_lp_iterations += mip.lp_iterations;
@@ -61,6 +65,17 @@ void run_bnb(const milp::Model& model, const RemapModel& rm,
 // when it dead-ended and the caller wants the B&B fallback.
 bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
                     TwoStepResult& res) {
+  obs::Span span("two_step.dive");
+  const auto finish_span = [&](bool definitive) {
+    span.arg("status", milp::to_string(res.status))
+        .arg("rounds", static_cast<long>(res.stats.dive_rounds))
+        .arg("vars_fixed", static_cast<long>(res.stats.vars_fixed))
+        .arg("definitive", definitive);
+    obs::Metrics::global()
+        .histogram("two_step.dive_rounds",
+                   {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0})
+        .observe(static_cast<double>(res.stats.dive_rounds));
+  };
   milp::Model relaxed = rm.model;
   for (int v = 0; v < relaxed.num_vars(); ++v) relaxed.relax_var(v);
   milp::SimplexEngine engine(relaxed, opts.lp);
@@ -95,6 +110,7 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
   while (true) {
     if (res.stats.dive_rounds >= max_rounds) {
       res.status = milp::SolveStatus::kIterLimit;
+      finish_span(!opts.bnb_fallback);
       return !opts.bnb_fallback;
     }
     lp = engine.solve(lb, ub, good_basis.empty() ? nullptr : &good_basis);
@@ -108,10 +124,12 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
       if (history.empty()) {
         if (bans == 0 && lp.status == milp::SolveStatus::kInfeasible) {
           res.status = milp::SolveStatus::kInfeasible;  // proven at the root
+          finish_span(true);
           return true;
         }
         // Bans over-constrained the root, or a solver limit fired.
         res.status = milp::SolveStatus::kNodeLimit;
+        finish_span(!opts.bnb_fallback);
         return !opts.bnb_fallback;
       }
       // Undo the most recent round; ban its variable when it was a forced
@@ -136,6 +154,7 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
       }
       if (bans > opts.dive_ban_budget) {
         res.status = milp::SolveStatus::kNodeLimit;  // give up, unproven
+        finish_span(!opts.bnb_fallback);
         return !opts.bnb_fallback;
       }
       continue;
@@ -190,38 +209,71 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
   // Fully committed and the final LP is feasible: decode the floorplan.
   res.status = milp::SolveStatus::kOptimal;
   res.floorplan = rm.decode(lp.x);
+  finish_span(true);
   return true;
+}
+
+const char* strategy_name(RoundingStrategy s) {
+  switch (s) {
+    case RoundingStrategy::kIterativeDive: return "iterative_dive";
+    case RoundingStrategy::kThresholdFixOnce: return "threshold_fix_once";
+    case RoundingStrategy::kRandomizedRound: return "randomized_round";
+    case RoundingStrategy::kNone: return "none";
+  }
+  return "?";
 }
 
 }  // namespace
 
 TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
+  obs::Span solve_span("two_step.solve");
+  solve_span.arg("strategy", strategy_name(opts.strategy))
+      .arg("lp_only", opts.lp_only)
+      .arg("vars", rm.num_binary_vars);
+  obs::Metrics::global().counter("two_step.solves").add(1);
   TwoStepResult res;
   res.stats.vars_total = rm.num_binary_vars;
+  const auto finish = [&] {
+    solve_span.arg("status", milp::to_string(res.status));
+    if (res.stats.fallback_unfixed)
+      obs::Metrics::global().counter("two_step.unfixed_fallbacks").add(1);
+  };
   if (rm.trivially_infeasible) {
     res.status = milp::SolveStatus::kInfeasible;
+    finish();
     return res;
   }
 
   // --- Pure one-shot ILP (scaling baseline).
   if (opts.strategy == RoundingStrategy::kNone && !opts.lp_only) {
     run_bnb(rm.model, rm, opts, res);
+    finish();
     return res;
   }
 
   // --- Default: iterated LP dive.
   if (opts.strategy == RoundingStrategy::kIterativeDive && !opts.lp_only) {
-    if (iterative_dive(rm, opts, res)) return res;
+    if (iterative_dive(rm, opts, res)) {
+      finish();
+      return res;
+    }
     // Dive dead-ended: fall back to branch & bound on the unfixed model.
     res.stats.fallback_unfixed = true;
     run_bnb(rm.model, rm, opts, res);
+    finish();
     return res;
   }
 
   // --- Step A: LP relaxation (lp_only, one-shot fixing, randomized).
-  milp::Model relaxed = rm.model;
-  for (int v = 0; v < relaxed.num_vars(); ++v) relaxed.relax_var(v);
-  const milp::LpResult lp = milp::solve_lp(relaxed, opts.lp);
+  milp::LpResult lp;
+  {
+    obs::Span lp_span("two_step.lp_relax");
+    milp::Model relaxed = rm.model;
+    for (int v = 0; v < relaxed.num_vars(); ++v) relaxed.relax_var(v);
+    lp = milp::solve_lp(relaxed, opts.lp);
+    lp_span.arg("status", milp::to_string(lp.status))
+        .arg("iterations", lp.iterations);
+  }
   res.stats.lp_status = lp.status;
   res.stats.lp_iterations = lp.iterations;
   res.stats.lp_seconds = lp.seconds;
@@ -230,26 +282,32 @@ TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
     res.status = lp.status == milp::SolveStatus::kUnbounded
                      ? milp::SolveStatus::kNumericalError
                      : lp.status;
+    finish();
     return res;
   }
   if (opts.lp_only) {
     res.status = milp::SolveStatus::kOptimal;
+    finish();
     return res;
   }
 
   // --- Step B: pre-map (fix) variables once.
   milp::Model fixed_model = rm.model;
   int fixed = 0;
-  if (opts.strategy == RoundingStrategy::kThresholdFixOnce) {
-    for (int v = 0; v < rm.num_binary_vars; ++v) {
-      if (lp.x[static_cast<std::size_t>(v)] > opts.round_threshold) {
-        fixed_model.set_bounds(v, 1.0, 1.0);
-        ++fixed;
+  {
+    obs::Span fix_span("two_step.fix");
+    if (opts.strategy == RoundingStrategy::kThresholdFixOnce) {
+      for (int v = 0; v < rm.num_binary_vars; ++v) {
+        if (lp.x[static_cast<std::size_t>(v)] > opts.round_threshold) {
+          fixed_model.set_bounds(v, 1.0, 1.0);
+          ++fixed;
+        }
       }
+    } else {  // kRandomizedRound
+      Rng rng(opts.seed);
+      fixed = randomized_fix(rm, lp.x, fixed_model, rng);
     }
-  } else {  // kRandomizedRound
-    Rng rng(opts.seed);
-    fixed = randomized_fix(rm, lp.x, fixed_model, rng);
+    fix_span.arg("vars_fixed", fixed).arg("vars_total", rm.num_binary_vars);
   }
   res.stats.vars_fixed = fixed;
 
@@ -259,6 +317,7 @@ TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
     res.stats.fallback_unfixed = true;
     run_bnb(rm.model, rm, opts, res);
   }
+  finish();
   return res;
 }
 

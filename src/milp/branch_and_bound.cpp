@@ -10,6 +10,9 @@
 #include <queue>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/clock.h"
 
@@ -67,7 +70,12 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
   }();
 
   if (opts.presolve) {
-    PresolveResult pre = presolve(model);
+    PresolveResult pre = [&] {
+      obs::Span span("bnb.presolve");
+      PresolveResult p = presolve(model);
+      span.arg("status", to_string(p.status));
+      return p;
+    }();
     if (pre.status == SolveStatus::kInfeasible) {
       MipResult res;
       res.status = SolveStatus::kInfeasible;
@@ -95,6 +103,15 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     r.seconds = now_seconds() - t_start;
     return r;
   }
+
+  obs::Span solve_span("bnb.solve");
+  solve_span.arg("vars", static_cast<long>(model.num_vars()))
+      .arg("rows", static_cast<long>(model.num_constraints()))
+      .arg("threads", static_cast<long>(threads));
+  // One histogram handle per solve; workers observe lock-free.
+  obs::Histogram& lp_iter_hist = obs::Metrics::global().histogram(
+      "bnb.lp_iterations_per_node",
+      {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
 
   MipResult res;
   res.threads_used = threads;
@@ -144,6 +161,13 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
   };
 
   auto worker = [&](int tid) {
+    // One span per worker thread: each worker runs on its own OS thread,
+    // so the spans land on separate tracks (lanes) in the trace viewer.
+    obs::Tracer& tracer = obs::Tracer::global();
+    obs::Span worker_span(tracer, "bnb.worker");
+    if (worker_span.active() && tid > 0)
+      tracer.name_thread("bnb-worker-" + std::to_string(tid));
+
     SimplexEngine engine = proto;
     std::vector<double> lb, ub;
     std::vector<double> cand_x;
@@ -213,6 +237,21 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       // Everything after the LP is cheap; classify the node and prepare any
       // incumbent candidate / children outside the lock, then fold in.
       const double node_bound = sign * lp.obj;
+      lp_iter_hist.observe(static_cast<double>(lp.iterations));
+      if ((node_seq & 63) == 1 && tracer.enabled()) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "\"seq\":%ld,\"depth\":%d,\"lp_iters\":%ld,"
+                      "\"bound\":%.9g",
+                      node_seq, node.depth, lp.iterations, node_bound);
+        tracer.instant("bnb.node", buf);
+      }
+      if ((node_seq & 255) == 0) {
+        obs::Progress::global().tickf(
+            "  [bnb] nodes=%ld depth=%d bound=%.6g incumbent=%s", node_seq,
+            node.depth, node_bound,
+            incumbent_at_pop < kInf ? "yes" : "no");
+      }
       int branch_var = -1;
       double branch_val = 0.0;
       bool cand_ok = false;
@@ -319,6 +358,7 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       sh.cv.notify_all();
     }
     sh.cv.notify_all();
+    worker_span.arg("tid", static_cast<long>(tid)).arg("nodes", my_nodes);
   };
 
   if (threads == 1) {
@@ -336,6 +376,18 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
   res.nodes = sh.nodes;
   res.lp_iterations = sh.lp_iterations;
   res.lp_stats = sh.lp_stats;
+
+  {
+    obs::Metrics& m = obs::Metrics::global();
+    m.counter("bnb.solves").add(1);
+    m.counter("bnb.nodes").add(sh.nodes);
+    m.counter("bnb.lp_iterations").add(sh.lp_iterations);
+    m.counter("simplex.full_refreshes").add(sh.lp_stats.full_refreshes);
+    m.counter("simplex.bucket_rebuilds").add(sh.lp_stats.bucket_rebuilds);
+    m.counter("simplex.incremental_updates")
+        .add(sh.lp_stats.incremental_updates);
+  }
+  solve_span.arg("nodes", sh.nodes).arg("lp_iterations", sh.lp_iterations);
 
   if (sh.root_unbounded) {
     res.status = SolveStatus::kUnbounded;

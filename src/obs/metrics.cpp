@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+#include "util/check.h"
+
+namespace cgraf::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  CGRAF_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<long>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<long> Histogram::bucket_counts() const {
+  std::vector<long> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+}
+
+Metrics& Metrics::global() {
+  static Metrics metrics;
+  return metrics;
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Metrics::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name,
+                              std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Metrics::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (const double b : h->bounds()) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const long c : h->bucket_counts()) w.value(c);
+    w.end_array();
+    w.field("count", h->count());
+    w.field("sum", h->sum());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void Metrics::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace cgraf::obs

@@ -1,0 +1,97 @@
+// Central metrics registry: named counters, gauges and fixed-bucket
+// histograms, dumped as one JSON document.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (values are heap-allocated and never moved), so hot
+// call sites look a metric up once and keep the reference. Updates on the
+// handles are lock-free atomics; only registration and the JSON dump take
+// the registry mutex.
+//
+// The global registry accumulates across a whole process run; clear()
+// resets it (tests, or one dump per CLI invocation).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgraf::obs {
+
+class Counter {
+ public:
+  void add(long delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> v_{0};
+};
+
+// A double-valued cell with both last-value (set) and accumulator (add)
+// semantics; time totals use add, sizes/levels use set.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed upper-bound buckets: observe(v) increments the first bucket with
+// v <= bound, or the implicit overflow bucket past the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Size bounds().size() + 1; the last entry is the overflow bucket.
+  std::vector<long> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending
+  std::unique_ptr<std::atomic<long>[]> buckets_;
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Metrics {
+ public:
+  static Metrics& global();
+
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // The bounds are fixed by the first registration of `name`; later calls
+  // return the existing histogram regardless of the bounds argument.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+  //  "counts":[...],"count":N,"sum":S}}} — keys sorted, so dumps diff
+  // cleanly across runs.
+  std::string to_json() const;
+
+  // Drops every registered metric. Invalidates previously returned handles.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cgraf::obs

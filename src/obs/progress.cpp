@@ -1,0 +1,54 @@
+#include "obs/progress.h"
+
+#include "util/clock.h"
+
+namespace cgraf::obs {
+
+Progress& Progress::global() {
+  static Progress progress;
+  return progress;
+}
+
+void Progress::configure(bool enabled, double min_interval_s,
+                         std::FILE* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  min_interval_s_ = min_interval_s;
+  out_ = out;
+  last_tick_.store(-1e18, std::memory_order_relaxed);
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Progress::vemit(const char* fmt, std::va_list ap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vfprintf(out_, fmt, ap);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Progress::logf(bool force, const char* fmt, ...) {
+  if (!force && !enabled()) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  vemit(fmt, ap);
+  va_end(ap);
+}
+
+void Progress::tickf(const char* fmt, ...) {
+  if (!enabled()) return;
+  // Claim the tick window with a CAS so concurrent workers emit at most one
+  // line per interval between them.
+  const double now = now_seconds();
+  double last = last_tick_.load(std::memory_order_relaxed);
+  if (now - last < min_interval_s_) return;
+  if (!last_tick_.compare_exchange_strong(last, now,
+                                          std::memory_order_relaxed)) {
+    return;  // another thread just took this window
+  }
+  std::va_list ap;
+  va_start(ap, fmt);
+  vemit(fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace cgraf::obs

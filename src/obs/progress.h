@@ -1,0 +1,58 @@
+// Progress reporter: structured one-line status output on stderr,
+// replacing scattered `if (verbose) fprintf(stderr, ...)` calls.
+//
+// Two emission paths:
+//   - logf(force, ...): milestone lines (one per solve attempt, per phase).
+//     Emitted when the reporter is enabled OR `force` is true, so library
+//     callers that set their own verbose flag keep their output even when
+//     the global reporter is off.
+//   - tickf(...): rate-limited heartbeat lines from long-running inner
+//     loops (branch & bound node counts). Dropped entirely when disabled,
+//     and at most one per min_interval_s otherwise.
+//
+// The CLI maps --verbose to enabled with interval 0 (every line) and
+// --progress to enabled with a ~0.5 s tick interval.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace cgraf::obs {
+
+class Progress {
+ public:
+  static Progress& global();
+
+  Progress() = default;
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  void configure(bool enabled, double min_interval_s = 0.0,
+                 std::FILE* out = stderr);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Milestone line; printed when enabled or forced. A newline is appended.
+  void logf(bool force, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  // Rate-limited heartbeat; dropped when disabled or inside the interval.
+  void tickf(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  long lines_emitted() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void vemit(const char* fmt, std::va_list ap);
+
+  std::atomic<bool> enabled_{false};
+  double min_interval_s_ = 0.0;
+  std::atomic<double> last_tick_{-1e18};
+  std::atomic<long> lines_{0};
+  std::FILE* out_ = stderr;
+  std::mutex mu_;  // serializes writes to out_
+};
+
+}  // namespace cgraf::obs

@@ -1,0 +1,189 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+#include "util/clock.h"
+
+namespace cgraf::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+namespace {
+// Epochs are drawn from a process-wide counter so no two enable() calls —
+// even on different Tracer instances that happen to reuse an address —
+// share one, which would let a stale thread-track cache survive.
+std::atomic<std::uint64_t> g_next_epoch{1};
+}  // namespace
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+  track_names_.clear();
+  next_tid_ = 0;
+  t0_ = now_seconds();
+  epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+double Tracer::now_us() const { return (now_seconds() - t0_) * 1e6; }
+
+int Tracer::thread_track() {
+  thread_local const Tracer* cached_owner = nullptr;
+  thread_local std::uint64_t cached_epoch = 0;
+  thread_local int cached_id = 0;
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+  if (cached_owner != this || cached_epoch != e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cached_id = next_tid_++;
+    cached_owner = this;
+    cached_epoch = e;
+  }
+  return cached_id;
+}
+
+void Tracer::name_thread(const std::string& name) {
+  const int tid = thread_track();
+  std::lock_guard<std::mutex> lk(mu_);
+  track_names_[tid] = name;
+}
+
+void Tracer::record(const char* name, char phase, double ts_us, double dur_us,
+                    std::string args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = phase;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = thread_track();
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(const char* name, std::string args) {
+  if (!enabled()) return;
+  record(name, 'i', now_us(), 0.0, std::move(args));
+}
+
+std::string Tracer::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& [tid, name] : track_names_) {
+    w.begin_object()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", 1L)
+        .field("tid", static_cast<long>(tid))
+        .key("args")
+        .begin_object()
+        .field("name", name)
+        .end_object()
+        .end_object();
+  }
+  for (const TraceEvent& ev : events_) {
+    w.begin_object()
+        .field("name", ev.name)
+        .field("ph", std::string_view(&ev.phase, 1))
+        .field("ts", ev.ts_us)
+        .field("pid", 1L)
+        .field("tid", static_cast<long>(ev.tid));
+    if (ev.phase == 'X') w.field("dur", ev.dur_us);
+    if (ev.phase == 'i') w.field("s", "t");  // instant scope: thread
+    if (!ev.args.empty()) {
+      w.key("args").begin_object().raw(ev.args).end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+bool Tracer::write_json(const std::string& path, std::string* error) const {
+  const std::string json = to_json();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to '" + path + "'";
+  return ok;
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+}
+
+namespace {
+
+void append_arg_key(std::string& args, const char* key) {
+  if (!args.empty()) args += ',';
+  args += '"';
+  JsonWriter::append_escaped(args, key);
+  args += "\":";
+}
+
+}  // namespace
+
+Span& Span::arg(const char* key, double v) {
+  if (tracer_ == nullptr) return *this;
+  append_arg_key(args_, key);
+  JsonWriter w;
+  w.value(v);
+  args_ += w.str();
+  return *this;
+}
+
+Span& Span::arg(const char* key, long v) {
+  if (tracer_ == nullptr) return *this;
+  append_arg_key(args_, key);
+  args_ += std::to_string(v);
+  return *this;
+}
+
+Span& Span::arg(const char* key, bool v) {
+  if (tracer_ == nullptr) return *this;
+  append_arg_key(args_, key);
+  args_ += v ? "true" : "false";
+  return *this;
+}
+
+Span& Span::arg(const char* key, const char* v) {
+  if (tracer_ == nullptr) return *this;
+  append_arg_key(args_, key);
+  args_ += JsonWriter::quoted(v);
+  return *this;
+}
+
+Span& Span::arg(const char* key, const std::string& v) {
+  if (tracer_ == nullptr) return *this;
+  append_arg_key(args_, key);
+  args_ += JsonWriter::quoted(v);
+  return *this;
+}
+
+}  // namespace cgraf::obs

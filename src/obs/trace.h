@@ -1,0 +1,127 @@
+// Span-based tracing with Chrome trace-event JSON export.
+//
+// The global Tracer collects completed spans and instant events from any
+// thread; the export loads directly into chrome://tracing or Perfetto.
+// Design constraints:
+//   - Near-zero cost when disabled: Span's constructor is a relaxed atomic
+//     load and an early return — no allocation, no lock, no clock read
+//     (regression-tested in tests/obs/overhead_test.cpp).
+//   - Thread-safe when enabled: events are appended under a mutex; each
+//     thread gets its own small track id (lazily assigned, cached in a
+//     thread_local), so parallel branch & bound workers appear as separate
+//     lanes in the viewer.
+//   - Timestamps come from util/clock.h (monotonic), microseconds since
+//     enable().
+//
+// Span names must be string literals (or otherwise outlive the tracer);
+// they are stored by pointer on the hot path.
+//
+// Hot-loop instrumentation (per-LP-solve spans in the simplex engine) is
+// compiled out unless CGRAF_OBS_DETAIL is defined (cmake -DCGRAF_OBS_DETAIL=ON).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cgraf::obs {
+
+struct TraceEvent {
+  const char* name = "";
+  char phase = 'X';     // 'X' complete, 'i' instant
+  double ts_us = 0.0;   // since enable()
+  double dur_us = 0.0;  // complete events only
+  int tid = 0;
+  std::string args;     // pre-rendered JSON object body (no braces), may be empty
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Clears any previous events and starts collecting; t=0 is stamped here.
+  void enable();
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds since enable() on the monotonic clock.
+  double now_us() const;
+
+  // Small stable id for the calling thread (first call assigns the next
+  // free id). Cached per thread; interleaving several Tracer instances on
+  // one thread re-assigns, which can split one thread across track ids —
+  // harmless, and irrelevant for the global tracer.
+  int thread_track();
+
+  // Labels the calling thread's lane in the viewer (e.g. "bnb-worker-2").
+  void name_thread(const std::string& name);
+
+  void record(const char* name, char phase, double ts_us, double dur_us,
+              std::string args);
+  // Instant event at now() on the calling thread's track.
+  void instant(const char* name, std::string args = {});
+
+  // Full Chrome trace-event JSON document ({"traceEvents":[...]}).
+  std::string to_json() const;
+  bool write_json(const std::string& path, std::string* error) const;
+
+  std::size_t num_events() const;
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> epoch_{0};  // bumped by enable(); invalidates
+                                         // cached thread track ids
+  double t0_ = 0.0;
+  int next_tid_ = 0;                  // guarded by mu_
+  std::vector<TraceEvent> events_;    // guarded by mu_
+  std::map<int, std::string> track_names_;  // guarded by mu_
+};
+
+// RAII span: records one complete ('X') event from construction to
+// destruction. When the tracer is disabled at construction the span is
+// inert — every method is an immediate no-op.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(Tracer::global(), name) {}
+  Span(Tracer& tracer, const char* name) {
+    if (!tracer.enabled()) return;
+    tracer_ = &tracer;
+    name_ = name;
+    t0_us_ = tracer.now_us();
+  }
+  ~Span() {
+    if (tracer_ == nullptr) return;
+    tracer_->record(name_, 'X', t0_us_, tracer_->now_us() - t0_us_,
+                    std::move(args_));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  // Annotations land in the event's "args" object. No-ops when inactive.
+  Span& arg(const char* key, double v);
+  Span& arg(const char* key, long v);
+  Span& arg(const char* key, int v) { return arg(key, static_cast<long>(v)); }
+  Span& arg(const char* key, bool v);
+  Span& arg(const char* key, const char* v);
+  Span& arg(const char* key, const std::string& v);
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = "";
+  double t0_us_ = 0.0;
+  std::string args_;
+};
+
+}  // namespace cgraf::obs

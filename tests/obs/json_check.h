@@ -1,0 +1,161 @@
+// Minimal recursive-descent JSON validity checker for tests. Accepts the
+// RFC 8259 grammar (objects, arrays, strings with escapes, numbers, the
+// three literals); rejects trailing garbage. Deliberately independent of
+// obs::JsonWriter so writer bugs can't validate themselves.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace cgraf::test {
+
+class JsonChecker {
+ public:
+  // Returns true iff `text` is exactly one valid JSON value.
+  static bool valid(std::string_view text, std::string* why = nullptr) {
+    JsonChecker c(text);
+    c.skip_ws();
+    if (!c.value()) {
+      if (why != nullptr) *why = c.error_ + " at offset " +
+                                 std::to_string(c.pos_);
+      return false;
+    }
+    c.skip_ws();
+    if (c.pos_ != c.text_.size()) {
+      if (why != nullptr)
+        *why = "trailing garbage at offset " + std::to_string(c.pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool fail(const char* what) {
+    error_ = what;
+    return false;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return fail("expected '{'");
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return fail("expected '['");
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character");
+      if (c == '\\') {
+        ++pos_;
+        const char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_)
+            if (!std::isxdigit(static_cast<unsigned char>(peek())))
+              return fail("bad \\u escape");
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                   e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return fail("bad escape");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("expected a value");
+    if (eat('0')) {
+      // no leading zeros
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad fraction");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace cgraf::test

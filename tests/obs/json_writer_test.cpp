@@ -1,0 +1,114 @@
+#include "obs/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "json_check.h"
+
+namespace cgraf::obs {
+namespace {
+
+using test::JsonChecker;
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object()
+      .field("name", "B13")
+      .field("nodes", 42L)
+      .field("ratio", 1.5)
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"B13","nodes":42,"ratio":1.5,"ok":true})");
+  EXPECT_TRUE(JsonChecker::valid(w.str()));
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  JsonWriter w;
+  w.begin_object().key("outer").begin_object().field("k", 1L).end_object();
+  w.key("list").begin_array().value(1L).value(2L).value(3L).end_array();
+  w.key("empty").begin_array().end_array();
+  w.key("none").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"outer":{"k":1},"list":[1,2,3],"empty":[],"none":null})");
+  EXPECT_TRUE(JsonChecker::valid(w.str()));
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object().field("k", "a\"b\\c\nd\te\x01" "f").end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}");
+  std::string why;
+  EXPECT_TRUE(JsonChecker::valid(w.str(), &why)) << why;
+}
+
+TEST(JsonWriter, EscapesKeys) {
+  JsonWriter w;
+  w.begin_object().field("we\"ird", 1L).end_object();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":1}");
+  EXPECT_TRUE(JsonChecker::valid(w.str()));
+}
+
+TEST(JsonWriter, PassesThroughUtf8) {
+  JsonWriter w;
+  w.begin_object().field("k", "caf\xc3\xa9").end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"caf\xc3\xa9\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(0.5)
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null,0.5]");
+  EXPECT_TRUE(JsonChecker::valid(w.str()));
+}
+
+TEST(JsonWriter, FragmentModeEmitsObjectBody) {
+  // Without an enclosing begin_object() the writer produces the `"k":v,...`
+  // fragment form that benches embed inside composite records.
+  JsonWriter w;
+  w.field("a", 1L).field("b", 2.5);
+  w.key("c").begin_array().value(3L).end_array();
+  EXPECT_EQ(w.str(), R"("a":1,"b":2.5,"c":[3])");
+  EXPECT_TRUE(JsonChecker::valid("{" + w.str() + "}"));
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  JsonWriter w;
+  w.begin_object().raw_field("inner", R"({"x":1})").end_object();
+  EXPECT_EQ(w.str(), R"({"inner":{"x":1}})");
+}
+
+TEST(JsonWriter, QuotedHelper) {
+  EXPECT_EQ(JsonWriter::quoted("a\"b"), "\"a\\\"b\"");
+  std::string out;
+  JsonWriter::append_escaped(out, "x\\y");
+  EXPECT_EQ(out, "x\\\\y");
+}
+
+TEST(JsonWriter, ClearResets) {
+  JsonWriter w;
+  w.begin_object().field("a", 1L).end_object();
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  w.begin_array().end_array();
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(JsonChecker, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonChecker::valid(R"({"a":1,})"));
+  EXPECT_FALSE(JsonChecker::valid(R"({"a" 1})"));
+  EXPECT_FALSE(JsonChecker::valid(R"([1,2)"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\":\"\x01\"}"));
+  EXPECT_FALSE(JsonChecker::valid("[1] x"));
+  EXPECT_TRUE(JsonChecker::valid(R"({"a":[1,-2.5e3,"s",null,false]})"));
+}
+
+}  // namespace
+}  // namespace cgraf::obs

@@ -1,0 +1,113 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+
+namespace cgraf::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  Metrics m;
+  Counter& c = m.counter("hits");
+  c.add(1);
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(&m.counter("hits"), &c);  // stable handle
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Metrics, GaugeHoldsLastValue) {
+  Metrics m;
+  Gauge& g = m.gauge("st_target");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.75);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  Metrics m;
+  // Buckets are upper-bound inclusive-exclusive halves resolved by
+  // lower_bound: value v lands in the first bucket whose bound >= v.
+  Histogram& h = m.histogram("lat", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1        -> bucket 0
+  h.observe(1.0);   // == bound 1  -> bucket 0
+  h.observe(1.5);   // <= 2        -> bucket 1
+  h.observe(4.0);   // == bound 4  -> bucket 2
+  h.observe(100.0); // overflow    -> bucket 3
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  const std::vector<long> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(Metrics, HistogramBoundsFixedByFirstRegistration) {
+  Metrics m;
+  Histogram& h1 = m.histogram("h", {1.0, 2.0});
+  Histogram& h2 = m.histogram("h", {5.0, 6.0, 7.0});  // ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Metrics, ConcurrentUpdatesDontLoseCounts) {
+  Metrics m;
+  Counter& c = m.counter("n");
+  Histogram& h = m.histogram("d", {10.0, 20.0});
+  constexpr int kThreads = 4;
+  constexpr int kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPer; ++i) {
+        c.add(1);
+        h.observe(15.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPer);
+  EXPECT_EQ(h.count(), kThreads * kPer);
+  EXPECT_EQ(h.bucket_counts()[1], kThreads * kPer);
+}
+
+TEST(Metrics, JsonDumpIsValidAndSorted) {
+  Metrics m;
+  m.counter("z.last").add(3);
+  m.counter("a.first").add(1);
+  m.gauge("mid").set(0.5);
+  m.histogram("h", {1.0}).observe(2.0);
+  const std::string json = m.to_json();
+  std::string why;
+  EXPECT_TRUE(test::JsonChecker::valid(json, &why)) << why << "\n" << json;
+  // Counters are emitted in sorted name order.
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, ClearEmptiesRegistry) {
+  Metrics m;
+  m.counter("c").add(1);
+  m.clear();
+  const std::string json = m.to_json();
+  EXPECT_EQ(json, R"({"counters":{},"gauges":{},"histograms":{}})");
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&Metrics::global(), &Metrics::global());
+}
+
+}  // namespace
+}  // namespace cgraf::obs

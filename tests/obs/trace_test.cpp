@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "json_check.h"
+
+namespace cgraf::obs {
+namespace {
+
+// Each test uses its own Tracer instance so they can't interfere with the
+// global one (or with each other under ctest -j).
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  {
+    Span s(tracer, "ignored");
+    s.arg("k", 1L);
+    EXPECT_FALSE(s.active());
+  }
+  tracer.instant("also-ignored");
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+TEST(Trace, SpanNestingIsContained) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span outer(tracer, "outer");
+    {
+      Span inner(tracer, "inner");
+    }
+  }
+  tracer.disable();
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction, so inner lands first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+  EXPECT_GE(inner.dur_us, 0.0);
+}
+
+TEST(Trace, ArgsRenderAsJsonObjectBody) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span s(tracer, "annotated");
+    s.arg("d", 1.5).arg("l", 7L).arg("b", true).arg("s", "x\"y");
+  }
+  tracer.disable();
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].args, R"("d":1.5,"l":7,"b":true,"s":"x\"y")");
+}
+
+TEST(Trace, ThreadsGetSeparateTracks) {
+  Tracer tracer;
+  tracer.enable();
+  auto work = [&tracer] {
+    Span s(tracer, "worker");
+    s.arg("x", 1L);
+  };
+  std::thread a(work), b(work);
+  a.join();
+  b.join();
+  {
+    Span s(tracer, "main");
+  }
+  tracer.disable();
+
+  std::set<int> worker_tids;
+  std::set<int> main_tids;
+  for (const auto& e : tracer.snapshot()) {
+    if (std::string_view(e.name) == "worker") worker_tids.insert(e.tid);
+    else main_tids.insert(e.tid);
+  }
+  EXPECT_EQ(worker_tids.size(), 2u);
+  ASSERT_EQ(main_tids.size(), 1u);
+  EXPECT_EQ(worker_tids.count(*main_tids.begin()), 0u);
+}
+
+TEST(Trace, NamedThreadsEmitMetadataEvents) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.name_thread("driver");
+  {
+    Span s(tracer, "work");
+  }
+  tracer.disable();
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"driver\""), std::string::npos);
+}
+
+TEST(Trace, ExportIsValidChromeTraceJson) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span s(tracer, "a");
+    s.arg("note", "quote\" and \\backslash");
+  }
+  tracer.instant("marker");
+  tracer.disable();
+  const std::string json = tracer.to_json();
+  std::string why;
+  EXPECT_TRUE(test::JsonChecker::valid(json, &why)) << why << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Trace, EnableClearsPreviousRun) {
+  Tracer tracer;
+  tracer.enable();
+  { Span s(tracer, "first"); }
+  tracer.disable();
+  EXPECT_EQ(tracer.num_events(), 1u);
+  tracer.enable();
+  EXPECT_EQ(tracer.num_events(), 0u);
+  { Span s(tracer, "second"); }
+  tracer.disable();
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "second");
+}
+
+TEST(Trace, SpansStraddlingDisableAreDropped) {
+  Tracer tracer;
+  tracer.enable();
+  {
+    Span s(tracer, "straddler");
+    tracer.disable();
+  }  // destructor fires after disable(); the tracer must ignore it
+  EXPECT_EQ(tracer.num_events(), 0u);
+}
+
+}  // namespace
+}  // namespace cgraf::obs

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "aging/mechanisms.h"
@@ -21,6 +22,9 @@
 #include "cgrra/stress.h"
 #include "core/remapper.h"
 #include "hls/placer.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "timing/sta.h"
 #include "util/ascii.h"
 #include "workloads/suite.h"
@@ -29,40 +33,72 @@ namespace {
 
 using namespace cgraf;
 
-int usage() {
-  std::fprintf(stderr,
+int usage(int code = 2) {
+  std::fprintf(code == 0 ? stdout : stderr,
                "usage: cgraf_cli <gen|place|remap|report> [options]\n"
                "  gen    --out FILE  [--spec B1..B27 | --contexts N --dim D"
                " --usage U] [--seed S] [--paper-scale]\n"
                "  place  --design FILE --out FILE [--seed S]\n"
                "  remap  --design FILE --floorplan FILE --out FILE"
-               " [--mode freeze|rotate] [--margin F] [--seed S] [--verbose]\n"
-               "  report --design FILE --floorplan FILE [--compare FILE]\n");
-  return 2;
+               " [--mode freeze|rotate] [--margin F] [--seed S]\n"
+               "         [--strategy dive|fix-once|ilp] [--threads N]"
+               " [--verbose]\n"
+               "  report --design FILE --floorplan FILE [--compare FILE]\n"
+               "observability (any command):\n"
+               "  --trace FILE    write a Chrome trace-event JSON of the run"
+               " (chrome://tracing, Perfetto)\n"
+               "  --metrics FILE  write the solver metrics registry as JSON\n"
+               "  --progress      rate-limited progress heartbeats on stderr\n"
+               "  --help          show this message\n");
+  return code;
+}
+
+// Boolean switches (no value); everything else consumes the next argv.
+bool is_switch(const std::string& key) {
+  return key == "paper-scale" || key == "verbose" || key == "progress" ||
+         key == "help";
 }
 
 // Minimal flag parser: every option takes a value except boolean switches.
 struct Args {
   std::map<std::string, std::string> values;
   bool ok = true;
+  std::string problem;
 
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
         ok = false;
+        problem = "expected an option, got '" + key + "'";
         return;
       }
       key = key.substr(2);
-      if (key == "paper-scale" || key == "verbose") {
+      if (is_switch(key)) {
         values[key] = "1";
       } else if (i + 1 < argc) {
         values[key] = argv[++i];
       } else {
         ok = false;
+        problem = "option --" + key + " needs a value";
         return;
       }
     }
+  }
+
+  // Rejects flags outside the command's allowed set so typos fail loudly
+  // instead of being silently ignored. The observability flags are legal
+  // with every command.
+  bool check_allowed(std::set<std::string> allowed) {
+    allowed.insert({"trace", "metrics", "progress", "help"});
+    for (const auto& [key, value] : values) {
+      if (allowed.count(key) == 0) {
+        ok = false;
+        problem = "unknown option --" + key;
+        return false;
+      }
+    }
+    return true;
   }
   std::optional<std::string> get(const std::string& key) const {
     const auto it = values.find(key);
@@ -197,6 +233,23 @@ int cmd_remap(const Args& args) {
   opts.path_margin = std::atof(args.get_or("margin", "0.2").c_str());
   opts.seed = std::strtoull(args.get_or("seed", "1").c_str(), nullptr, 10);
   opts.verbose = args.has("verbose");
+  // Solver controls, mostly useful together with --trace: `--strategy ilp
+  // --threads N` forces every attempt through the parallel branch & bound,
+  // so the trace shows one lane per worker.
+  const std::string strategy = args.get_or("strategy", "dive");
+  if (strategy == "dive") {
+    opts.solver.strategy = core::RoundingStrategy::kIterativeDive;
+  } else if (strategy == "fix-once") {
+    opts.solver.strategy = core::RoundingStrategy::kThresholdFixOnce;
+  } else if (strategy == "ilp") {
+    opts.solver.strategy = core::RoundingStrategy::kNone;
+  } else {
+    std::fprintf(stderr, "unknown --strategy '%s' (dive|fix-once|ilp)\n",
+                 strategy.c_str());
+    return 1;
+  }
+  if (const auto threads = args.get("threads"))
+    opts.solver.mip.num_threads = std::atoi(threads->c_str());
 
   const core::RemapResult result =
       aging_aware_remap(*design, *baseline, opts);
@@ -281,11 +334,64 @@ int cmd_report(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const Args args(argc, argv, 2);
-  if (!args.ok) return usage();
-  if (cmd == "gen") return cmd_gen(args);
-  if (cmd == "place") return cmd_place(args);
-  if (cmd == "remap") return cmd_remap(args);
-  if (cmd == "report") return cmd_report(args);
-  return usage();
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(0);
+  Args args(argc, argv, 2);
+  if (args.has("help")) return usage(0);
+  if (args.ok) {
+    if (cmd == "gen") {
+      args.check_allowed(
+          {"out", "spec", "contexts", "dim", "usage", "seed", "paper-scale"});
+    } else if (cmd == "place") {
+      args.check_allowed({"design", "out", "seed"});
+    } else if (cmd == "remap") {
+      args.check_allowed({"design", "floorplan", "out", "mode", "margin",
+                          "seed", "strategy", "threads", "verbose"});
+    } else if (cmd == "report") {
+      args.check_allowed({"design", "floorplan", "compare"});
+    } else {
+      std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+      return usage();
+    }
+  }
+  if (!args.ok) {
+    std::fprintf(stderr, "cgraf_cli: %s\n", args.problem.c_str());
+    return usage();
+  }
+
+  // Observability: tracing/metrics/progress wrap whatever command runs.
+  const auto trace_path = args.get("trace");
+  const auto metrics_path = args.get("metrics");
+  if (trace_path) obs::Tracer::global().enable();
+  if (args.has("progress"))
+    obs::Progress::global().configure(true, /*min_interval_s=*/0.5);
+  else if (args.has("verbose"))
+    obs::Progress::global().configure(true, /*min_interval_s=*/0.0);
+
+  int code = 2;
+  if (cmd == "gen") code = cmd_gen(args);
+  else if (cmd == "place") code = cmd_place(args);
+  else if (cmd == "remap") code = cmd_remap(args);
+  else if (cmd == "report") code = cmd_report(args);
+
+  std::string error;
+  if (trace_path) {
+    obs::Tracer::global().disable();
+    if (!obs::Tracer::global().write_json(*trace_path, &error)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", error.c_str());
+      if (code == 0) code = 1;
+    } else {
+      std::fprintf(stderr, "trace: %s (%zu events)\n", trace_path->c_str(),
+                   obs::Tracer::global().num_events());
+    }
+  }
+  if (metrics_path) {
+    if (!write_file(*metrics_path, obs::Metrics::global().to_json() + "\n",
+                    &error)) {
+      std::fprintf(stderr, "failed to write metrics: %s\n", error.c_str());
+      if (code == 0) code = 1;
+    } else {
+      std::fprintf(stderr, "metrics: %s\n", metrics_path->c_str());
+    }
+  }
+  return code;
 }

@@ -4,8 +4,8 @@
 // between the CLI tools, be diffed, and be checked into test fixtures:
 //
 //   cgraf-design v1
-//   fabric <rows> <cols> <clock_ns> <unit_wire_ns> <alu_ns> <dmu_ns> \
-//          <width_offset> <width_slope>
+//   fabric <rows> <cols> <clock_ns> <unit_wire_ns> <alu_ns> <dmu_ns>
+//          <width_offset> <width_slope>   (one line)
 //   contexts <C>
 //   ops <N>
 //   op <id> <kind> <bitwidth> <context>

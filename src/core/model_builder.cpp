@@ -7,6 +7,21 @@
 
 namespace cgraf::core {
 
+verify::FormulationSpec RemapModel::formulation_spec() const {
+  verify::FormulationSpec spec;
+  spec.num_pes = design != nullptr ? design->fabric.num_pes() : 0;
+  spec.assign_vars = assign_vars;
+  // candidates keeps a single entry for frozen ops but those have no
+  // variables; align by copying only where variables exist.
+  spec.candidates.assign(candidates.size(), {});
+  for (std::size_t op = 0; op < candidates.size(); ++op) {
+    if (!assign_vars[op].empty()) spec.candidates[op] = candidates[op];
+  }
+  spec.num_path_rows = num_path_rows;
+  spec.num_monitored_paths = num_monitored_paths;
+  return spec;
+}
+
 Floorplan RemapModel::decode(const std::vector<double>& x) const {
   CGRAF_ASSERT(design != nullptr && base != nullptr);
   Floorplan fp;
@@ -104,7 +119,7 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
     std::vector<std::pair<int, double>> row;
     row.reserve(vars.size());
     for (const int v : vars) row.emplace_back(v, 1.0);
-    rm.model.add_eq(std::move(row), 1.0);
+    rm.model.add_eq(std::move(row), 1.0, "assign[" + std::to_string(op) + "]");
   }
   rm.num_binary_vars = rm.model.num_vars();
 
@@ -131,19 +146,23 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
       std::vector<std::pair<int, double>> row;
       row.reserve(vars.size());
       for (const int v : vars) row.emplace_back(v, 1.0);
-      rm.model.add_le(std::move(row), 1.0);
+      rm.model.add_le(std::move(row), 1.0,
+                      "excl[" + std::to_string(key.first) + "," +
+                          std::to_string(key.second) + "]");
     }
     for (int pe = 0; pe < n_pes; ++pe) {
       auto& terms = stress_terms[static_cast<std::size_t>(pe)];
       if (terms.empty()) continue;
       const double rhs =
           spec.st_target - frozen_stress[static_cast<std::size_t>(pe)];
-      rm.model.add_le(std::move(terms), rhs);
+      rm.model.add_le(std::move(terms), rhs,
+                      "stress[" + std::to_string(pe) + "]");
     }
   }
 
   // --- Path wire-length constraints (Step 2.2, Eq. (5)).
   if (spec.monitored != nullptr) {
+    rm.num_monitored_paths = static_cast<int>(spec.monitored->size());
     const double uwd = fabric.unit_wire_delay_ns();
     // Coordinate variables, created lazily per free op.
     std::vector<int> cx(static_cast<std::size_t>(n_ops), -1);
@@ -163,8 +182,8 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
         if (p.x != 0) rx.emplace_back(vars[c], -static_cast<double>(p.x));
         if (p.y != 0) ry.emplace_back(vars[c], -static_cast<double>(p.y));
       }
-      rm.model.add_eq(std::move(rx), 0.0);
-      rm.model.add_eq(std::move(ry), 0.0);
+      rm.model.add_eq(std::move(rx), 0.0, "cx[" + std::to_string(op) + "]");
+      rm.model.add_eq(std::move(ry), 0.0, "cy[" + std::to_string(op) + "]");
       cx[static_cast<std::size_t>(op)] = vx;
       cy[static_cast<std::size_t>(op)] = vy;
       return std::pair<int, int>{vx, vy};
@@ -179,10 +198,16 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
       const auto [vx_, vy_] = coord_vars(v);
       const int dx = rm.model.add_continuous(0.0, milp::kInf);
       const int dy = rm.model.add_continuous(0.0, milp::kInf);
-      rm.model.add_ge({{dx, 1.0}, {ux, -1.0}, {vx_, 1.0}}, 0.0);
-      rm.model.add_ge({{dx, 1.0}, {ux, 1.0}, {vx_, -1.0}}, 0.0);
-      rm.model.add_ge({{dy, 1.0}, {uy, -1.0}, {vy_, 1.0}}, 0.0);
-      rm.model.add_ge({{dy, 1.0}, {uy, 1.0}, {vy_, -1.0}}, 0.0);
+      const std::string edge =
+          std::to_string(key.first) + "," + std::to_string(key.second);
+      rm.model.add_ge({{dx, 1.0}, {ux, -1.0}, {vx_, 1.0}}, 0.0,
+                      "absx+[" + edge + "]");
+      rm.model.add_ge({{dx, 1.0}, {ux, 1.0}, {vx_, -1.0}}, 0.0,
+                      "absx-[" + edge + "]");
+      rm.model.add_ge({{dy, 1.0}, {uy, -1.0}, {vy_, 1.0}}, 0.0,
+                      "absy+[" + edge + "]");
+      rm.model.add_ge({{dy, 1.0}, {uy, 1.0}, {vy_, -1.0}}, 0.0,
+                      "absy-[" + edge + "]");
       return edge_vars[key] = {dx, dy};
     };
 
@@ -226,11 +251,28 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
       }
       if (rhs < -1e-9)
         return fail("monitored path's frozen segments exceed its wire budget");
-      rm.model.add_le(std::move(row), rhs);
+      rm.model.add_le(std::move(row), rhs,
+                      "path[" + std::to_string(rm.num_path_rows) + "]");
       ++rm.num_path_rows;
     }
   }
 
+#ifndef NDEBUG
+  // Debug-assert mode: no model leaves the builder with a lint error. The
+  // same checks run release-mode via tests and `cgraf_cli lint`.
+  {
+    verify::LintOptions lint_opts;
+    lint_opts.include_info = false;
+    const verify::LintReport general = verify::lint_model(rm.model, lint_opts);
+    const verify::LintReport formulation =
+        verify::lint_formulation(rm.model, rm.formulation_spec(), lint_opts);
+    if (!general.clean() || !formulation.clean()) {
+      std::fprintf(stderr, "%s%s", general.to_text().c_str(),
+                   formulation.to_text().c_str());
+      CGRAF_ASSERT(!"build_remap_model produced a model with lint errors");
+    }
+  }
+#endif
   return rm;
 }
 

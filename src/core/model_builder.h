@@ -22,6 +22,7 @@
 #include "cgrra/stress.h"
 #include "milp/model.h"
 #include "timing/paths.h"
+#include "verify/model_lint.h"
 
 namespace cgraf::core {
 
@@ -72,10 +73,15 @@ struct RemapModel {
 
   int num_binary_vars = 0;
   int num_path_rows = 0;
+  int num_monitored_paths = 0;
 
   // Decodes a solver solution vector into a complete floorplan (frozen ops
   // keep their base binding).
   Floorplan decode(const std::vector<double>& x) const;
+
+  // Expected formulation-(3) shape for verify::lint_formulation, taken from
+  // the builder's own bookkeeping.
+  verify::FormulationSpec formulation_spec() const;
 };
 
 RemapModel build_remap_model(const RemapModelSpec& spec);

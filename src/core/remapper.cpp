@@ -88,6 +88,21 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       timing::monitored_paths(graph, baseline, query);
   res.num_monitored_paths = static_cast<int>(monitored.size());
 
+  // Baseline returns still deserve a certificate: the unchanged floorplan
+  // is checked against its own stress level and the monitored-path budgets.
+  auto certify_baseline = [&] {
+    if (!opts.verify.enabled) return;
+    verify::FloorplanSpec fspec;
+    fspec.design = &design;
+    fspec.reference = &baseline;
+    fspec.frozen = frozen;
+    fspec.st_target = res.st_max_before;
+    fspec.monitored = &monitored;
+    fspec.cpd_ns = res.cpd_before_ns;
+    res.certified =
+        verify::certify_floorplan(fspec, baseline, opts.verify.tol).ok;
+  };
+
   // --- Step 1: delay-unaware stress-target lower bound.
   const StTargetResult st = find_st_target(design, baseline, opts.st_search);
   res.st_target_initial = st.st_target;
@@ -234,11 +249,36 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       // that the greedy dive cannot discover; let branch & bound finish
       // the job when the dive dead-ends.
       if (fault_mode) solver_opts.bnb_fallback = true;
+      // One switch turns on both certification layers: the milp-level
+      // solution check inside solve_two_step and the cgrra-level floorplan
+      // check below.
+      if (opts.verify.enabled) solver_opts.verify = opts.verify;
       const TwoStepResult solved = solve_two_step(rm, solver_opts);
       res.last_solve = solved.stats;
       bool cpd_ok = false;
       if (solved.status == milp::SolveStatus::kOptimal) {
         CGRAF_ASSERT(is_valid(design, solved.floorplan, &why));
+        if (opts.verify.enabled) {
+          verify::FloorplanSpec fspec;
+          fspec.design = &design;
+          fspec.reference = &base;
+          fspec.frozen = frozen;
+          fspec.st_target = target;
+          fspec.monitored = &monitored;
+          fspec.cpd_ns = res.cpd_before_ns;
+          const verify::Certificate cert = verify::certify_floorplan(
+              fspec, solved.floorplan, opts.verify.tol);
+          if (!cert.ok) {
+            ++res.certify_rejections;
+            obs::Metrics::global()
+                .counter("verify.floorplan_rejections")
+                .add(1);
+            obs::Progress::global().logf(
+                opts.verbose, "  [remap] certification rejected attempt: %s",
+                cert.summary().c_str());
+            return false;
+          }
+        }
         const timing::StaResult sta1 = run_sta(graph, solved.floorplan);
         cpd_ok = sta1.cpd_ns <= res.cpd_before_ns + 1e-9;
         if (cpd_ok) {
@@ -305,6 +345,8 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       const bool stress_improved =
           stress1.max_accumulated() < res.st_max_before - 1e-12;
       if (stress_improved || fault_mode) {
+        // Every kept candidate passed the per-attempt certificate above.
+        res.certified = opts.verify.enabled;
         res.floorplan = std::move(found);
         res.cpd_after_ns = found_cpd;
         res.st_max_after = stress1.max_accumulated();
@@ -320,6 +362,7 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
         }
       } else {
         res.note = "solution found but no stress improvement";
+        certify_baseline();
       }
       res.mttf_after =
           aging::compute_mttf(design, res.floorplan, opts.nbti, opts.thermal);
@@ -342,6 +385,7 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
   }
 
   // No improving floorplan: return the baseline unchanged.
+  certify_baseline();
   res.cpd_after_ns = res.cpd_before_ns;
   res.st_max_after = res.st_max_before;
   res.mttf_after = res.mttf_before;

@@ -81,6 +81,14 @@ struct RemapOptions {
 
   aging::NbtiParams nbti{};
   thermal::ThermalParams thermal{};
+
+  // Independent verification of every accepted result (verify/certify.h):
+  // each attempt's floorplan is re-validated straight from the cgrra data
+  // model (exclusivity, stress <= st_target, frozen ops pinned, monitored
+  // paths within budget) and the solver-level solution certificate is
+  // enabled too. Attempts that fail certification are rejected as if
+  // infeasible.
+  verify::VerifyOptions verify;
 };
 
 struct RemapResult {
@@ -106,6 +114,12 @@ struct RemapResult {
   TwoStepStats last_solve;
   double seconds = 0.0;
   std::string note;  // human-readable outcome summary
+
+  // Verification outcome (opts.verify.enabled): the returned floorplan
+  // passed the independent cgrra-level certificate, and how many attempts
+  // were thrown away because certification rejected them.
+  bool certified = false;
+  int certify_rejections = 0;
 };
 
 RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,

@@ -55,7 +55,21 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
     ++res.probes;
     res.lp_iterations += r.stats.lp_iterations;
     res.lp_stage.add(r.stats.lp_stage);
-    const bool ok = r.status == milp::SolveStatus::kOptimal;
+    bool ok = r.status == milp::SolveStatus::kOptimal;
+    // ILP-confirmed probes also get the cgrra-level certificate: the stress
+    // bound must hold on the decoded floorplan itself, not just the model.
+    if (ok && opts.confirm_with_ilp && solver.verify.enabled) {
+      verify::FloorplanSpec fspec;
+      fspec.design = &design;
+      fspec.st_target = target;
+      const verify::Certificate cert =
+          verify::certify_floorplan(fspec, r.floorplan, solver.verify.tol);
+      if (!cert.ok) {
+        ++res.certify_failures;
+        obs::Metrics::global().counter("verify.floorplan_rejections").add(1);
+        ok = false;
+      }
+    }
     probe_span.arg("feasible", ok);
     obs::Metrics::global().counter("st_target.probes").add(1);
     return ok;

@@ -33,6 +33,9 @@ struct StTargetResult {
   int probes = 0;
   long lp_iterations = 0;
   milp::LpStageStats lp_stage;  // aggregated over all probe LPs
+  // Probes whose solver answer failed independent certification (counted as
+  // infeasible; solver.verify.enabled turns the check on).
+  int certify_failures = 0;
 };
 
 StTargetResult find_st_target(const Design& design, const Floorplan& baseline,

@@ -7,9 +7,34 @@
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "verify/certify.h"
 
 namespace cgraf::core {
 namespace {
+
+// Independent acceptance gate: re-validate the solution vector against the
+// *original* model (not the bound-tightened copy the solver ran on). A
+// failed certification rejects the result instead of shipping an illegal
+// floorplan. Returns true when the result survives.
+bool certify_accept(const RemapModel& rm, const std::vector<double>& x,
+                    const TwoStepOptions& opts, bool relaxed,
+                    TwoStepResult& res) {
+  if (!opts.verify.enabled) return true;
+  obs::Span span("two_step.certify");
+  const verify::Certificate cert =
+      verify::certify_solution(rm.model, x, opts.verify.tol, relaxed);
+  span.arg("ok", cert.ok);
+  if (cert.ok) {
+    res.certified = true;
+    return true;
+  }
+  obs::Metrics::global().counter("verify.solution_rejections").add(1);
+  res.certified = false;
+  res.certify_error = cert.summary();
+  res.status = milp::SolveStatus::kNumericalError;
+  res.floorplan = Floorplan{};
+  return false;
+}
 
 // Randomized rounding (ablation): per op, sample a candidate with
 // probability proportional to its LP value and fix it.
@@ -54,6 +79,7 @@ void run_bnb(const milp::Model& model, const RemapModel& rm,
   if (mip.has_solution()) {
     res.status = milp::SolveStatus::kOptimal;
     res.floorplan = rm.decode(mip.x);
+    certify_accept(rm, mip.x, opts, /*relaxed=*/false, res);
   } else {
     res.status = mip.status;
   }
@@ -207,8 +233,11 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
   }
 
   // Fully committed and the final LP is feasible: decode the floorplan.
+  // Every assignment variable ends the dive fixed to 0 or 1, so the vector
+  // is certified at full (integral) strictness.
   res.status = milp::SolveStatus::kOptimal;
   res.floorplan = rm.decode(lp.x);
+  certify_accept(rm, lp.x, opts, /*relaxed=*/false, res);
   finish_span(true);
   return true;
 }
@@ -286,7 +315,10 @@ TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
     return res;
   }
   if (opts.lp_only) {
+    // The binary-searched feasibility oracles trust this verdict, so the LP
+    // point is certified too (integrality waived on the relaxation).
     res.status = milp::SolveStatus::kOptimal;
+    certify_accept(rm, lp.x, opts, /*relaxed=*/true, res);
     finish();
     return res;
   }

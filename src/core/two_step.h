@@ -13,6 +13,7 @@
 
 #include "core/model_builder.h"
 #include "milp/branch_and_bound.h"
+#include "verify/certify.h"
 
 namespace cgraf::core {
 
@@ -44,6 +45,11 @@ struct TwoStepOptions {
   milp::LpOptions lp;
   milp::MipOptions mip;
   std::uint64_t seed = 1;  // randomized rounding only
+  // Independent re-validation of every accepted solution vector against the
+  // model (verify/certify.h). A solution that fails certification is
+  // rejected: the result degrades to kNumericalError instead of shipping an
+  // illegal floorplan.
+  verify::VerifyOptions verify;
 };
 
 struct TwoStepStats {
@@ -69,6 +75,11 @@ struct TwoStepResult {
   milp::SolveStatus status = milp::SolveStatus::kNumericalError;
   Floorplan floorplan;  // empty when lp_only or infeasible
   TwoStepStats stats;
+  // Verification outcome when opts.verify.enabled and a solution was
+  // produced: certified == the independent re-check passed. On failure the
+  // status is downgraded and the first issue is kept here.
+  bool certified = false;
+  std::string certify_error;
 };
 
 TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts);

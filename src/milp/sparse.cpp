@@ -1,5 +1,8 @@
 #include "milp/sparse.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "milp/model.h"
 #include "util/check.h"
 
@@ -47,6 +50,63 @@ RowMajorMatrix build_row_major(const CscMatrix& a) {
   return r;
 }
 
+CscMatrix from_triplets(int rows, int cols, std::vector<Triplet> triplets) {
+  CGRAF_ASSERT(rows >= 0 && cols >= 0);
+  for (const Triplet& t : triplets) {
+    CGRAF_ASSERT(t.row >= 0 && t.row < rows);
+    CGRAF_ASSERT(t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.col != b.col ? a.col < b.col : a.row < b.row;
+            });
+
+  CscMatrix a;
+  a.rows = rows;
+  a.cols = cols;
+  a.col_start.assign(static_cast<size_t>(cols) + 1, 0);
+  a.row_idx.reserve(triplets.size());
+  a.value.reserve(triplets.size());
+  for (size_t k = 0; k < triplets.size();) {
+    const int col = triplets[k].col;
+    const int row = triplets[k].row;
+    double sum = 0.0;
+    for (; k < triplets.size() && triplets[k].col == col &&
+           triplets[k].row == row;
+         ++k)
+      sum += triplets[k].value;
+    if (sum == 0.0) continue;  // cancelled duplicates stay out of the matrix
+    a.row_idx.push_back(row);
+    a.value.push_back(sum);
+    ++a.col_start[static_cast<size_t>(col) + 1];
+  }
+  for (int j = 0; j < cols; ++j)
+    a.col_start[static_cast<size_t>(j) + 1] +=
+        a.col_start[static_cast<size_t>(j)];
+  CGRAF_DCHECK(is_canonical(a));
+  return a;
+}
+
+bool is_canonical(const CscMatrix& a) {
+  if (a.rows < 0 || a.cols < 0) return false;
+  if (a.col_start.size() != static_cast<size_t>(a.cols) + 1) return false;
+  if (a.col_start.front() != 0) return false;
+  if (a.col_start.back() != a.nnz()) return false;
+  if (a.value.size() != a.row_idx.size()) return false;
+  for (int j = 0; j < a.cols; ++j) {
+    if (a.begin(j) > a.end(j)) return false;
+    for (int p = a.begin(j); p < a.end(j); ++p) {
+      const int r = a.row_idx[static_cast<size_t>(p)];
+      if (r < 0 || r >= a.rows) return false;
+      // Strictly increasing row indices rule out duplicate (row, col) pairs.
+      if (p > a.begin(j) && a.row_idx[static_cast<size_t>(p) - 1] >= r)
+        return false;
+      if (!std::isfinite(a.value[static_cast<size_t>(p)])) return false;
+    }
+  }
+  return true;
+}
+
 CscMatrix build_computational_form(const Model& model) {
   const int m = model.num_constraints();
   const int n = model.num_vars();
@@ -90,6 +150,10 @@ CscMatrix build_computational_form(const Model& model) {
     a.row_idx[static_cast<size_t>(p)] = r;
     a.value[static_cast<size_t>(p)] = -1.0;
   }
+  // Model::add_constraint canonicalizes each row, so the result must be
+  // canonical too — a duplicate (row, col) pair here means row terms were
+  // mutated behind the model's back.
+  CGRAF_DCHECK(is_canonical(a));
   return a;
 }
 

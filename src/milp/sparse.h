@@ -45,6 +45,26 @@ struct RowMajorMatrix {
 
 RowMajorMatrix build_row_major(const CscMatrix& a);
 
+// One (row, col, value) entry for from_triplets ingestion.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+// Builds a canonical CscMatrix from an unordered triplet list. Duplicate
+// (row, col) entries are merged by summation — the same policy as
+// Model::add_constraint — and entries that cancel to exactly zero are
+// dropped. Out-of-range indices assert.
+CscMatrix from_triplets(int rows, int cols, std::vector<Triplet> triplets);
+
+// True when `a` is in canonical form: monotone col_start spanning exactly
+// row_idx/value, row indices in range and strictly increasing within each
+// column (hence no duplicate (row, col) entries), and all values finite.
+// Everything downstream of the simplex engine assumes this shape;
+// from_triplets and build_computational_form guarantee it (DCHECK'd).
+bool is_canonical(const CscMatrix& a);
+
 // Builds the simplex "computational form" matrix for a model:
 //   columns [0, n_struct)           structural variables,
 //   columns [n_struct, n_struct+m)  one slack per row with coefficient -1,

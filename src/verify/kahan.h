@@ -1,0 +1,40 @@
+// Compensated (Kahan-Neumaier) summation for the independent certifier.
+//
+// The solver accumulates row activities with plain doubles; the certifier
+// must not inherit its rounding behaviour, otherwise a marginally-infeasible
+// solution could pass re-validation by making the same numerical mistakes.
+#pragma once
+
+#include <cmath>
+
+namespace cgraf::verify {
+
+class KahanSum {
+ public:
+  void add(double v) {
+    const double t = sum_ + v;
+    if (std::abs(sum_) >= std::abs(v)) {
+      comp_ += (sum_ - t) + v;
+    } else {
+      comp_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double value() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;  // running compensation for lost low-order bits
+};
+
+// Compensated dot product of sparse terms against a dense vector.
+template <typename Terms, typename Vec>
+double kahan_dot(const Terms& terms, const Vec& x) {
+  KahanSum acc;
+  for (const auto& [idx, coeff] : terms)
+    acc.add(coeff * x[static_cast<decltype(x.size())>(idx)]);
+  return acc.value();
+}
+
+}  // namespace cgraf::verify

@@ -1,0 +1,385 @@
+#include "verify/model_lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace cgraf::verify {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarn: return "warn";
+    case Severity::kInfo: return "info";
+  }
+  return "?";
+}
+
+void LintReport::add(std::string rule, Severity severity, std::string message,
+                     int row, int col) {
+  switch (severity) {
+    case Severity::kError: ++errors; break;
+    case Severity::kWarn: ++warnings; break;
+    case Severity::kInfo: ++infos; break;
+  }
+  findings.push_back(
+      LintFinding{std::move(rule), severity, std::move(message), row, col});
+}
+
+void LintReport::merge(const LintReport& other) {
+  errors += other.errors;
+  warnings += other.warnings;
+  infos += other.infos;
+  findings.insert(findings.end(), other.findings.begin(),
+                  other.findings.end());
+}
+
+std::string LintReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("errors", errors)
+      .field("warnings", warnings)
+      .field("infos", infos)
+      .key("findings")
+      .begin_array();
+  for (const LintFinding& f : findings) {
+    w.begin_object()
+        .field("rule", f.rule)
+        .field("severity", to_string(f.severity))
+        .field("message", f.message);
+    if (f.row >= 0) w.field("row", f.row);
+    if (f.col >= 0) w.field("col", f.col);
+    w.end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+std::string LintReport::to_text() const {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += to_string(f.severity);
+    out += ' ';
+    out += f.rule;
+    out += ": ";
+    out += f.message;
+    if (f.row >= 0) out += " (row " + std::to_string(f.row) + ")";
+    if (f.col >= 0) out += " (col " + std::to_string(f.col) + ")";
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string row_label(const milp::Model& model, int r) {
+  const std::string& name = model.constraint(r).name;
+  return name.empty() ? "row " + std::to_string(r) : "row '" + name + "'";
+}
+
+std::string col_label(const milp::Model& model, int j) {
+  const std::string& name = model.var(j).name;
+  return name.empty() ? "col " + std::to_string(j) : "col '" + name + "'";
+}
+
+}  // namespace
+
+LintReport lint_model(const milp::Model& model, const LintOptions& opts) {
+  LintReport rep;
+  const auto info = [&](std::string rule, std::string message, int row = -1,
+                        int col = -1) {
+    if (opts.include_info)
+      rep.add(std::move(rule), Severity::kInfo, std::move(message), row, col);
+  };
+
+  // --- Column checks: ML001 (bounds), ML002 (objective), ML003 (binary).
+  for (int j = 0; j < model.num_vars(); ++j) {
+    const milp::Variable& v = model.var(j);
+    if (std::isnan(v.lb) || std::isnan(v.ub) || v.lb > v.ub) {
+      rep.add("ML001", Severity::kError,
+              "empty or non-finite bound window [" + std::to_string(v.lb) +
+                  ", " + std::to_string(v.ub) + "] on " +
+                  col_label(model, j),
+              -1, j);
+      continue;
+    }
+    if (!std::isfinite(v.obj)) {
+      rep.add("ML002", Severity::kError,
+              "non-finite objective coefficient on " + col_label(model, j),
+              -1, j);
+    }
+    if (v.type == milp::VarType::kBinary) {
+      if (std::floor(v.ub + 1e-9) < std::ceil(v.lb - 1e-9)) {
+        rep.add("ML003", Severity::kError,
+                "binary bound window [" + std::to_string(v.lb) + ", " +
+                    std::to_string(v.ub) + "] contains no integer point on " +
+                    col_label(model, j),
+                -1, j);
+      } else if (v.lb < -1e-9 || v.ub > 1.0 + 1e-9) {
+        rep.add("ML003", Severity::kWarn,
+                "binary variable with bounds outside [0,1] on " +
+                    col_label(model, j),
+                -1, j);
+      }
+    }
+  }
+
+  // --- Row checks.
+  std::vector<int> col_uses(static_cast<std::size_t>(model.num_vars()), 0);
+  double max_abs = 0.0;
+  double min_abs = milp::kInf;
+  // Rows grouped by their exact term vector, for ML007/ML008.
+  std::map<std::vector<std::pair<int, double>>, std::vector<int>> by_terms;
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    const milp::Constraint& c = model.constraint(r);
+    if (c.terms.empty()) {
+      if (0.0 < c.lb - 1e-12 || 0.0 > c.ub + 1e-12) {
+        rep.add("ML005", Severity::kError,
+                "constant-infeasible " + row_label(model, r) +
+                    ": no terms but bounds exclude 0",
+                r);
+      } else {
+        info("ML004", "vacuous " + row_label(model, r) + " (no terms)", r);
+      }
+      continue;
+    }
+
+    bool finite_coeffs = true;
+    for (std::size_t t = 0; t < c.terms.size(); ++t) {
+      const auto& [idx, coeff] = c.terms[t];
+      if (!std::isfinite(coeff)) {
+        rep.add("ML002", Severity::kError,
+                "non-finite coefficient in " + row_label(model, r), r, idx);
+        finite_coeffs = false;
+        continue;
+      }
+      ++col_uses[static_cast<std::size_t>(idx)];
+      max_abs = std::max(max_abs, std::abs(coeff));
+      if (coeff != 0.0) min_abs = std::min(min_abs, std::abs(coeff));
+      if (t > 0 && c.terms[t - 1].first == idx) {
+        rep.add("ML006", Severity::kError,
+                "duplicate column in " + row_label(model, r) +
+                    " (entries must be merged, not repeated)",
+                r, idx);
+      }
+    }
+    by_terms[c.terms].push_back(r);
+
+    // Activity interval of the row under the variable bounds alone.
+    if (finite_coeffs) {
+      double act_lo = 0.0, act_hi = 0.0;
+      for (const auto& [idx, coeff] : c.terms) {
+        const milp::Variable& v = model.var(idx);
+        if (v.lb > v.ub) { act_lo = -milp::kInf; act_hi = milp::kInf; break; }
+        const double a = coeff * (coeff >= 0.0 ? v.lb : v.ub);
+        const double b = coeff * (coeff >= 0.0 ? v.ub : v.lb);
+        act_lo += a;
+        act_hi += b;
+      }
+      // Only finite bounds scale the tolerance; an infinite one-sided bound
+      // must not blow the slack up to infinity (which would disable ML011
+      // and make ML012 fire on every one-sided row).
+      const double lb_mag = std::isfinite(c.lb) ? std::abs(c.lb) : 0.0;
+      const double ub_mag = std::isfinite(c.ub) ? std::abs(c.ub) : 0.0;
+      const double slack = 1e-9 * std::max(1.0, lb_mag + ub_mag);
+      if (act_lo > c.ub + slack || act_hi < c.lb - slack) {
+        rep.add("ML011", Severity::kError,
+                row_label(model, r) +
+                    " is infeasible against the variable bounds alone "
+                    "(activity in [" +
+                    std::to_string(act_lo) + ", " + std::to_string(act_hi) +
+                    "], bounds [" + std::to_string(c.lb) + ", " +
+                    std::to_string(c.ub) + "])",
+                r);
+      } else if (act_lo >= c.lb - slack && act_hi <= c.ub + slack) {
+        info("ML012",
+             row_label(model, r) + " can never bind (activity within bounds "
+                                   "for every variable assignment)",
+             r);
+      }
+    }
+  }
+
+  // ML007/ML008: duplicate and dominated rows.
+  for (const auto& [terms, rows] : by_terms) {
+    if (rows.size() < 2) continue;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      const milp::Constraint& a = model.constraint(rows[0]);
+      const milp::Constraint& b = model.constraint(rows[i]);
+      if (a.lb == b.lb && a.ub == b.ub) {
+        rep.add("ML007", Severity::kWarn,
+                row_label(model, rows[i]) + " duplicates " +
+                    row_label(model, rows[0]),
+                rows[i]);
+      } else if (b.lb <= a.lb && b.ub >= a.ub) {
+        info("ML008",
+             row_label(model, rows[i]) + " is dominated by the tighter " +
+                 row_label(model, rows[0]),
+             rows[i]);
+      } else if (a.lb <= b.lb && a.ub >= b.ub) {
+        info("ML008",
+             row_label(model, rows[0]) + " is dominated by the tighter " +
+                 row_label(model, rows[i]),
+             rows[0]);
+      }
+    }
+  }
+
+  // ML009: columns no row references and the objective ignores.
+  for (int j = 0; j < model.num_vars(); ++j) {
+    if (col_uses[static_cast<std::size_t>(j)] == 0 &&
+        model.var(j).obj == 0.0) {
+      info("ML009",
+           col_label(model, j) +
+               " appears in no constraint and has zero objective",
+           -1, j);
+    }
+  }
+
+  // ML010: conditioning of the coefficient matrix.
+  if (min_abs < milp::kInf && max_abs / min_abs > opts.max_coeff_ratio) {
+    rep.add("ML010", Severity::kWarn,
+            "coefficient magnitudes span " + std::to_string(max_abs) + " / " +
+                std::to_string(min_abs) + " > ratio " +
+                std::to_string(opts.max_coeff_ratio) +
+                "; expect simplex conditioning trouble");
+  }
+  return rep;
+}
+
+LintReport lint_formulation(const milp::Model& model,
+                            const FormulationSpec& spec,
+                            const LintOptions& opts) {
+  (void)opts;
+  LintReport rep;
+  const int n_ops = static_cast<int>(spec.assign_vars.size());
+
+  // Index the named builder rows.
+  std::vector<int> assign_row(static_cast<std::size_t>(n_ops), -1);
+  std::vector<int> stress_row(static_cast<std::size_t>(spec.num_pes), -1);
+  int path_rows = 0;
+  const auto bracketed_index = [](const std::string& name,
+                                  const char* prefix) {
+    const std::size_t plen = std::string(prefix).size();
+    if (name.rfind(prefix, 0) != 0 || name.back() != ']') return -1;
+    return std::atoi(name.substr(plen, name.size() - plen - 1).c_str());
+  };
+  for (int r = 0; r < model.num_constraints(); ++r) {
+    const std::string& name = model.constraint(r).name;
+    if (name.rfind("assign[", 0) == 0) {
+      const int op = bracketed_index(name, "assign[");
+      if (op >= 0 && op < n_ops) assign_row[static_cast<std::size_t>(op)] = r;
+    } else if (name.rfind("stress[", 0) == 0) {
+      const int pe = bracketed_index(name, "stress[");
+      if (pe >= 0 && pe < spec.num_pes)
+        stress_row[static_cast<std::size_t>(pe)] = r;
+    } else if (name.rfind("path[", 0) == 0) {
+      ++path_rows;
+    }
+  }
+
+  // FL001/FL002/FL003: one exactly-one partition row per free op.
+  for (int op = 0; op < n_ops; ++op) {
+    const auto& vars = spec.assign_vars[static_cast<std::size_t>(op)];
+    if (vars.empty()) continue;  // frozen op: no variables by design
+    for (const int v : vars) {
+      if (v < 0 || v >= model.num_vars() ||
+          model.var(v).type != milp::VarType::kBinary) {
+        rep.add("FL003", Severity::kError,
+                "assignment variable of op " + std::to_string(op) +
+                    " is not a binary model variable",
+                -1, v);
+      }
+    }
+    const int r = assign_row[static_cast<std::size_t>(op)];
+    if (r < 0) {
+      rep.add("FL001", Severity::kError,
+              "op " + std::to_string(op) +
+                  " has no exactly-one assignment row");
+      continue;
+    }
+    const milp::Constraint& c = model.constraint(r);
+    std::vector<int> expected = vars;
+    std::sort(expected.begin(), expected.end());
+    std::vector<int> got;
+    got.reserve(c.terms.size());
+    bool unit_coeffs = true;
+    for (const auto& [idx, coeff] : c.terms) {
+      got.push_back(idx);
+      unit_coeffs &= coeff == 1.0;
+    }
+    if (c.lb != 1.0 || c.ub != 1.0 || !unit_coeffs || got != expected) {
+      rep.add("FL002", Severity::kError,
+              "assignment row of op " + std::to_string(op) +
+                  " is not sum(assign vars) == 1",
+              r);
+    }
+  }
+
+  // FL004: every PE that can receive stress has a stress row covering all of
+  // the variables that could place stress on it.
+  std::vector<std::vector<int>> vars_on_pe(
+      static_cast<std::size_t>(spec.num_pes));
+  for (int op = 0; op < n_ops; ++op) {
+    const auto& vars = spec.assign_vars[static_cast<std::size_t>(op)];
+    const auto& cand = spec.candidates[static_cast<std::size_t>(op)];
+    for (std::size_t c = 0; c < vars.size(); ++c) {
+      if (cand[c] >= 0 && cand[c] < spec.num_pes)
+        vars_on_pe[static_cast<std::size_t>(cand[c])].push_back(vars[c]);
+    }
+  }
+  for (int pe = 0; pe < spec.num_pes; ++pe) {
+    auto& expected = vars_on_pe[static_cast<std::size_t>(pe)];
+    if (expected.empty()) continue;
+    const int r = stress_row[static_cast<std::size_t>(pe)];
+    if (r < 0) {
+      rep.add("FL004", Severity::kError,
+              "PE " + std::to_string(pe) +
+                  " can receive stress but has no stress row");
+      continue;
+    }
+    const milp::Constraint& c = model.constraint(r);
+    std::vector<int> got;
+    got.reserve(c.terms.size());
+    for (const auto& [idx, coeff] : c.terms) {
+      got.push_back(idx);
+      if (coeff < 0.0) {
+        rep.add("FL004", Severity::kError,
+                "stress row of PE " + std::to_string(pe) +
+                    " has a negative stress coefficient",
+                r, idx);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    if (!std::includes(got.begin(), got.end(), expected.begin(),
+                       expected.end())) {
+      rep.add("FL004", Severity::kError,
+              "stress row of PE " + std::to_string(pe) +
+                  " misses at least one variable that can stress it",
+              r);
+    }
+  }
+
+  // FL005: path budget rows must match the builder's count and never exceed
+  // the number of monitored paths (budgets exist only for monitored paths).
+  if (path_rows != spec.num_path_rows) {
+    rep.add("FL005", Severity::kError,
+            "model has " + std::to_string(path_rows) +
+                " wirelength-budget rows, builder recorded " +
+                std::to_string(spec.num_path_rows));
+  }
+  if (path_rows > spec.num_monitored_paths) {
+    rep.add("FL005", Severity::kError,
+            "more wirelength-budget rows (" + std::to_string(path_rows) +
+                ") than monitored paths (" +
+                std::to_string(spec.num_monitored_paths) + ")");
+  }
+  return rep;
+}
+
+}  // namespace cgraf::verify

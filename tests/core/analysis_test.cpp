@@ -91,7 +91,9 @@ TEST(Analysis, RemapDiffIsConsistentWithRemapResult) {
   EXPECT_NEAR(diff.cpd_after_ns, r.cpd_after_ns, 1e-9);
   EXPECT_NEAR(diff.st_max_before, r.st_max_before, 1e-9);
   EXPECT_NEAR(diff.st_max_after, r.st_max_after, 1e-9);
-  if (r.improved) EXPECT_GT(diff.ops_moved, 0);
+  if (r.improved) {
+    EXPECT_GT(diff.ops_moved, 0);
+  }
 }
 
 }  // namespace

@@ -25,7 +25,13 @@ core::RemapResult run_flow(const hls::Dfg& dfg, int contexts, int dim) {
   popts.seed = 5;
   const Floorplan baseline = place_baseline(design, popts);
   core::RemapOptions opts;
-  return aging_aware_remap(design, baseline, opts);
+  // Full independent verification on every accepted attempt: the end-to-end
+  // flows double as the certifier's hardest fixtures.
+  opts.verify.enabled = true;
+  const core::RemapResult r = aging_aware_remap(design, baseline, opts);
+  EXPECT_TRUE(r.certified) << r.note;
+  EXPECT_EQ(r.certify_rejections, 0) << r.note;
+  return r;
 }
 
 TEST(FullFlow, FirFilterEndToEnd) {

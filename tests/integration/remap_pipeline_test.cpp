@@ -5,6 +5,7 @@
 #include "cgrra/stress.h"
 #include "core/remapper.h"
 #include "timing/paths.h"
+#include "verify/certify.h"
 #include "workloads/suite.h"
 
 namespace cgraf::core {
@@ -33,6 +34,18 @@ void check_invariants(const workloads::GeneratedBenchmark& bench,
   // Reported stress figures match a from-scratch recomputation.
   const StressMap recomputed = compute_stress(bench.design, r.floorplan);
   EXPECT_NEAR(recomputed.max_accumulated(), r.st_max_after, 1e-9);
+  // Independent certificate on the returned floorplan: legality, the
+  // achieved stress bound, and every baseline monitored path within the
+  // original CPD budget.
+  const timing::CombGraph graph(bench.design);
+  const auto monitored = timing::monitored_paths(graph, bench.baseline);
+  verify::FloorplanSpec spec;
+  spec.design = &bench.design;
+  spec.st_target = r.st_max_after;
+  spec.monitored = &monitored;
+  spec.cpd_ns = r.cpd_before_ns;
+  const verify::Certificate cert = verify::certify_floorplan(spec, r.floorplan);
+  EXPECT_TRUE(cert.ok) << cert.summary();
 }
 
 class RemapPipeline
@@ -43,7 +56,9 @@ TEST_P(RemapPipeline, FreezeInvariants) {
   const auto bench = make_bench(contexts, dim, usage, 42);
   RemapOptions opts;
   opts.mode = RemapMode::kFreeze;
+  opts.verify.enabled = true;
   const RemapResult r = aging_aware_remap(bench.design, bench.baseline, opts);
+  EXPECT_TRUE(r.certified) << r.note;
   check_invariants(bench, r);
 }
 
@@ -52,7 +67,9 @@ TEST_P(RemapPipeline, RotateInvariants) {
   const auto bench = make_bench(contexts, dim, usage, 43);
   RemapOptions opts;
   opts.mode = RemapMode::kRotate;
+  opts.verify.enabled = true;
   const RemapResult r = aging_aware_remap(bench.design, bench.baseline, opts);
+  EXPECT_TRUE(r.certified) << r.note;
   check_invariants(bench, r);
 }
 

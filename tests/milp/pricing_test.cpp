@@ -110,8 +110,9 @@ TEST(PricingEquivalenceAssignment, WarmStartedResolvesAgree) {
     const LpResult warm = engine.solve(lb, ub, &first.basis);
     const LpResult cold = engine.solve(lb, ub);
     ASSERT_EQ(warm.status, cold.status);
-    if (warm.status == SolveStatus::kOptimal)
+    if (warm.status == SolveStatus::kOptimal) {
       EXPECT_NEAR(warm.obj, cold.obj, 1e-6 * (1.0 + std::abs(cold.obj)));
+    }
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "milp/model.h"
 
 namespace cgraf::milp {
@@ -55,6 +57,94 @@ TEST(CscMatrix, AxpyAndDot) {
   EXPECT_DOUBLE_EQ(y[0], -2.0);
   EXPECT_DOUBLE_EQ(y[1], 6.0);
   EXPECT_DOUBLE_EQ(a.dot_col(2, {1.0, 1.0}), 2.0);  // -1 + 3
+}
+
+TEST(FromTriplets, MergesDuplicateEntries) {
+  // Two entries land on (row 1, col 0); ingestion must sum them instead of
+  // emitting a duplicate pair.
+  const CscMatrix a = from_triplets(
+      3, 2, {{1, 0, 2.0}, {0, 1, 4.0}, {1, 0, 3.0}, {2, 1, -1.0}});
+  EXPECT_TRUE(is_canonical(a));
+  EXPECT_EQ(a.nnz(), 3);
+  ASSERT_EQ(a.end(0) - a.begin(0), 1);
+  EXPECT_EQ(a.row_idx[static_cast<size_t>(a.begin(0))], 1);
+  EXPECT_DOUBLE_EQ(a.value[static_cast<size_t>(a.begin(0))], 5.0);
+}
+
+TEST(FromTriplets, DropsEntriesThatCancelToZero) {
+  const CscMatrix a = from_triplets(2, 2, {{0, 0, 1.5}, {0, 0, -1.5},
+                                           {1, 1, 7.0}});
+  EXPECT_TRUE(is_canonical(a));
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_EQ(a.end(0) - a.begin(0), 0);
+  ASSERT_EQ(a.end(1) - a.begin(1), 1);
+  EXPECT_DOUBLE_EQ(a.value[static_cast<size_t>(a.begin(1))], 7.0);
+}
+
+TEST(FromTriplets, SortsUnorderedInput) {
+  const CscMatrix a =
+      from_triplets(3, 3, {{2, 2, 1.0}, {0, 0, 1.0}, {2, 0, 1.0}, {1, 1, 1.0},
+                           {0, 2, 1.0}});
+  EXPECT_TRUE(is_canonical(a));
+  EXPECT_EQ(a.nnz(), 5);
+  // Column 0 rows come out sorted even though they arrived reversed.
+  ASSERT_EQ(a.end(0) - a.begin(0), 2);
+  EXPECT_EQ(a.row_idx[static_cast<size_t>(a.begin(0))], 0);
+  EXPECT_EQ(a.row_idx[static_cast<size_t>(a.begin(0)) + 1], 2);
+}
+
+TEST(FromTriplets, EmptyInputYieldsEmptyCanonicalMatrix) {
+  const CscMatrix a = from_triplets(4, 5, {});
+  EXPECT_TRUE(is_canonical(a));
+  EXPECT_EQ(a.rows, 4);
+  EXPECT_EQ(a.cols, 5);
+  EXPECT_EQ(a.nnz(), 0);
+}
+
+TEST(IsCanonical, RejectsDuplicateAndUnsortedRows) {
+  CscMatrix a;
+  a.rows = 2;
+  a.cols = 1;
+  a.col_start = {0, 2};
+  a.row_idx = {1, 1};  // duplicate (1, 0) entry
+  a.value = {1.0, 2.0};
+  EXPECT_FALSE(is_canonical(a));
+  a.row_idx = {1, 0};  // out of order
+  EXPECT_FALSE(is_canonical(a));
+  a.row_idx = {0, 1};
+  EXPECT_TRUE(is_canonical(a));
+}
+
+TEST(IsCanonical, RejectsBrokenColStartAndNonFiniteValues) {
+  CscMatrix a;
+  a.rows = 1;
+  a.cols = 2;
+  a.col_start = {0, 1, 1};  // claims 1 entry but the arrays hold 2
+  a.row_idx = {0, 0};
+  a.value = {1.0, 1.0};
+  EXPECT_FALSE(is_canonical(a));
+  a.col_start = {0, 1, 2};
+  EXPECT_TRUE(is_canonical(a));
+  a.value = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(is_canonical(a));
+}
+
+TEST(CscMatrix, ComputationalFormIsCanonical) {
+  const Model m = two_row_model();
+  EXPECT_TRUE(is_canonical(build_computational_form(m)));
+}
+
+TEST(CscMatrix, ModelMergesDuplicateTermsBeforeIngestion) {
+  Model m;
+  const int x = m.add_continuous(0, 1);
+  const int y = m.add_continuous(0, 1);
+  // The same variable listed twice in one row must reach the sparse layer
+  // as a single merged coefficient.
+  m.add_le({{x, 2.0}, {y, 1.0}, {x, 3.0}}, 4.0);
+  const CscMatrix a = build_computational_form(m);
+  EXPECT_TRUE(is_canonical(a));
+  ASSERT_EQ(a.end(0) - a.begin(0), 1);
+  EXPECT_DOUBLE_EQ(a.value[static_cast<size_t>(a.begin(0))], 5.0);
 }
 
 TEST(CscMatrix, EmptyModel) {

@@ -1,0 +1,295 @@
+#include "verify/model_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "milp/model.h"
+
+namespace cgraf::verify {
+namespace {
+
+bool has(const LintReport& rep, const char* rule, Severity severity) {
+  for (const LintFinding& f : rep.findings)
+    if (f.rule == rule && f.severity == severity) return true;
+  return false;
+}
+
+int count(const LintReport& rep, const char* rule) {
+  int n = 0;
+  for (const LintFinding& f : rep.findings)
+    if (f.rule == rule) ++n;
+  return n;
+}
+
+TEST(LintModel, CleanModelHasNoFindingsBeyondInfo) {
+  milp::Model m;
+  const int x = m.add_binary(1.0, "x");
+  const int y = m.add_binary(0.0, "y");
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 1.0, "pick-one");
+  const LintReport rep = lint_model(m);
+  EXPECT_EQ(rep.errors, 0);
+  EXPECT_EQ(rep.warnings, 0);
+  EXPECT_TRUE(rep.clean());
+}
+
+// ML001 guards against bound corruption that bypasses the modeling API
+// (add_var and set_bounds both assert lb <= lb), so the fixture writes
+// through the const accessor the same way a memory bug would.
+TEST(LintModel, ML001EmptyOrNanBoundWindow) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  auto& v = const_cast<milp::Variable&>(m.var(x));
+  v.lb = 2.0;
+  v.ub = 1.0;
+  EXPECT_TRUE(has(lint_model(m), "ML001", Severity::kError));
+  v.lb = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(has(lint_model(m), "ML001", Severity::kError));
+}
+
+TEST(LintModel, ML002NonFiniteCoefficients) {
+  const double inf = std::numeric_limits<double>::infinity();
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  m.add_le({{x, inf}}, 1.0);
+  EXPECT_TRUE(has(lint_model(m), "ML002", Severity::kError));
+
+  milp::Model m2;
+  const int y = m2.add_continuous(0.0, 1.0);
+  m2.set_obj(y, -inf);
+  EXPECT_TRUE(has(lint_model(m2), "ML002", Severity::kError));
+}
+
+TEST(LintModel, ML003BinaryBounds) {
+  milp::Model m;
+  const int b = m.add_binary();
+  m.add_le({{b, 1.0}}, 1.0);
+  // No integer point in the window: hard error.
+  m.set_bounds(b, 0.25, 0.75);
+  EXPECT_TRUE(has(lint_model(m), "ML003", Severity::kError));
+  // Integer point exists but the window leaves [0,1]: warn only.
+  m.set_bounds(b, 0.0, 2.0);
+  const LintReport rep = lint_model(m);
+  EXPECT_TRUE(has(rep, "ML003", Severity::kWarn));
+  EXPECT_EQ(rep.errors, 0);
+}
+
+TEST(LintModel, ML004VacuousRowAndML005ConstantInfeasibleRow) {
+  milp::Model m;
+  m.add_continuous(0.0, 1.0);
+  m.add_constraint({}, -1.0, 1.0);  // 0 in [-1, 1]: vacuous but satisfiable
+  m.add_constraint({}, 2.0, 3.0);   // 0 outside [2, 3]: never satisfiable
+  const LintReport rep = lint_model(m);
+  EXPECT_TRUE(has(rep, "ML004", Severity::kInfo));
+  EXPECT_TRUE(has(rep, "ML005", Severity::kError));
+}
+
+TEST(LintModel, ML006DuplicateColumnInRow) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  const int r = m.add_le({{x, 1.0}}, 1.0);
+  // add_constraint merges duplicates, so plant them behind its back — the
+  // rule exists to catch rows mutated after ingestion.
+  const_cast<milp::Constraint&>(m.constraint(r)).terms = {{x, 1.0}, {x, 2.0}};
+  EXPECT_TRUE(has(lint_model(m), "ML006", Severity::kError));
+}
+
+TEST(LintModel, ML007DuplicateRow) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  const int y = m.add_continuous(0.0, 1.0);
+  m.add_le({{x, 1.0}, {y, 2.0}}, 3.0);
+  m.add_le({{x, 1.0}, {y, 2.0}}, 3.0);
+  EXPECT_TRUE(has(lint_model(m), "ML007", Severity::kWarn));
+}
+
+TEST(LintModel, ML008DominatedRow) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 10.0);
+  m.add_le({{x, 1.0}}, 3.0);
+  m.add_le({{x, 1.0}}, 5.0);  // strictly looser than the row above
+  EXPECT_TRUE(has(lint_model(m), "ML008", Severity::kInfo));
+}
+
+TEST(LintModel, ML009UnusedColumn) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  m.add_continuous(0.0, 1.0);  // referenced nowhere, zero objective
+  m.add_le({{x, 1.0}}, 1.0);
+  EXPECT_TRUE(has(lint_model(m), "ML009", Severity::kInfo));
+}
+
+TEST(LintModel, ML010CoefficientMagnitudeRatio) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  const int y = m.add_continuous(0.0, 1.0);
+  m.add_le({{x, 1e9}, {y, 1e-3}}, 1.0);
+  EXPECT_TRUE(has(lint_model(m), "ML010", Severity::kWarn));
+  LintOptions loose;
+  loose.max_coeff_ratio = 1e15;
+  EXPECT_FALSE(has(lint_model(m, loose), "ML010", Severity::kWarn));
+}
+
+TEST(LintModel, ML011RowInfeasibleAgainstBounds) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  m.add_ge({{x, 1.0}}, 5.0);  // max activity is 1
+  EXPECT_TRUE(has(lint_model(m), "ML011", Severity::kError));
+}
+
+TEST(LintModel, ML012RowCanNeverBind) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  m.add_le({{x, 1.0}}, 2.0);  // activity tops out at 1
+  EXPECT_TRUE(has(lint_model(m), "ML012", Severity::kInfo));
+  LintOptions no_info;
+  no_info.include_info = false;
+  EXPECT_EQ(lint_model(m, no_info).infos, 0);
+}
+
+TEST(LintReport, MergeAndSerialization) {
+  milp::Model m;
+  const int x = m.add_continuous(0.0, 1.0);
+  m.add_ge({{x, 1.0}}, 5.0);
+  LintReport rep = lint_model(m);
+  LintReport other;
+  other.add("XX01", Severity::kWarn, "synthetic", 3, 7);
+  rep.merge(other);
+  EXPECT_GE(rep.errors, 1);
+  EXPECT_EQ(rep.warnings, 1);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"rule\":\"XX01\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":"), std::string::npos);
+  const std::string text = rep.to_text();
+  EXPECT_NE(text.find("warn XX01: synthetic (row 3) (col 7)"),
+            std::string::npos);
+}
+
+// --- Formulation-(3) rules. The fixture is the smallest honest instance:
+// two free ops, two PEs, full candidate sets, one stress row per PE.
+
+struct Fixture {
+  milp::Model model;
+  FormulationSpec spec;
+  int b[2][2] = {};  // b[op][candidate]
+};
+
+Fixture good_formulation() {
+  Fixture f;
+  f.spec.num_pes = 2;
+  for (auto& row : f.b)
+    for (int& var : row) var = f.model.add_binary();
+  f.spec.assign_vars = {{f.b[0][0], f.b[0][1]}, {f.b[1][0], f.b[1][1]}};
+  f.spec.candidates = {{0, 1}, {0, 1}};
+  f.model.add_eq({{f.b[0][0], 1.0}, {f.b[0][1], 1.0}}, 1.0, "assign[0]");
+  f.model.add_eq({{f.b[1][0], 1.0}, {f.b[1][1], 1.0}}, 1.0, "assign[1]");
+  f.model.add_le({{f.b[0][0], 0.5}, {f.b[1][0], 0.5}}, 0.6, "stress[0]");
+  f.model.add_le({{f.b[0][1], 0.5}, {f.b[1][1], 0.5}}, 0.6, "stress[1]");
+  return f;
+}
+
+TEST(LintFormulation, GoodModelIsClean) {
+  const Fixture f = good_formulation();
+  const LintReport rep = lint_formulation(f.model, f.spec);
+  EXPECT_EQ(rep.errors, 0);
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST(LintFormulation, FL001MissingAssignmentRow) {
+  Fixture f;
+  f.spec.num_pes = 2;
+  for (auto& row : f.b)
+    for (int& var : row) var = f.model.add_binary();
+  f.spec.assign_vars = {{f.b[0][0], f.b[0][1]}, {f.b[1][0], f.b[1][1]}};
+  f.spec.candidates = {{0, 1}, {0, 1}};
+  // Op 1's partition row is missing entirely; op 0's carries a name the
+  // linter cannot recognize, which counts as missing too.
+  f.model.add_eq({{f.b[0][0], 1.0}, {f.b[0][1], 1.0}}, 1.0, "partition[0]");
+  f.model.add_le({{f.b[0][0], 0.5}, {f.b[1][0], 0.5}}, 0.6, "stress[0]");
+  f.model.add_le({{f.b[0][1], 0.5}, {f.b[1][1], 0.5}}, 0.6, "stress[1]");
+  const LintReport rep = lint_formulation(f.model, f.spec);
+  EXPECT_EQ(count(rep, "FL001"), 2);
+}
+
+TEST(LintFormulation, FL002AssignmentRowShape) {
+  {  // wrong right-hand side
+    Fixture f = good_formulation();
+    const_cast<milp::Constraint&>(f.model.constraint(0)).ub = 2.0;
+    const_cast<milp::Constraint&>(f.model.constraint(0)).lb = 2.0;
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL002",
+                    Severity::kError));
+  }
+  {  // non-unit coefficient
+    Fixture f = good_formulation();
+    const_cast<milp::Constraint&>(f.model.constraint(0)).terms[0].second = 2.0;
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL002",
+                    Severity::kError));
+  }
+  {  // wrong variable set
+    Fixture f = good_formulation();
+    const_cast<milp::Constraint&>(f.model.constraint(0)).terms[1].first =
+        f.b[1][1];
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL002",
+                    Severity::kError));
+  }
+}
+
+TEST(LintFormulation, FL003NonBinaryAssignmentVariable) {
+  Fixture f = good_formulation();
+  f.model.relax_var(f.b[0][0]);
+  EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL003",
+                  Severity::kError));
+}
+
+TEST(LintFormulation, FL004StressRowProblems) {
+  {  // missing stress row for a PE that can receive stress
+    Fixture f;
+    f.spec.num_pes = 2;
+    for (auto& row : f.b)
+      for (int& var : row) var = f.model.add_binary();
+    f.spec.assign_vars = {{f.b[0][0], f.b[0][1]}, {f.b[1][0], f.b[1][1]}};
+    f.spec.candidates = {{0, 1}, {0, 1}};
+    f.model.add_eq({{f.b[0][0], 1.0}, {f.b[0][1], 1.0}}, 1.0, "assign[0]");
+    f.model.add_eq({{f.b[1][0], 1.0}, {f.b[1][1], 1.0}}, 1.0, "assign[1]");
+    f.model.add_le({{f.b[0][0], 0.5}, {f.b[1][0], 0.5}}, 0.6, "stress[0]");
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL004",
+                    Severity::kError));
+  }
+  {  // stress row that misses one variable able to stress the PE
+    Fixture f = good_formulation();
+    auto& terms = const_cast<milp::Constraint&>(f.model.constraint(2)).terms;
+    terms.pop_back();
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL004",
+                    Severity::kError));
+  }
+  {  // negative stress coefficient
+    Fixture f = good_formulation();
+    const_cast<milp::Constraint&>(f.model.constraint(2)).terms[0].second =
+        -0.5;
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL004",
+                    Severity::kError));
+  }
+}
+
+TEST(LintFormulation, FL005PathRowBookkeeping) {
+  {  // builder claims a budget row that the model does not contain
+    Fixture f = good_formulation();
+    f.spec.num_path_rows = 1;
+    f.spec.num_monitored_paths = 1;
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL005",
+                    Severity::kError));
+  }
+  {  // more budget rows than monitored paths
+    Fixture f = good_formulation();
+    f.model.add_le({{f.b[0][0], 1.0}}, 4.0, "path[0]");
+    f.model.add_le({{f.b[0][1], 1.0}}, 4.0, "path[1]");
+    f.spec.num_path_rows = 2;
+    f.spec.num_monitored_paths = 1;
+    EXPECT_TRUE(has(lint_formulation(f.model, f.spec), "FL005",
+                    Severity::kError));
+  }
+}
+
+}  // namespace
+}  // namespace cgraf::verify

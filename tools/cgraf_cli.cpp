@@ -3,13 +3,18 @@
 //   cgraf_cli gen    --contexts 8 --dim 6 --usage 0.5 --seed 7 --out d.cgraf
 //   cgraf_cli gen    --spec B13 --out d.cgraf          (Table I suite entry)
 //   cgraf_cli place  --design d.cgraf --seed 1 --out base.fp
-//   cgraf_cli remap  --design d.cgraf --floorplan base.fp \
+//   cgraf_cli remap  --design d.cgraf --floorplan base.fp
 //                    --mode rotate --out aged.fp
 //   cgraf_cli report --design d.cgraf --floorplan base.fp [--compare aged.fp]
+//   cgraf_cli lint    --design d.cgraf --floorplan base.fp [--json]
+//   cgraf_cli certify --design d.cgraf --baseline base.fp
+//                     --floorplan aged.fp [--st-target X] [--json]
 //
 // Every artifact is the text format of cgrra/io.h, so the steps compose
 // with shell pipelines and with hand-edited fixtures.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -22,6 +27,8 @@
 #include "cgrra/stress.h"
 #include "core/remapper.h"
 #include "hls/placer.h"
+#include "verify/certify.h"
+#include "verify/model_lint.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -35,7 +42,8 @@ using namespace cgraf;
 
 int usage(int code = 2) {
   std::fprintf(code == 0 ? stdout : stderr,
-               "usage: cgraf_cli <gen|place|remap|report> [options]\n"
+               "usage: cgraf_cli <gen|place|remap|report|lint|certify>"
+               " [options]\n"
                "  gen    --out FILE  [--spec B1..B27 | --contexts N --dim D"
                " --usage U] [--seed S] [--paper-scale]\n"
                "  place  --design FILE --out FILE [--seed S]\n"
@@ -44,6 +52,15 @@ int usage(int code = 2) {
                "         [--strategy dive|fix-once|ilp] [--threads N]"
                " [--verbose]\n"
                "  report --design FILE --floorplan FILE [--compare FILE]\n"
+               "  lint   --design FILE --floorplan FILE [--st-target X]"
+               " [--margin F] [--json] [--no-info]\n"
+               "         static analysis of the formulation-(3) model built"
+               " for this design/floorplan\n"
+               "  certify --design FILE --baseline FILE --floorplan FILE\n"
+               "         [--st-target X] [--margin F] [--mode freeze|rotate]"
+               " [--json]\n"
+               "         independently re-validate a remapped floorplan"
+               " (exit 0 = certified)\n"
                "observability (any command):\n"
                "  --trace FILE    write a Chrome trace-event JSON of the run"
                " (chrome://tracing, Perfetto)\n"
@@ -56,7 +73,7 @@ int usage(int code = 2) {
 // Boolean switches (no value); everything else consumes the next argv.
 bool is_switch(const std::string& key) {
   return key == "paper-scale" || key == "verbose" || key == "progress" ||
-         key == "help";
+         key == "help" || key == "json" || key == "no-info";
 }
 
 // Minimal flag parser: every option takes a value except boolean switches.
@@ -75,9 +92,11 @@ struct Args {
       }
       key = key.substr(2);
       if (is_switch(key)) {
-        values[key] = "1";
+        // insert_or_assign with a ready-made string: assigning a char* via
+        // operator[] trips gcc 12's -Wrestrict false positive at -O2.
+        values.insert_or_assign(key, std::string("1"));
       } else if (i + 1 < argc) {
-        values[key] = argv[++i];
+        values.insert_or_assign(key, std::string(argv[++i]));
       } else {
         ok = false;
         problem = "option --" + key + " needs a value";
@@ -329,6 +348,169 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+// Shared front half of lint/certify: derive the frozen set (union of
+// critical paths per context) and the monitored paths from a reference
+// floorplan, exactly as the remapper's Freeze mode does.
+struct PipelineView {
+  timing::StaResult sta;
+  std::vector<char> frozen;
+  std::vector<timing::TimingPath> monitored;
+};
+
+PipelineView derive_pipeline_view(const Design& design, const Floorplan& ref,
+                                  double margin) {
+  const timing::CombGraph graph(design);
+  PipelineView view;
+  view.sta = run_sta(graph, ref);
+  view.frozen.assign(static_cast<std::size_t>(design.num_ops()), 0);
+  for (int c = 0; c < design.num_contexts; ++c)
+    for (const auto& p : timing::critical_paths(graph, ref, c, 8))
+      for (const int op : p.ops) view.frozen[static_cast<std::size_t>(op)] = 1;
+  timing::PathQuery query;
+  query.margin = margin;
+  view.monitored = timing::monitored_paths(graph, ref, query);
+  return view;
+}
+
+int cmd_lint(const Args& args) {
+  std::string error;
+  const auto design = load_design(args, &error);
+  if (!design) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto fp = load_floorplan(args, "floorplan", &error);
+  if (!fp) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string why;
+  if (!is_valid(*design, *fp, &why)) {
+    std::fprintf(stderr, "floorplan invalid: %s\n", why.c_str());
+    return 1;
+  }
+  const double margin = std::atof(args.get_or("margin", "0.2").c_str());
+  const PipelineView view = derive_pipeline_view(*design, *fp, margin);
+  const StressMap stress = compute_stress(*design, *fp);
+  const double st_target =
+      args.has("st-target")
+          ? std::atof(args.get_or("st-target", "0").c_str())
+          : stress.max_accumulated();
+
+  core::RemapModelSpec spec;
+  spec.design = &*design;
+  spec.base = &*fp;
+  spec.frozen = view.frozen;
+  spec.candidates = core::compute_candidates(*design, *fp, view.frozen,
+                                             view.monitored, view.sta.cpd_ns,
+                                             {});
+  spec.st_target = st_target;
+  spec.monitored = &view.monitored;
+  spec.cpd_ns = view.sta.cpd_ns;
+  const core::RemapModel rm = core::build_remap_model(spec);
+  if (rm.trivially_infeasible) {
+    std::fprintf(stderr, "model is trivially infeasible before lint: %s\n",
+                 rm.infeasible_reason.c_str());
+    return 1;
+  }
+
+  verify::LintOptions lopts;
+  lopts.include_info = !args.has("no-info");
+  verify::LintReport report = verify::lint_model(rm.model, lopts);
+  report.merge(verify::lint_formulation(rm.model, rm.formulation_spec(),
+                                        lopts));
+  if (args.has("json")) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+    std::printf("model: %d vars, %d rows (%d binary, %d path rows) at "
+                "st_target=%.4f\n",
+                rm.model.num_vars(), rm.model.num_constraints(),
+                rm.num_binary_vars, rm.num_path_rows, st_target);
+    std::printf("lint: %d error(s), %d warning(s), %d info\n", report.errors,
+                report.warnings, report.infos);
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_certify(const Args& args) {
+  std::string error;
+  const auto design = load_design(args, &error);
+  if (!design) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto baseline = load_floorplan(args, "baseline", &error);
+  if (!baseline) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto fp = load_floorplan(args, "floorplan", &error);
+  if (!fp) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string why;
+  if (!is_valid(*design, *baseline, &why)) {
+    std::fprintf(stderr, "baseline floorplan invalid: %s\n", why.c_str());
+    return 1;
+  }
+  const double margin = std::atof(args.get_or("margin", "0.2").c_str());
+  // Default matches the remap subcommand's default mode so that
+  // `remap` -> `certify` composes without extra flags.
+  const std::string mode = args.get_or("mode", "rotate");
+  if (mode != "freeze" && mode != "rotate") {
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
+    return 1;
+  }
+  const PipelineView view = derive_pipeline_view(*design, *baseline, margin);
+  const StressMap base_stress = compute_stress(*design, *baseline);
+  // Default bound: the pipeline's contract that the balance never regresses.
+  const double st_target =
+      args.has("st-target")
+          ? std::atof(args.get_or("st-target", "0").c_str())
+          : base_stress.max_accumulated();
+
+  verify::FloorplanSpec spec;
+  spec.design = &*design;
+  // Rotate mode legally moves the frozen critical paths (as a rigid
+  // isometry), so exact positions are only certifiable in Freeze mode; the
+  // CPD check below covers both modes.
+  if (mode == "freeze") {
+    spec.reference = &*baseline;
+    spec.frozen = view.frozen;
+  }
+  spec.st_target = st_target;
+  spec.monitored = &view.monitored;
+  spec.cpd_ns = view.sta.cpd_ns;
+  verify::CertifyOptions copts;
+  verify::Certificate cert = verify::certify_floorplan(spec, *fp, copts);
+  // The paper's headline guarantee, checked with a full independent STA:
+  // no delay degradation relative to the baseline.
+  const auto sta_after = timing::run_sta(*design, *fp);
+  if (sta_after.cpd_ns > view.sta.cpd_ns + copts.tol_delay_ns) {
+    cert.fail(copts, "cpd",
+              "CPD " + std::to_string(sta_after.cpd_ns) + " ns exceeds the "
+              "baseline's " + std::to_string(view.sta.cpd_ns) + " ns");
+  }
+
+  if (args.has("json")) {
+    std::printf("%s\n", cert.to_json().c_str());
+  } else {
+    for (const auto& issue : cert.issues)
+      std::printf("FAIL %s: %s\n", issue.check.c_str(),
+                  issue.message.c_str());
+    std::printf("%s: st_target=%.4f cpd=%.3f->%.3f ns frozen_ops=%d "
+                "monitored_paths=%zu\n",
+                cert.ok ? "CERTIFIED" : "REJECTED", st_target,
+                view.sta.cpd_ns, sta_after.cpd_ns,
+                static_cast<int>(std::count(spec.frozen.begin(),
+                                            spec.frozen.end(), 1)),
+                view.monitored.size());
+  }
+  return cert.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -348,6 +530,12 @@ int main(int argc, char** argv) {
                           "seed", "strategy", "threads", "verbose"});
     } else if (cmd == "report") {
       args.check_allowed({"design", "floorplan", "compare"});
+    } else if (cmd == "lint") {
+      args.check_allowed(
+          {"design", "floorplan", "st-target", "margin", "json", "no-info"});
+    } else if (cmd == "certify") {
+      args.check_allowed({"design", "baseline", "floorplan", "st-target",
+                          "margin", "mode", "json"});
     } else {
       std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
       return usage();
@@ -372,6 +560,8 @@ int main(int argc, char** argv) {
   else if (cmd == "place") code = cmd_place(args);
   else if (cmd == "remap") code = cmd_remap(args);
   else if (cmd == "report") code = cmd_report(args);
+  else if (cmd == "lint") code = cmd_lint(args);
+  else if (cmd == "certify") code = cmd_certify(args);
 
   std::string error;
   if (trace_path) {

@@ -4,9 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 
@@ -15,6 +13,7 @@
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace cgraf::milp {
 namespace {
@@ -40,22 +39,27 @@ struct NodeOrder {
   }
 };
 
-// Search state shared by all workers, guarded by `mu` except where noted.
+// Search state shared by all workers. Every field is annotated with the
+// mutex that guards it, so under -Wthread-safety an unlocked access is a
+// compile error, not a TSan finding.
 struct Shared {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  int active = 0;   // workers currently expanding a node
-  bool stop = false;
-  SolveStatus limit_hit = SolveStatus::kOptimal;  // which limit fired, if any
-  bool root_unbounded = false;
-  bool proof_incomplete = false;
-  double incumbent_internal = kInf;
-  std::vector<double> incumbent_x;
-  double exhausted_bound = kInf;  // min bound among pruned-by-gap nodes
-  long nodes = 0;
-  long lp_iterations = 0;
-  LpStageStats lp_stats;
+  Mutex mu{"bnb.shared", lock_rank::kBnbShared};
+  CondVar cv;
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open
+      CGRAF_GUARDED_BY(mu);
+  int active CGRAF_GUARDED_BY(mu) = 0;  // workers currently expanding a node
+  bool stop CGRAF_GUARDED_BY(mu) = false;
+  // Which limit fired, if any.
+  SolveStatus limit_hit CGRAF_GUARDED_BY(mu) = SolveStatus::kOptimal;
+  bool root_unbounded CGRAF_GUARDED_BY(mu) = false;
+  bool proof_incomplete CGRAF_GUARDED_BY(mu) = false;
+  double incumbent_internal CGRAF_GUARDED_BY(mu) = kInf;
+  std::vector<double> incumbent_x CGRAF_GUARDED_BY(mu);
+  // Min bound among pruned-by-gap nodes.
+  double exhausted_bound CGRAF_GUARDED_BY(mu) = kInf;
+  long nodes CGRAF_GUARDED_BY(mu) = 0;
+  long lp_iterations CGRAF_GUARDED_BY(mu) = 0;
+  LpStageStats lp_stats CGRAF_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -63,9 +67,12 @@ struct Shared {
 MipResult solve_milp(const Model& model, const MipOptions& opts) {
   const double t_start = now_seconds();
 
+  CGRAF_ASSERT(opts.num_threads >= 0 &&
+               "MipOptions::num_threads must be >= 0 (0 = all hardware "
+               "threads)");
   const int threads = [&] {
     int k = opts.num_threads;
-    if (k <= 0) k = static_cast<int>(std::thread::hardware_concurrency());
+    if (k == 0) k = static_cast<int>(std::thread::hardware_concurrency());
     return std::max(1, k);
   }();
 
@@ -145,7 +152,10 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
   }
 
   Shared sh;
-  sh.open.push(Node{nullptr, nullptr, -kInf, 0});
+  {
+    MutexLock lk(&sh.mu);
+    sh.open.push(Node{nullptr, nullptr, -kInf, 0});
+  }
 
   // Rounds integer variables of an LP point; returns the internal objective
   // when exactly feasible, or nullopt-style (false) otherwise. Pure; called
@@ -185,11 +195,10 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       }
     };
 
-    std::unique_lock<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     while (true) {
-      sh.cv.wait(lk, [&] {
-        return sh.stop || !sh.open.empty() || sh.active == 0;
-      });
+      while (!(sh.stop || !sh.open.empty() || sh.active == 0))
+        sh.cv.wait(sh.mu);
       if (sh.stop || (sh.open.empty() && sh.active == 0)) break;
       if (sh.open.empty()) continue;  // spurious wake with workers active
 
@@ -371,7 +380,10 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     for (std::thread& t : pool) t.join();
   }
 
-  // --- Assemble the result (workers are done; no locking needed).
+  // --- Assemble the result. The workers are joined, so the lock is
+  // uncontended; holding it anyway keeps the guarded-field accesses below
+  // visible to the thread-safety analysis. It is released on every return.
+  MutexLock lk(&sh.mu);
   res.seconds = now_seconds() - t_start;
   res.nodes = sh.nodes;
   res.lp_iterations = sh.lp_iterations;

@@ -32,7 +32,9 @@ struct MipOptions {
   bool presolve = true;
   // Worker threads for the branch & bound search. 0 picks
   // std::thread::hardware_concurrency(); 1 runs the search inline on the
-  // calling thread (no workers are spawned).
+  // calling thread (no workers are spawned). Negative values are a
+  // contract violation: solve_milp aborts with a clear message instead of
+  // silently falling back to hardware concurrency.
   int num_threads = 0;
 };
 

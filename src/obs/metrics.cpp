@@ -41,7 +41,7 @@ Metrics& Metrics::global() {
 }
 
 Counter& Metrics::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -51,7 +51,7 @@ Counter& Metrics::counter(std::string_view name) {
 }
 
 Gauge& Metrics::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -61,7 +61,7 @@ Gauge& Metrics::gauge(std::string_view name) {
 
 Histogram& Metrics::histogram(std::string_view name,
                               std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -73,7 +73,7 @@ Histogram& Metrics::histogram(std::string_view name,
 }
 
 std::string Metrics::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   JsonWriter w;
   w.begin_object();
   w.key("counters").begin_object();
@@ -101,7 +101,7 @@ std::string Metrics::to_json() const {
 }
 
 void Metrics::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -14,10 +14,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cgraf::obs {
 
@@ -88,10 +89,15 @@ class Metrics {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Guards the name->cell maps only; the cells themselves are lock-free
+  // atomics updated through the stable handles.
+  mutable Mutex mu_{"obs.metrics", lock_rank::kObsMetrics};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CGRAF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CGRAF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CGRAF_GUARDED_BY(mu_);
 };
 
 }  // namespace cgraf::obs

@@ -11,15 +11,15 @@ Progress& Progress::global() {
 
 void Progress::configure(bool enabled, double min_interval_s,
                          std::FILE* out) {
-  std::lock_guard<std::mutex> lk(mu_);
-  min_interval_s_ = min_interval_s;
+  MutexLock lk(&mu_);
+  min_interval_s_.store(min_interval_s, std::memory_order_relaxed);
   out_ = out;
   last_tick_.store(-1e18, std::memory_order_relaxed);
   enabled_.store(enabled, std::memory_order_relaxed);
 }
 
 void Progress::vemit(const char* fmt, std::va_list ap) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vfprintf(out_, fmt, ap);
   std::fputc('\n', out_);
   std::fflush(out_);
@@ -40,7 +40,7 @@ void Progress::tickf(const char* fmt, ...) {
   // line per interval between them.
   const double now = now_seconds();
   double last = last_tick_.load(std::memory_order_relaxed);
-  if (now - last < min_interval_s_) return;
+  if (now - last < min_interval_s_.load(std::memory_order_relaxed)) return;
   if (!last_tick_.compare_exchange_strong(last, now,
                                           std::memory_order_relaxed)) {
     return;  // another thread just took this window

@@ -17,7 +17,8 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace cgraf::obs {
 
@@ -48,11 +49,13 @@ class Progress {
   void vemit(const char* fmt, std::va_list ap);
 
   std::atomic<bool> enabled_{false};
-  double min_interval_s_ = 0.0;
+  // Atomic (not guarded): tickf reads it on the pre-lock fast path while
+  // configure() may be rewriting it from another thread.
+  std::atomic<double> min_interval_s_{0.0};
   std::atomic<double> last_tick_{-1e18};
   std::atomic<long> lines_{0};
-  std::FILE* out_ = stderr;
-  std::mutex mu_;  // serializes writes to out_
+  Mutex mu_{"obs.progress", lock_rank::kObsProgress};
+  std::FILE* out_ CGRAF_GUARDED_BY(mu_) = stderr;
 };
 
 }  // namespace cgraf::obs

@@ -1,0 +1,19 @@
+#include "obs/sync_metrics.h"
+
+#include "util/sync.h"
+
+namespace cgraf::obs {
+
+void export_sync_metrics(Metrics& m) {
+  for (const auto& [name, s] : sync_mutex_stats()) {
+    Counter& acq = m.counter("sync." + name + ".acquisitions");
+    acq.reset();
+    acq.add(s.acquisitions);
+    Counter& con = m.counter("sync." + name + ".contended");
+    con.reset();
+    con.add(s.contended);
+    m.gauge("sync." + name + ".wait_seconds").set(s.wait_seconds);
+  }
+}
+
+}  // namespace cgraf::obs

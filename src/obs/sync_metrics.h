@@ -1,0 +1,19 @@
+// Bridge from the util/sync.h contention counters into the metrics
+// registry. Lives in obs (not util) so util stays dependency-free.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace cgraf::obs {
+
+// Publishes every annotated mutex's contention counters into `m` as
+//   sync.<name>.acquisitions  (counter)
+//   sync.<name>.contended     (counter)
+//   sync.<name>.wait_seconds  (gauge)
+// aggregated per mutex name over live and destroyed instances. Snapshot
+// semantics (reset-then-add), so repeated exports are idempotent. The CLI
+// calls this right before a --metrics dump; long-running embedders can
+// call it on whatever cadence they report at.
+void export_sync_metrics(Metrics& m = Metrics::global());
+
+}  // namespace cgraf::obs

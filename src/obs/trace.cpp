@@ -20,7 +20,7 @@ std::atomic<std::uint64_t> g_next_epoch{1};
 }  // namespace
 
 void Tracer::enable() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   events_.clear();
   track_names_.clear();
   next_tid_ = 0;
@@ -40,7 +40,7 @@ int Tracer::thread_track() {
   thread_local int cached_id = 0;
   const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
   if (cached_owner != this || cached_epoch != e) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     cached_id = next_tid_++;
     cached_owner = this;
     cached_epoch = e;
@@ -50,7 +50,7 @@ int Tracer::thread_track() {
 
 void Tracer::name_thread(const std::string& name) {
   const int tid = thread_track();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   track_names_[tid] = name;
 }
 
@@ -64,7 +64,7 @@ void Tracer::record(const char* name, char phase, double ts_us, double dur_us,
   ev.dur_us = dur_us;
   ev.tid = thread_track();
   ev.args = std::move(args);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -74,7 +74,7 @@ void Tracer::instant(const char* name, std::string args) {
 }
 
 std::string Tracer::to_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   JsonWriter w;
   w.begin_object();
   w.key("traceEvents").begin_array();
@@ -124,17 +124,17 @@ bool Tracer::write_json(const std::string& path, std::string* error) const {
 }
 
 std::size_t Tracer::num_events() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return events_;
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   events_.clear();
 }
 

@@ -23,9 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cgraf::obs {
 
@@ -77,14 +78,17 @@ class Tracer {
   void clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"obs.tracer", lock_rank::kObsTracer};
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> epoch_{0};  // bumped by enable(); invalidates
                                          // cached thread track ids
+  // Written under mu_ by enable() before any span exists; read without the
+  // lock on the hot now_us() path. Unannotated on purpose: the epoch bump
+  // orders the write against every span that can observe it.
   double t0_ = 0.0;
-  int next_tid_ = 0;                  // guarded by mu_
-  std::vector<TraceEvent> events_;    // guarded by mu_
-  std::map<int, std::string> track_names_;  // guarded by mu_
+  int next_tid_ CGRAF_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> events_ CGRAF_GUARDED_BY(mu_);
+  std::map<int, std::string> track_names_ CGRAF_GUARDED_BY(mu_);
 };
 
 // RAII span: records one complete ('X') event from construction to

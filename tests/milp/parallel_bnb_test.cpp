@@ -129,6 +129,15 @@ TEST(ParallelBnb, NodeLimitRespectedWithThreads) {
   EXPECT_FALSE(r.has_solution());
 }
 
+// Kept out of the ParallelBnb suite: the TSan CI lane filters on that name
+// and death tests fork, which is unreliable under -fsanitize=thread.
+TEST(MipOptionsDeathTest, NegativeThreadCountAborts) {
+  const Model m = assignment_milp(5, 3, 3);
+  MipOptions opts;
+  opts.num_threads = -2;
+  EXPECT_DEATH(solve_milp(m, opts), "num_threads");
+}
+
 TEST(ParallelBnb, NegativeTimeBudgetClampsToZero) {
   // An exhausted wall-clock budget must not turn into a negative child-LP
   // limit (which used to disable the LP's own time check entirely).

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "json_check.h"
+#include "obs/sync_metrics.h"
+#include "util/sync.h"
 
 namespace cgraf::obs {
 namespace {
@@ -107,6 +109,21 @@ TEST(Metrics, ClearEmptiesRegistry) {
 
 TEST(Metrics, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&Metrics::global(), &Metrics::global());
+}
+
+TEST(Metrics, SyncContentionExportIsIdempotent) {
+  Metrics m;
+  Mutex mu("test.metrics.export", 99);
+  { MutexLock lk(&mu); }
+  { MutexLock lk(&mu); }
+  export_sync_metrics(m);
+  EXPECT_EQ(m.counter("sync.test.metrics.export.acquisitions").value(), 2);
+  EXPECT_EQ(m.counter("sync.test.metrics.export.contended").value(), 0);
+  export_sync_metrics(m);  // reset-then-add: no double counting
+  EXPECT_EQ(m.counter("sync.test.metrics.export.acquisitions").value(), 2);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("sync.test.metrics.export.wait_seconds"),
+            std::string::npos);
 }
 
 }  // namespace

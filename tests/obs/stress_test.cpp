@@ -1,0 +1,122 @@
+// TSan stress: hammer the metrics registry, the tracer and the progress
+// reporter from many threads at once, with concurrent readers. These run
+// under -fsanitize=thread in CI (the ObsStress ctest filter); the exact
+// count assertions double as lost-update checks under plain builds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/sync_metrics.h"
+#include "obs/trace.h"
+#include "util/sync.h"
+
+namespace cgraf::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIters = 500;
+
+TEST(ObsStress, MetricsRegistryUnderThreads) {
+  Metrics m;
+  std::atomic<bool> stop_reader{false};
+  std::atomic<long> reader_bytes{0};  // keeps the reads observable
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_relaxed))
+      reader_bytes.fetch_add(static_cast<long>(m.to_json().size()),
+                             std::memory_order_relaxed);
+  });
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&m, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Rotating names force concurrent registration, not just updates.
+        m.counter("stress.c" + std::to_string(i % 5)).add(1);
+        m.gauge("stress.g" + std::to_string(t)).set(i);
+        m.histogram("stress.h", {1.0, 10.0, 100.0}).observe(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  stop_reader.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  long total = 0;
+  for (int k = 0; k < 5; ++k)
+    total += m.counter("stress.c" + std::to_string(k)).value();
+  EXPECT_EQ(total, static_cast<long>(kThreads) * kIters);
+  EXPECT_EQ(m.histogram("stress.h", {}).count(),
+            static_cast<long>(kThreads) * kIters);
+  EXPECT_GT(reader_bytes.load(), 0);
+}
+
+TEST(ObsStress, TracerUnderThreads) {
+  Tracer tr;
+  tr.enable();
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&tr, t] {
+      tr.name_thread("stress-" + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        Span sp(tr, "stress.span");
+        sp.arg("i", i);
+        tr.instant("stress.instant");
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  tr.disable();
+  // One complete event per span plus one instant per iteration.
+  EXPECT_EQ(tr.num_events(),
+            static_cast<std::size_t>(kThreads) * kIters * 2);
+  const std::string json = tr.to_json();
+  EXPECT_NE(json.find("stress.span"), std::string::npos);
+  EXPECT_NE(json.find("stress-0"), std::string::npos);
+}
+
+TEST(ObsStress, ProgressTickClaimsOneWindowAcrossThreads) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  Progress& p = Progress::global();
+  const long before = p.lines_emitted();
+  p.configure(true, /*min_interval_s=*/1e9, sink);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&p] {
+      for (int i = 0; i < kIters; ++i) p.tickf("stress tick %d", i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  p.configure(false);
+  std::fclose(sink);
+  // The CAS window admits exactly one line for the (huge) interval.
+  EXPECT_EQ(p.lines_emitted() - before, 1);
+}
+
+TEST(ObsStress, SyncExportWhileMutexesAreBusy) {
+  Metrics m;
+  Mutex mu("test.obsstress.export", 99);
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MutexLock lk(&mu);
+    }
+  });
+  for (int i = 0; i < 50; ++i) export_sync_metrics(m);
+  stop.store(true, std::memory_order_relaxed);
+  hammer.join();
+  export_sync_metrics(m);
+  EXPECT_EQ(m.counter("sync.test.obsstress.export.acquisitions").value(),
+            mu.stats().acquisitions);
+}
+
+}  // namespace
+}  // namespace cgraf::obs

@@ -31,6 +31,7 @@
 #include "verify/model_lint.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/sync_metrics.h"
 #include "obs/trace.h"
 #include "timing/sta.h"
 #include "util/ascii.h"
@@ -267,8 +268,20 @@ int cmd_remap(const Args& args) {
                  strategy.c_str());
     return 1;
   }
-  if (const auto threads = args.get("threads"))
-    opts.solver.mip.num_threads = std::atoi(threads->c_str());
+  if (const auto threads = args.get("threads")) {
+    // Strict parse: a typo like "-2" or "2x" must fail loudly, not fall
+    // back to hardware concurrency through atoi()'s 0-on-garbage.
+    char* end = nullptr;
+    const long v = std::strtol(threads->c_str(), &end, 10);
+    if (end == threads->c_str() || *end != '\0' || v < 0 || v > 4096) {
+      std::fprintf(stderr,
+                   "invalid --threads '%s': expected an integer in [0, 4096]"
+                   " (0 = all hardware threads)\n",
+                   threads->c_str());
+      return 1;
+    }
+    opts.solver.mip.num_threads = static_cast<int>(v);
+  }
 
   const core::RemapResult result =
       aging_aware_remap(*design, *baseline, opts);
@@ -575,6 +588,8 @@ int main(int argc, char** argv) {
     }
   }
   if (metrics_path) {
+    // Fold the sync layer's per-mutex contention counters into the dump.
+    obs::export_sync_metrics();
     if (!write_file(*metrics_path, obs::Metrics::global().to_json() + "\n",
                     &error)) {
       std::fprintf(stderr, "failed to write metrics: %s\n", error.c_str());

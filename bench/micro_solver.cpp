@@ -8,6 +8,7 @@
 // across commits.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -169,6 +170,78 @@ void BM_MilpAssignment(benchmark::State& state) {
 BENCHMARK(BM_MilpAssignment)
     ->Args({16, 1})->Args({16, 2})->Args({16, 4})
     ->Args({24, 1})->Args({24, 2})->Args({24, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// A binary-search-shaped probe sequence: one engine, the per-PE stress-cap
+// rows' RHS re-ranged between solves, each solve warm-started from the
+// previous basis. range(0) = ops, range(1) = warm (1) or cold (0) — the
+// cold variant re-solves from the slack basis so the pair measures exactly
+// what basis chaining buys on the floorplanner's probe loops.
+void BM_LpRhsRampProbes(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const bool warm = state.range(1) == 1;
+  const int pes = 36;
+  const Model m = assignment_model(ops, pes, 4, 42, /*integer=*/false);
+  const int rows = m.num_constraints();
+  // assignment_model appends the per-PE stress caps last.
+  const double cap0 = m.constraint(rows - 1).ub;
+  constexpr int kProbes = 8;
+  int warm_hits = 0;
+  long iters = 0;
+  double probe_seconds[kProbes] = {};
+  for (auto _ : state) {
+    SimplexEngine engine(m);
+    std::vector<ColStatus> basis;
+    warm_hits = 0;
+    iters = 0;
+    for (int p = 0; p < kProbes; ++p) {
+      // Tighten the cap each probe, like the ST_target bisection closing in.
+      const double cap = cap0 * (1.0 - 0.03 * p);
+      for (int k = 0; k < pes; ++k)
+        engine.set_row_bounds(rows - pes + k, -kInf, cap);
+      const LpResult r =
+          engine.solve(warm && !basis.empty() ? &basis : nullptr);
+      if (r.status != SolveStatus::kOptimal &&
+          r.status != SolveStatus::kInfeasible) {
+        state.SkipWithError("probe LP failed");
+        break;
+      }
+      if (r.warm_used) ++warm_hits;
+      iters += r.iterations;
+      probe_seconds[p] = r.seconds;
+      if (!r.basis.empty()) basis = r.basis;
+      benchmark::DoNotOptimize(r.obj);
+    }
+  }
+  state.counters["probes"] = kProbes;
+  state.counters["warm_hits"] = warm_hits;
+  state.counters["lp_iters"] = static_cast<double>(iters);
+  {
+    double total = 0.0, mx = 0.0;
+    for (const double s : probe_seconds) {
+      total += s;
+      mx = std::max(mx, s);
+    }
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("case", "lp_rhs_ramp")
+        .field("arg", static_cast<long>(state.range(0)))
+        .field("warm", warm)
+        .field("probes", static_cast<long>(kProbes))
+        .field("warm_hits", static_cast<long>(warm_hits))
+        .field("wall_seconds", total)
+        .field("probe_max_s", mx)
+        .field("lp_iterations", iters)
+        .field("nodes", 0L)
+        .field("threads", 1L);
+    if (g_trace_path != nullptr) w.field("trace", g_trace_path);
+    w.end_object();
+    std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
+  }
+}
+BENCHMARK(BM_LpRhsRampProbes)
+    ->Args({48, 0})->Args({48, 1})
+    ->Args({96, 0})->Args({96, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_LuFactorize(benchmark::State& state) {

@@ -6,6 +6,29 @@
 #include "util/check.h"
 
 namespace cgraf::core {
+namespace {
+
+// Debug-assert mode: no model leaves the builder — or an RHS patch — with a
+// lint error. The same checks run release-mode via tests and `cgraf_cli
+// lint`.
+void debug_lint(const RemapModel& rm) {
+#ifndef NDEBUG
+  verify::LintOptions lint_opts;
+  lint_opts.include_info = false;
+  const verify::LintReport general = verify::lint_model(rm.model, lint_opts);
+  const verify::LintReport formulation =
+      verify::lint_formulation(rm.model, rm.formulation_spec(), lint_opts);
+  if (!general.clean() || !formulation.clean()) {
+    std::fprintf(stderr, "%s%s", general.to_text().c_str(),
+                 formulation.to_text().c_str());
+    CGRAF_ASSERT(!"build_remap_model produced a model with lint errors");
+  }
+#else
+  (void)rm;
+#endif
+}
+
+}  // namespace
 
 verify::FormulationSpec RemapModel::formulation_spec() const {
   verify::FormulationSpec spec;
@@ -60,6 +83,7 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
   RemapModel rm;
   rm.design = spec.design;
   rm.base = spec.base;
+  rm.st_target = spec.st_target;
   rm.frozen = spec.frozen;
   rm.candidates.assign(static_cast<std::size_t>(n_ops), {});
   rm.assign_vars.assign(static_cast<std::size_t>(n_ops), {});
@@ -150,14 +174,16 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
                       "excl[" + std::to_string(key.first) + "," +
                           std::to_string(key.second) + "]");
     }
+    rm.stress_rows.assign(static_cast<std::size_t>(n_pes), -1);
     for (int pe = 0; pe < n_pes; ++pe) {
       auto& terms = stress_terms[static_cast<std::size_t>(pe)];
       if (terms.empty()) continue;
       const double rhs =
           spec.st_target - frozen_stress[static_cast<std::size_t>(pe)];
-      rm.model.add_le(std::move(terms), rhs,
-                      "stress[" + std::to_string(pe) + "]");
+      rm.stress_rows[static_cast<std::size_t>(pe)] = rm.model.add_le(
+          std::move(terms), rhs, "stress[" + std::to_string(pe) + "]");
     }
+    rm.frozen_stress = frozen_stress;
   }
 
   // --- Path wire-length constraints (Step 2.2, Eq. (5)).
@@ -257,23 +283,28 @@ RemapModel build_remap_model(const RemapModelSpec& spec) {
     }
   }
 
-#ifndef NDEBUG
-  // Debug-assert mode: no model leaves the builder with a lint error. The
-  // same checks run release-mode via tests and `cgraf_cli lint`.
-  {
-    verify::LintOptions lint_opts;
-    lint_opts.include_info = false;
-    const verify::LintReport general = verify::lint_model(rm.model, lint_opts);
-    const verify::LintReport formulation =
-        verify::lint_formulation(rm.model, rm.formulation_spec(), lint_opts);
-    if (!general.clean() || !formulation.clean()) {
-      std::fprintf(stderr, "%s%s", general.to_text().c_str(),
-                   formulation.to_text().c_str());
-      CGRAF_ASSERT(!"build_remap_model produced a model with lint errors");
-    }
-  }
-#endif
+  debug_lint(rm);
   return rm;
+}
+
+bool RemapModel::patch_st_target(double new_target) {
+  CGRAF_ASSERT(!trivially_infeasible);
+  CGRAF_ASSERT(design != nullptr);
+  // Mirror of the builder's early-out: a frozen PE whose stress alone
+  // exceeds the target makes the model infeasible before any solve. The
+  // model is left untouched so a later patch to a looser target still works.
+  for (const double fs : frozen_stress) {
+    if (fs > new_target + 1e-9) return false;
+  }
+  for (std::size_t pe = 0; pe < stress_rows.size(); ++pe) {
+    const int row = stress_rows[pe];
+    if (row < 0) continue;
+    model.set_constraint_bounds(row, -milp::kInf,
+                                new_target - frozen_stress[pe]);
+  }
+  st_target = new_target;
+  debug_lint(*this);
+  return true;
 }
 
 }  // namespace cgraf::core

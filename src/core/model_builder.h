@@ -75,6 +75,23 @@ struct RemapModel {
   int num_path_rows = 0;
   int num_monitored_paths = 0;
 
+  // The stress target the model was built (or last patched) for, plus the
+  // bookkeeping patch_st_target needs: the model row carrying each PE's
+  // stress constraint (-1 when the PE has none) and the stress contributed
+  // by frozen ops, which the row's RHS nets out.
+  double st_target = 0.0;
+  std::vector<int> stress_rows;       // per PE; empty when trivially infeasible
+  std::vector<double> frozen_stress;  // per PE
+
+  // Re-ranges the stress rows for a new target without rebuilding anything
+  // else — the incremental Step-1/Delta-loop probes lean on this. Returns
+  // false (leaving the model at its previous target) when the new target is
+  // trivially infeasible because a frozen PE's stress alone exceeds it; the
+  // caller reports infeasibility without a solve, exactly as a cold rebuild
+  // would. Must not be called on a trivially-infeasible model. In debug
+  // builds the patched model is re-linted like a fresh build.
+  bool patch_st_target(double new_target);
+
   // Decodes a solver solution vector into a complete floorplan (frozen ops
   // keep their base binding).
   Floorplan decode(const std::vector<double>& x) const;

@@ -1,0 +1,139 @@
+#include "core/probe_session.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/clock.h"
+#include "verify/certify.h"
+
+namespace cgraf::core {
+
+ProbeSession::ProbeSession(RemapModelSpec spec, TwoStepOptions solver,
+                           bool warm)
+    : spec_(std::move(spec)), solver_(std::move(solver)), warm_(warm) {
+  CGRAF_ASSERT(spec_.design != nullptr && spec_.base != nullptr);
+}
+
+bool ProbeSession::ensure_model(double target) {
+  // A trivially-infeasible model records no rows to patch; the only way to
+  // re-probe it at another target is a fresh build. (Only the frozen-stress
+  // early-out depends on the target, but rebuilding on every reason is
+  // exactly what the cold path does, so verdicts stay identical.)
+  if (!built_ || (rm_.trivially_infeasible && target != rm_.st_target)) {
+    spec_.st_target = target;
+    rm_ = build_remap_model(spec_);
+    built_ = true;
+    ++stats_.model_rebuilds;
+    engine_.reset();
+    basis_.clear();
+    return !rm_.trivially_infeasible;
+  }
+  if (rm_.trivially_infeasible) return false;
+  if (target != rm_.st_target) {
+    // patch_st_target leaves the model at its previous target when the new
+    // one is infeasible outright, so later probes can still patch from it.
+    if (!rm_.patch_st_target(target)) return false;
+    ++stats_.patches;
+    if (engine_ != nullptr) {
+      for (const int row : rm_.stress_rows) {
+        if (row < 0) continue;
+        const milp::Constraint& c = rm_.model.constraint(row);
+        engine_->set_row_bounds(row, c.lb, c.ub);
+      }
+    }
+  }
+  return true;
+}
+
+TwoStepResult ProbeSession::solve_lp_probe() {
+  obs::Span span("probe_session.lp");
+  TwoStepResult res;
+  res.stats.vars_total = rm_.num_binary_vars;
+  if (engine_ == nullptr) {
+    milp::Model relaxed = rm_.model;
+    for (int v = 0; v < relaxed.num_vars(); ++v) relaxed.relax_var(v);
+    engine_ = std::make_unique<milp::SimplexEngine>(relaxed, solver_.lp);
+  }
+
+  const bool have_warm = !basis_.empty();
+  milp::LpResult lp = engine_->solve(have_warm ? &basis_ : nullptr);
+  if (have_warm && !lp.warm_used) {
+    // Stale/singular basis: the engine already restarted from the slack
+    // basis on its own.
+    ++stats_.basis_fallbacks;
+  } else if (have_warm && lp.status == milp::SolveStatus::kNumericalError) {
+    // The chained basis factored but drove the solve into numerical
+    // trouble; a cold re-solve is the answer a fresh session would give.
+    ++stats_.basis_fallbacks;
+    lp = engine_->solve(nullptr);
+  } else if (have_warm) {
+    ++stats_.warm_hits;
+  }
+  res.stats.warm_start_used = have_warm && lp.warm_used;
+  if (!lp.basis.empty()) basis_ = lp.basis;
+
+  res.stats.lp_status = lp.status;
+  res.stats.lp_iterations = lp.iterations;
+  res.stats.lp_seconds = lp.seconds;
+  res.stats.lp_stage.add(lp.stats);
+  res.basis = lp.basis;
+  span.arg("status", milp::to_string(lp.status))
+      .arg("iterations", lp.iterations)
+      .arg("warm", res.stats.warm_start_used);
+  if (lp.status != milp::SolveStatus::kOptimal) {
+    res.status = lp.status == milp::SolveStatus::kUnbounded
+                     ? milp::SolveStatus::kNumericalError
+                     : lp.status;
+    return res;
+  }
+  // Same acceptance gate as solve_two_step's lp_only path: the feasibility
+  // verdict is independently certified (integrality waived).
+  res.status = milp::SolveStatus::kOptimal;
+  if (solver_.verify.enabled) {
+    const verify::Certificate cert = verify::certify_solution(
+        rm_.model, lp.x, solver_.verify.tol, /*relaxed=*/true);
+    if (cert.ok) {
+      res.certified = true;
+    } else {
+      obs::Metrics::global().counter("verify.solution_rejections").add(1);
+      res.certified = false;
+      res.certify_error = cert.summary();
+      res.status = milp::SolveStatus::kNumericalError;
+    }
+  }
+  return res;
+}
+
+TwoStepResult ProbeSession::solve(double st_target) {
+  ++stats_.probes;
+  if (!warm_) {
+    // Forced-cold mode: the legacy rebuild-everything path, byte for byte.
+    spec_.st_target = st_target;
+    rm_ = build_remap_model(spec_);
+    built_ = true;
+    ++stats_.model_rebuilds;
+    return solve_two_step(rm_, solver_);
+  }
+
+  if (!ensure_model(st_target)) {
+    TwoStepResult res;
+    res.status = milp::SolveStatus::kInfeasible;
+    return res;
+  }
+  if (solver_.lp_only) return solve_lp_probe();
+
+  TwoStepOptions probe_opts = solver_;
+  const bool have_warm = !basis_.empty();
+  probe_opts.warm_basis = have_warm ? &basis_ : nullptr;
+  TwoStepResult res = solve_two_step(rm_, probe_opts);
+  if (have_warm) {
+    if (res.stats.warm_start_used) ++stats_.warm_hits;
+    else ++stats_.basis_fallbacks;
+  }
+  if (!res.basis.empty()) basis_ = res.basis;
+  return res;
+}
+
+}  // namespace cgraf::core

@@ -1,0 +1,75 @@
+// Incremental ST_target probe solving.
+//
+// Step 1's binary search, the remapper's LP presearch and its
+// Delta-relaxation retry loop all solve a *sequence* of near-identical
+// models: between two probes only the stress rows' right-hand side
+// (`ST_target`) changes. A ProbeSession builds the RemapModel once, patches
+// only those rows between probes (RemapModel::patch_st_target), keeps one
+// SimplexEngine alive across pure-LP probes so the computational form is
+// standardized once, and warm-starts every solve from the previous probe's
+// returned basis — falling back to the cold slack basis whenever the
+// chained basis is stale or its factorization singular. With warm == false
+// the session degrades to the legacy behavior (full rebuild + cold solve
+// per probe), which the differential tests and the `--warm-probes=off`
+// escape hatch rely on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/model_builder.h"
+#include "core/two_step.h"
+#include "milp/simplex.h"
+
+namespace cgraf::core {
+
+struct ProbeSessionStats {
+  int probes = 0;
+  // Solves that actually started from the previous probe's basis.
+  int warm_hits = 0;
+  // A chained basis was available but abandoned for the slack basis
+  // (engine-side rejection of a stale/singular basis, or a numerical-error
+  // retry).
+  int basis_fallbacks = 0;
+  // Full build_remap_model calls (the first build counts; warm sessions
+  // rebuild only when a trivially-infeasible model must be re-attempted at
+  // a different target).
+  int model_rebuilds = 0;
+  // RHS-only patches that replaced a rebuild.
+  int patches = 0;
+};
+
+class ProbeSession {
+ public:
+  // `spec.st_target` is ignored; every probe supplies its own target. The
+  // pointers inside `spec` (design, base floorplan, monitored paths) are
+  // borrowed and must outlive the session. `solver.lp_only` selects the
+  // persistent-engine pure-LP path; otherwise each probe runs the full
+  // two-step solve on the patched model with a chained warm basis.
+  ProbeSession(RemapModelSpec spec, TwoStepOptions solver, bool warm = true);
+
+  // Solves the spec at `st_target`. Results are verdict-identical to a
+  // cold rebuild at the same target.
+  TwoStepResult solve(double st_target);
+
+  const ProbeSessionStats& stats() const { return stats_; }
+  // The session's model as of the last solve (valid once solve() ran).
+  const RemapModel& model() const { return rm_; }
+
+ private:
+  // Brings rm_ (and the persistent engine's row bounds) to `target`.
+  // Returns false when the target is trivially infeasible.
+  bool ensure_model(double target);
+  TwoStepResult solve_lp_probe();
+
+  RemapModelSpec spec_;
+  TwoStepOptions solver_;
+  bool warm_ = true;
+  RemapModel rm_;
+  bool built_ = false;
+  std::unique_ptr<milp::SimplexEngine> engine_;  // lp_only probes only
+  std::vector<milp::ColStatus> basis_;           // last returned basis
+  ProbeSessionStats stats_;
+};
+
+}  // namespace cgraf::core

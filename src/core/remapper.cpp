@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cgrra/stress.h"
+#include "core/probe_session.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -103,8 +104,27 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
         verify::certify_floorplan(fspec, baseline, opts.verify.tol).ok;
   };
 
+  // Incremental-probe accounting, folded in from every session the flow
+  // opens (Step 1's search, the presearch geometries, the Delta loop).
+  auto fold_session = [&](const ProbeSessionStats& ps) {
+    res.probe_warm_hits += ps.warm_hits;
+    res.probe_basis_fallbacks += ps.basis_fallbacks;
+    res.probe_model_rebuilds += ps.model_rebuilds;
+  };
+  auto emit_probe_counters = [&] {
+    obs::Metrics::global().counter("remap.warm_hits")
+        .add(res.probe_warm_hits);
+    obs::Metrics::global().counter("remap.basis_fallbacks")
+        .add(res.probe_basis_fallbacks);
+  };
+
   // --- Step 1: delay-unaware stress-target lower bound.
-  const StTargetResult st = find_st_target(design, baseline, opts.st_search);
+  StTargetOptions st_opts = opts.st_search;
+  st_opts.warm_probes = opts.warm_probes;
+  const StTargetResult st = find_st_target(design, baseline, st_opts);
+  res.probe_warm_hits += st.warm_hits;
+  res.probe_basis_fallbacks += st.basis_fallbacks;
+  res.probe_model_rebuilds += st.model_rebuilds;
   res.st_target_initial = st.st_target;
   const double delta = std::max(
       1e-9, opts.delta_frac * std::max(1e-12, st.st_up - st.st_low));
@@ -161,51 +181,41 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
         design, base, frozen, monitored, res.cpd_before_ns, cand_opts);
     filter_blocked(candidates);
 
-    auto make_spec = [&](double target) {
-      RemapModelSpec spec;
-      spec.design = &design;
-      spec.base = &base;
-      spec.frozen = frozen;
-      spec.candidates = candidates;
-      spec.st_target = target;
-      spec.monitored = &monitored;
-      spec.cpd_ns = res.cpd_before_ns;
-      spec.objective = opts.objective;
-      return spec;
-    };
-
     double st_target = std::max(res.st_target_initial, 1e-12);
     if (opts.lp_presearch) {
       obs::Span presearch_span("remap.presearch");
       TwoStepOptions probe_opts = opts.solver;
       probe_opts.lp_only = true;
       // Smallest LP-feasible target (with path constraints) for a given
-      // frozen geometry: the start of the Delta loop.
+      // frozen geometry: the start of the Delta loop. One probe session per
+      // geometry — its probes differ only in the stress rows' RHS.
       auto presearch = [&](const Floorplan& b,
                            const std::vector<std::vector<int>>& cand) {
+        RemapModelSpec spec;
+        spec.design = &design;
+        spec.base = &b;
+        spec.frozen = frozen;
+        spec.candidates = cand;
+        spec.monitored = &monitored;
+        spec.cpd_ns = res.cpd_before_ns;
+        spec.objective = ObjectiveMode::kNull;  // feasibility only
+        ProbeSession session(std::move(spec), probe_opts, opts.warm_probes);
         auto lp_feasible = [&](double target) {
-          RemapModelSpec spec;
-          spec.design = &design;
-          spec.base = &b;
-          spec.frozen = frozen;
-          spec.candidates = cand;
-          spec.st_target = target;
-          spec.monitored = &monitored;
-          spec.cpd_ns = res.cpd_before_ns;
-          spec.objective = ObjectiveMode::kNull;  // feasibility only
-          const RemapModel rm = build_remap_model(spec);
-          return solve_two_step(rm, probe_opts).status ==
-                 milp::SolveStatus::kOptimal;
+          return session.solve(target).status == milp::SolveStatus::kOptimal;
         };
         double lo = std::max(res.st_target_initial, 1e-12);
-        if (lp_feasible(lo)) return lo;
-        double hi = res.st_max_before;
-        for (int probe = 0; probe < opts.lp_presearch_probes; ++probe) {
-          const double mid = 0.5 * (lo + hi);
-          if (lp_feasible(mid)) hi = mid;
-          else lo = mid;
+        double found = lo;
+        if (!lp_feasible(lo)) {
+          double hi = res.st_max_before;
+          for (int probe = 0; probe < opts.lp_presearch_probes; ++probe) {
+            const double mid = 0.5 * (lo + hi);
+            if (lp_feasible(mid)) hi = mid;
+            else lo = mid;
+          }
+          found = hi;
         }
-        return hi;
+        fold_session(session.stats());
+        return found;
       };
       st_target = presearch(base, candidates);
       if (opts.mode == RemapMode::kRotate && round == 0) {
@@ -231,6 +241,29 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
           opts.verbose, "  [remap] lp presearch -> st_target=%.4f", st_target);
     }
 
+    TwoStepOptions solver_opts = opts.solver;
+    // Unfrozen critical paths (fault mode) need coordinated rigid moves
+    // that the greedy dive cannot discover; let branch & bound finish
+    // the job when the dive dead-ends.
+    if (fault_mode) solver_opts.bnb_fallback = true;
+    // One switch turns on both certification layers: the milp-level
+    // solution check inside solve_two_step and the cgrra-level floorplan
+    // check below.
+    if (opts.verify.enabled) solver_opts.verify = opts.verify;
+    // The Delta loop's attempts share one geometry (base/candidates are
+    // final once the presearch picked them), so one session carries the
+    // model and the chained basis across the whole scan + refinement.
+    RemapModelSpec attempt_spec;
+    attempt_spec.design = &design;
+    attempt_spec.base = &base;
+    attempt_spec.frozen = frozen;
+    attempt_spec.candidates = candidates;
+    attempt_spec.monitored = &monitored;
+    attempt_spec.cpd_ns = res.cpd_before_ns;
+    attempt_spec.objective = opts.objective;
+    ProbeSession attempt_session(std::move(attempt_spec), solver_opts,
+                                 opts.warm_probes);
+
     // Attempts one st_target: solve, validate, and re-check the CPD with a
     // full STA (Algorithm 1 lines 10-17). Returns true and fills
     // `out`/`out_cpd` on success.
@@ -242,18 +275,9 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       obs::Span attempt_span("remap.attempt");
       attempt_span.arg("st_target", target).arg("iter", res.outer_iterations);
       obs::Metrics::global().counter("remap.attempts").add(1);
-      const RemapModel rm = build_remap_model(make_spec(target));
       const double t_iter = now_seconds();
-      TwoStepOptions solver_opts = opts.solver;
-      // Unfrozen critical paths (fault mode) need coordinated rigid moves
-      // that the greedy dive cannot discover; let branch & bound finish
-      // the job when the dive dead-ends.
-      if (fault_mode) solver_opts.bnb_fallback = true;
-      // One switch turns on both certification layers: the milp-level
-      // solution check inside solve_two_step and the cgrra-level floorplan
-      // check below.
-      if (opts.verify.enabled) solver_opts.verify = opts.verify;
-      const TwoStepResult solved = solve_two_step(rm, solver_opts);
+      const TwoStepResult solved = attempt_session.solve(target);
+      const RemapModel& rm = attempt_session.model();
       res.last_solve = solved.stats;
       bool cpd_ok = false;
       if (solved.status == milp::SolveStatus::kOptimal) {
@@ -340,6 +364,7 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
           last_fail = mid;
         }
       }
+      fold_session(attempt_session.stats());
 
       const StressMap stress1 = compute_stress(design, found);
       const bool stress_improved =
@@ -376,11 +401,14 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       obs::Metrics::global().gauge("remap.st_target_final")
           .set(res.st_target_final);
       obs::Metrics::global().gauge("remap.mttf_gain").set(res.mttf_gain);
+      emit_probe_counters();
       remap_span.arg("improved", res.improved)
           .arg("st_target_final", res.st_target_final)
-          .arg("attempts", res.outer_iterations);
+          .arg("attempts", res.outer_iterations)
+          .arg("warm_hits", static_cast<long>(res.probe_warm_hits));
       return res;
     }
+    fold_session(attempt_session.stats());
     // No feasible floorplan with this rotation: re-draw (Rotate) or give up.
   }
 
@@ -392,7 +420,10 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
   res.mttf_gain = 1.0;
   res.note = "no improving floorplan found; baseline kept";
   res.seconds = now_seconds() - t_start;
-  remap_span.arg("improved", false).arg("attempts", res.outer_iterations);
+  emit_probe_counters();
+  remap_span.arg("improved", false)
+      .arg("attempts", res.outer_iterations)
+      .arg("warm_hits", static_cast<long>(res.probe_warm_hits));
   return res;
 }
 

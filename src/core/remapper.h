@@ -63,6 +63,14 @@ struct RemapOptions {
   int rotation_restarts = 12;
   int rotation_retries = 2;  // re-draw rotations if the plan can't close
 
+  // Incremental probe sessions (core/probe_session.h) for Step 1's binary
+  // search, the LP presearch and the Delta-relaxation retry loop: the remap
+  // model is built once per geometry, only the stress-target rows are
+  // patched between attempts, and each LP warm-starts from the previous
+  // attempt's basis. Off = the legacy full rebuild + cold solve per
+  // attempt (the `--warm-probes off` escape hatch).
+  bool warm_probes = true;
+
   std::uint64_t seed = 1;
   bool verbose = false;  // per-iteration progress on stderr
 
@@ -111,6 +119,11 @@ struct RemapResult {
   int num_frozen_ops = 0;
   int num_monitored_paths = 0;
   int rotation_attempts = 0;
+  // Aggregated incremental-probe accounting across Step 1, the presearch
+  // and the Delta loop (see ProbeSessionStats).
+  int probe_warm_hits = 0;
+  int probe_basis_fallbacks = 0;
+  int probe_model_rebuilds = 0;
   TwoStepStats last_solve;
   double seconds = 0.0;
   std::string note;  // human-readable outcome summary

@@ -126,6 +126,7 @@ std::string format_solver_stats(const TwoStepStats& stats) {
                  std::to_string(s.full_refreshes)});
   table.add_row({"candidate bucket rebuilds",
                  std::to_string(s.bucket_rebuilds)});
+  table.add_row({"warm-started", stats.warm_start_used ? "yes" : "no"});
   return table.render();
 }
 
@@ -145,7 +146,8 @@ std::string solver_stats_json(const TwoStepStats& stats) {
       .field("factor_seconds", s.factor_seconds)
       .field("incremental_updates", s.incremental_updates)
       .field("full_refreshes", s.full_refreshes)
-      .field("bucket_rebuilds", s.bucket_rebuilds);
+      .field("bucket_rebuilds", s.bucket_rebuilds)
+      .field("warm_start_used", stats.warm_start_used);
   w.key("nodes_per_thread").begin_array();
   for (const long n : stats.mip_nodes_per_thread) w.value(n);
   w.end_array();

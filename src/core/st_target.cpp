@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "cgrra/stress.h"
+#include "core/probe_session.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/clock.h"
 
 namespace cgraf::core {
 
@@ -32,26 +34,29 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
       c[static_cast<std::size_t>(pe)] = pe;
   }
 
+  // All probes share one spec (only st_target differs), so the session
+  // builds the model once and patches the stress rows between probes.
+  RemapModelSpec spec;
+  spec.design = &design;
+  spec.base = &baseline;
+  spec.frozen = std::move(frozen);
+  spec.candidates = std::move(candidates);
+  spec.monitored = nullptr;  // no CP / path-delay constraints in Step 1
+  // LP-only probes are pure feasibility: the null objective lets the
+  // simplex stop as soon as phase 1 closes.
+  spec.objective = opts.confirm_with_ilp ? ObjectiveMode::kMinPerturbation
+                                         : ObjectiveMode::kNull;
+  TwoStepOptions solver = opts.solver;
+  solver.lp_only = !opts.confirm_with_ilp;
+  ProbeSession session(std::move(spec), solver, opts.warm_probes);
+
   auto feasible = [&](double target) {
     // One span per binary-search probe, annotated with the probed target
     // and whether the (LP or ILP) feasibility oracle accepted it.
     obs::Span probe_span("st_target.probe");
     probe_span.arg("st_target", target);
-    RemapModelSpec spec;
-    spec.design = &design;
-    spec.base = &baseline;
-    spec.frozen = frozen;
-    spec.candidates = candidates;
-    spec.st_target = target;
-    spec.monitored = nullptr;  // no CP / path-delay constraints in Step 1
-    // LP-only probes are pure feasibility: the null objective lets the
-    // simplex stop as soon as phase 1 closes.
-    spec.objective = opts.confirm_with_ilp ? ObjectiveMode::kMinPerturbation
-                                           : ObjectiveMode::kNull;
-    const RemapModel rm = build_remap_model(spec);
-    TwoStepOptions solver = opts.solver;
-    solver.lp_only = !opts.confirm_with_ilp;
-    const TwoStepResult r = solve_two_step(rm, solver);
+    const double t_probe = now_seconds();
+    const TwoStepResult r = session.solve(target);
     ++res.probes;
     res.lp_iterations += r.stats.lp_iterations;
     res.lp_stage.add(r.stats.lp_stage);
@@ -70,9 +75,27 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
         ok = false;
       }
     }
-    probe_span.arg("feasible", ok);
+    probe_span.arg("feasible", ok).arg("warm", r.stats.warm_start_used);
     obs::Metrics::global().counter("st_target.probes").add(1);
+    res.probe_log.push_back({target, ok, now_seconds() - t_probe});
     return ok;
+  };
+
+  const auto finish = [&] {
+    const ProbeSessionStats& ps = session.stats();
+    res.warm_hits = ps.warm_hits;
+    res.basis_fallbacks = ps.basis_fallbacks;
+    res.model_rebuilds = ps.model_rebuilds;
+    obs::Metrics::global().counter("st_target.warm_hits").add(ps.warm_hits);
+    obs::Metrics::global()
+        .counter("st_target.basis_fallbacks")
+        .add(ps.basis_fallbacks);
+    search_span.arg("st_target", res.st_target)
+        .arg("st_low", res.st_low)
+        .arg("st_up", res.st_up)
+        .arg("probes", static_cast<long>(res.probes))
+        .arg("warm_hits", static_cast<long>(ps.warm_hits))
+        .arg("basis_fallbacks", static_cast<long>(ps.basis_fallbacks));
   };
 
   double lo = res.st_low;
@@ -82,6 +105,7 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
   if (feasible(lo)) {
     res.ok = true;
     res.st_target = lo;
+    finish();
     return res;
   }
   const double tol = std::max(1e-9, opts.tol_frac * (res.st_up - res.st_low));
@@ -97,10 +121,7 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
   }
   res.ok = true;
   res.st_target = best;
-  search_span.arg("st_target", res.st_target)
-      .arg("st_low", res.st_low)
-      .arg("st_up", res.st_up)
-      .arg("probes", static_cast<long>(res.probes));
+  finish();
   return res;
 }
 

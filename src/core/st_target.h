@@ -22,7 +22,19 @@ struct StTargetOptions {
   // searched value is explicitly a lower bound). Set confirm_with_ilp to
   // run the paper's full LP-round-ILP at each probe instead.
   bool confirm_with_ilp = false;
+  // Incremental probing (core/probe_session.h): build the remap model once,
+  // patch only the stress rows' RHS between probes and warm-start each LP
+  // from the previous probe's basis. Off = the legacy cold rebuild per
+  // probe; verdicts and the found target are identical either way.
+  bool warm_probes = true;
   TwoStepOptions solver;
+};
+
+// One binary-search probe, in solve order.
+struct StProbe {
+  double st_target = 0.0;
+  bool feasible = false;
+  double seconds = 0.0;  // wall time of this probe's solve
 };
 
 struct StTargetResult {
@@ -36,6 +48,15 @@ struct StTargetResult {
   // Probes whose solver answer failed independent certification (counted as
   // infeasible; solver.verify.enabled turns the check on).
   int certify_failures = 0;
+  // Incremental-session accounting (all zero with warm_probes == false
+  // except model_rebuilds, which then equals probes).
+  int warm_hits = 0;        // solves started from the previous probe's basis
+  int basis_fallbacks = 0;  // chained basis abandoned for the slack basis
+  int model_rebuilds = 0;   // full build_remap_model calls
+  // Per-probe log, in solve order: target, verdict, wall seconds. The
+  // differential tests compare it probe by probe; the benches derive their
+  // probe-time percentiles from it.
+  std::vector<StProbe> probe_log;
 };
 
 StTargetResult find_st_target(const Design& design, const Floorplan& baseline,

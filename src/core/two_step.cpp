@@ -130,8 +130,11 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
   milp::LpResult lp;
   // Warm-start every re-solve from the last feasible basis; phase 1
   // re-establishes feasibility in a handful of iterations after a fix or
-  // an unfix, where a cold start would pay thousands.
+  // an unfix, where a cold start would pay thousands. The root LP itself
+  // can be seeded from a previous probe of an incremental session.
   std::vector<milp::ColStatus> good_basis;
+  if (opts.warm_basis != nullptr && !opts.warm_basis->empty())
+    good_basis = *opts.warm_basis;
   const int max_rounds = 24 * rm.design->num_ops() + 256;  // hard backstop
   while (true) {
     if (res.stats.dive_rounds >= max_rounds) {
@@ -140,11 +143,14 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
       return !opts.bnb_fallback;
     }
     lp = engine.solve(lb, ub, good_basis.empty() ? nullptr : &good_basis);
+    if (res.stats.dive_rounds == 0)
+      res.stats.warm_start_used = opts.warm_basis != nullptr && lp.warm_used;
     ++res.stats.dive_rounds;
     res.stats.lp_iterations += lp.iterations;
     res.stats.lp_seconds += lp.seconds;
     res.stats.lp_status = lp.status;
     res.stats.lp_stage.add(lp.stats);
+    res.basis = lp.basis;
 
     if (lp.status != milp::SolveStatus::kOptimal) {
       if (history.empty()) {
@@ -299,14 +305,20 @@ TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
     obs::Span lp_span("two_step.lp_relax");
     milp::Model relaxed = rm.model;
     for (int v = 0; v < relaxed.num_vars(); ++v) relaxed.relax_var(v);
-    lp = milp::solve_lp(relaxed, opts.lp);
+    milp::SimplexEngine engine(relaxed, opts.lp);
+    const bool have_warm =
+        opts.warm_basis != nullptr && !opts.warm_basis->empty();
+    lp = engine.solve(have_warm ? opts.warm_basis : nullptr);
+    res.stats.warm_start_used = have_warm && lp.warm_used;
     lp_span.arg("status", milp::to_string(lp.status))
-        .arg("iterations", lp.iterations);
+        .arg("iterations", lp.iterations)
+        .arg("warm", res.stats.warm_start_used);
   }
   res.stats.lp_status = lp.status;
   res.stats.lp_iterations = lp.iterations;
   res.stats.lp_seconds = lp.seconds;
   res.stats.lp_stage.add(lp.stats);
+  res.basis = lp.basis;
   if (lp.status != milp::SolveStatus::kOptimal) {
     res.status = lp.status == milp::SolveStatus::kUnbounded
                      ? milp::SolveStatus::kNumericalError

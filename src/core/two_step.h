@@ -45,6 +45,14 @@ struct TwoStepOptions {
   milp::LpOptions lp;
   milp::MipOptions mip;
   std::uint64_t seed = 1;  // randomized rounding only
+  // Warm start for the first LP solved (the dive's root LP, or the lp_only
+  // relaxation): a basis previously returned for a model with the same
+  // shape, typically the previous probe of an incremental ST_target
+  // session. Stale (wrong-sized) or singular bases are detected inside the
+  // simplex engine and silently fall back to the cold slack basis;
+  // stats.warm_start_used reports what actually happened. Not owned — must
+  // outlive the solve.
+  const std::vector<milp::ColStatus>* warm_basis = nullptr;
   // Independent re-validation of every accepted solution vector against the
   // model (verify/certify.h). A solution that fails certification is
   // rejected: the result degrades to kNumericalError instead of shipping an
@@ -67,6 +75,9 @@ struct TwoStepStats {
   int mip_threads = 1;            // worker threads of the last B&B run
   std::vector<long> mip_nodes_per_thread;
   milp::LpStageStats lp_stage;    // aggregated over every LP solved
+  // opts.warm_basis was supplied and the first LP actually started from it
+  // (false also when no warm basis was given).
+  bool warm_start_used = false;
 };
 
 struct TwoStepResult {
@@ -75,6 +86,10 @@ struct TwoStepResult {
   milp::SolveStatus status = milp::SolveStatus::kNumericalError;
   Floorplan floorplan;  // empty when lp_only or infeasible
   TwoStepStats stats;
+  // Final basis of the last LP solved (empty when no LP ran, e.g. the pure
+  // one-shot ILP strategy). Feed it back through opts.warm_basis to
+  // warm-start the next solve of a same-shaped (e.g. RHS-patched) model.
+  std::vector<milp::ColStatus> basis;
   // Verification outcome when opts.verify.enabled and a solution was
   // produced: certified == the independent re-check passed. On failure the
   // status is downgraded and the first issue is kept here.

@@ -44,6 +44,14 @@ void Model::set_bounds(int var, double lb, double ub) {
   vars_[static_cast<size_t>(var)].ub = ub;
 }
 
+void Model::set_constraint_bounds(int row, double lb, double ub) {
+  CGRAF_ASSERT(row >= 0 && row < num_constraints());
+  CGRAF_ASSERT(lb <= ub);
+  CGRAF_ASSERT(!std::isnan(lb) && !std::isnan(ub));
+  cons_[static_cast<size_t>(row)].lb = lb;
+  cons_[static_cast<size_t>(row)].ub = ub;
+}
+
 void Model::set_obj(int var, double coeff) {
   CGRAF_ASSERT(var >= 0 && var < num_vars());
   vars_[static_cast<size_t>(var)].obj = coeff;

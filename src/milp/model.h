@@ -70,6 +70,11 @@ class Model {
   // Tighten an existing variable's bounds (used by branch & bound and by
   // the LP-rounding pre-mapping step).
   void set_bounds(int var, double lb, double ub);
+  // Re-range an existing constraint (RHS patch). The row's terms are
+  // untouched, so the model stays canonical and any computational form
+  // built from it keeps its sparsity pattern — the incremental ST_target
+  // probes patch only the stress rows' bounds between solves.
+  void set_constraint_bounds(int row, double lb, double ub);
   void set_obj(int var, double coeff);
   // Relax an integer/binary variable to continuous (paper's Step-1 linear
   // relaxation is expressed by copying the model and relaxing all).

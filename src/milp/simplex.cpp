@@ -77,6 +77,13 @@ LpResult SimplexEngine::solve(const std::vector<ColStatus>* warm) {
   return solve(model_lb_, model_ub_, warm);
 }
 
+void SimplexEngine::set_row_bounds(int row, double lb, double ub) {
+  CGRAF_ASSERT(row >= 0 && row < m_);
+  CGRAF_ASSERT(lb <= ub);
+  slack_lb_[static_cast<size_t>(row)] = lb;
+  slack_ub_[static_cast<size_t>(row)] = ub;
+}
+
 LpResult SimplexEngine::solve(const std::vector<double>& lb,
                               const std::vector<double>& ub,
                               const std::vector<ColStatus>* warm) {
@@ -161,6 +168,7 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
       warmed = true;
     }
   }
+  res.warm_used = warmed;
   if (!warmed) {
     w.status.assign(static_cast<size_t>(w.total), ColStatus::kAtLower);
     w.basis.resize(static_cast<size_t>(m_));

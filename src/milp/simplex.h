@@ -92,6 +92,12 @@ struct LpResult {
   long iterations = 0;
   double seconds = 0.0;
   std::vector<ColStatus> basis;    // size n+m, for warm starting
+  // The supplied warm basis was actually used. False when no basis was
+  // given, when it was stale (wrong size / wrong basic count), or when its
+  // factorization was singular — all of which silently restart from the
+  // slack basis. Callers chaining bases across re-solves (the ST_target
+  // probe sessions) use this to count warm hits vs fallbacks.
+  bool warm_used = false;
   LpStageStats stats;
 };
 
@@ -108,6 +114,11 @@ class SimplexEngine {
   LpResult solve(const std::vector<ColStatus>* warm = nullptr);
 
   void set_options(const LpOptions& opts) { opts_ = opts; }
+
+  // Re-ranges one row's bounds after construction (an RHS patch). The
+  // constraint matrix is untouched, so previously returned bases remain
+  // structurally valid warm starts: only the slack column's bounds move.
+  void set_row_bounds(int row, double lb, double ub);
 
   int num_structural() const { return n_; }
   const std::vector<double>& model_lb() const { return model_lb_; }

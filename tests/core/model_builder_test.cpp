@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "milp/branch_and_bound.h"
 #include "timing/paths.h"
 
@@ -193,6 +195,61 @@ TEST(ModelBuilder, DecodePicksTheAssignedCandidate) {
   }
   const Floorplan fp = rm.decode(x);
   EXPECT_EQ(fp.op_to_pe, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(ModelBuilder, PatchedTargetEqualsFreshBuild) {
+  // Patching the stress rows to a new target must produce exactly the model
+  // a fresh build at that target would: same bounds on every row, and the
+  // same solver verdicts on both sides of feasibility.
+  Fixture f;
+  RemapModel patched = build_remap_model(f.spec(10.0));
+  ASSERT_FALSE(patched.trivially_infeasible);
+  ASSERT_TRUE(patched.patch_st_target(2.5));
+  EXPECT_EQ(patched.st_target, 2.5);
+
+  const RemapModel fresh = build_remap_model(f.spec(2.5));
+  ASSERT_FALSE(fresh.trivially_infeasible);
+  ASSERT_EQ(patched.model.num_constraints(), fresh.model.num_constraints());
+  for (int i = 0; i < fresh.model.num_constraints(); ++i) {
+    EXPECT_EQ(patched.model.constraint(i).lb, fresh.model.constraint(i).lb)
+        << i;
+    EXPECT_EQ(patched.model.constraint(i).ub, fresh.model.constraint(i).ub)
+        << i;
+  }
+}
+
+TEST(ModelBuilder, PatchTracksStressRowsPerPe) {
+  Fixture f;
+  RemapModel rm = build_remap_model(f.spec(1.0));
+  ASSERT_FALSE(rm.trivially_infeasible);
+  ASSERT_EQ(rm.stress_rows.size(), static_cast<std::size_t>(9));
+  ASSERT_EQ(rm.frozen_stress.size(), static_cast<std::size_t>(9));
+  for (std::size_t pe = 0; pe < rm.stress_rows.size(); ++pe) {
+    const int row = rm.stress_rows[pe];
+    if (row < 0) continue;
+    EXPECT_NEAR(rm.model.constraint(row).ub,
+                rm.st_target - rm.frozen_stress[pe], 1e-12)
+        << pe;
+  }
+}
+
+TEST(ModelBuilder, PatchRejectsTargetBelowFrozenStress) {
+  // Frozen ops' stress alone can exceed a tighter target; the patch must
+  // refuse (the cold build would be trivially infeasible) and leave the
+  // model at its previous target so later probes can still patch it.
+  Fixture f;
+  RemapModelSpec s = f.spec(10.0);
+  s.frozen[0] = 1;
+  s.candidates[0] = {0};
+  RemapModel rm = build_remap_model(s);
+  ASSERT_FALSE(rm.trivially_infeasible);
+  const double frozen_max =
+      *std::max_element(rm.frozen_stress.begin(), rm.frozen_stress.end());
+  ASSERT_GT(frozen_max, 0.0);
+  EXPECT_FALSE(rm.patch_st_target(0.5 * frozen_max));
+  EXPECT_EQ(rm.st_target, 10.0);
+  // And the refused patch left the rows intact: a feasible re-patch works.
+  EXPECT_TRUE(rm.patch_st_target(2.0 * frozen_max + 1.0));
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// Differential harness for the incremental ST_target probes.
+//
+// Two layers, both over seeded random fabric/context corpora:
+//  - find_st_target with warm probes vs the forced-cold escape hatch must
+//    produce the same final target and the same probe-by-probe log;
+//  - a ProbeSession with the remapper's presearch shape (frozen critical
+//    paths + monitored-path budgets, LP-only kNull probes) must answer a
+//    shared bisection ladder verdict-for-verdict like a cold session that
+//    rebuilds the model at every probe. Path constraints make ST_low
+//    genuinely infeasible here, so the ladders actually bisect and the
+//    warm session chains bases across probes.
+// Labeled `slow` — it runs a few hundred LP searches.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cgrra/stress.h"
+#include "core/candidates.h"
+#include "core/probe_session.h"
+#include "core/st_target.h"
+#include "timing/paths.h"
+#include "util/rng.h"
+#include "workloads/suite.h"
+
+namespace cgraf::core {
+namespace {
+
+std::vector<workloads::BenchmarkSpec> corpus(int count) {
+  // Small, varied instances: 2..8 contexts, 3x3..6x6 fabrics, the full
+  // usage range. Seeds drive both the shape draw and the netlist.
+  std::vector<workloads::BenchmarkSpec> specs;
+  Rng rng(0xd1ffu);
+  for (int i = 0; i < count; ++i) {
+    workloads::BenchmarkSpec s;
+    s.name = "D" + std::to_string(i);
+    s.contexts = 2 + static_cast<int>(rng.next_u64() % 7);
+    s.fabric_dim = 3 + static_cast<int>(rng.next_u64() % 4);
+    s.usage = 0.25 + 0.55 * rng.next_double();
+    s.band = s.usage < 0.4   ? workloads::UsageBand::kLow
+             : s.usage < 0.6 ? workloads::UsageBand::kMedium
+                             : workloads::UsageBand::kHigh;
+    s.seed = 0x5eed0000u + static_cast<std::uint64_t>(i);
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+// The remapper's presearch geometry for one benchmark: critical-path union
+// frozen in place, monitored paths budgeted, candidates slack-pruned.
+struct PresearchFixture {
+  const Design* design;
+  const Floorplan* base;
+  std::vector<char> frozen;
+  std::vector<timing::TimingPath> monitored;
+  std::vector<std::vector<int>> candidates;
+  double cpd_ns = 0.0;
+  double st_low = 0.0;
+  double st_up = 0.0;
+
+  explicit PresearchFixture(const workloads::GeneratedBenchmark& bench)
+      : design(&bench.design), base(&bench.baseline) {
+    const timing::CombGraph graph(*design);
+    const timing::StaResult sta = run_sta(graph, *base);
+    cpd_ns = sta.cpd_ns;
+    frozen.assign(static_cast<std::size_t>(design->num_ops()), 0);
+    for (int c = 0; c < design->num_contexts; ++c) {
+      for (const auto& p : timing::critical_paths(graph, *base, c, 8))
+        for (const int op : p.ops) frozen[static_cast<std::size_t>(op)] = 1;
+    }
+    monitored = timing::monitored_paths(graph, *base);
+    candidates =
+        compute_candidates(*design, *base, frozen, monitored, cpd_ns);
+    const StressMap stress = compute_stress(*design, *base);
+    st_low = stress.avg_accumulated();
+    st_up = stress.max_accumulated();
+  }
+
+  ProbeSession session(bool warm) const {
+    RemapModelSpec spec;
+    spec.design = design;
+    spec.base = base;
+    spec.frozen = frozen;
+    spec.candidates = candidates;
+    spec.monitored = &monitored;
+    spec.cpd_ns = cpd_ns;
+    spec.objective = ObjectiveMode::kNull;
+    TwoStepOptions solver;
+    solver.lp_only = true;
+    return ProbeSession(std::move(spec), solver, warm);
+  }
+};
+
+TEST(ProbeDifferential, SessionMatchesColdRebuildOnBisectionLadders) {
+  int probes_total = 0;
+  int warm_hits_total = 0;
+  int infeasible_total = 0;
+  for (const auto& spec : corpus(50)) {
+    const auto bench = workloads::generate_benchmark(spec);
+    const PresearchFixture fx(bench);
+    if (fx.st_up <= 0.0) continue;
+    ProbeSession warm = fx.session(true);
+    ProbeSession cold = fx.session(false);
+
+    // Both sessions walk the same ladder; the bisection branches on the
+    // warm verdict, so a single divergence would snowball into different
+    // targets — asserting per probe pins the exact first difference.
+    double lo = fx.st_low;
+    double hi = fx.st_up;
+    for (int it = 0; it < 6; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const TwoStepResult rw = warm.solve(mid);
+      const TwoStepResult rc = cold.solve(mid);
+      const bool vw = rw.status == milp::SolveStatus::kOptimal;
+      const bool vc = rc.status == milp::SolveStatus::kOptimal;
+      ASSERT_EQ(vw, vc) << spec.name << " target " << mid << " warm="
+                        << milp::to_string(rw.status) << " cold="
+                        << milp::to_string(rc.status);
+      infeasible_total += vw ? 0 : 1;
+      if (vw) hi = mid;
+      else lo = mid;
+    }
+    probes_total += warm.stats().probes;
+    warm_hits_total += warm.stats().warm_hits;
+
+    // Cold sessions rebuild per probe and never chain a basis.
+    EXPECT_EQ(cold.stats().warm_hits, 0) << spec.name;
+    EXPECT_EQ(cold.stats().basis_fallbacks, 0) << spec.name;
+    EXPECT_EQ(cold.stats().model_rebuilds, cold.stats().probes) << spec.name;
+    // Per warm probe at most one of: a full rebuild, a warm hit, or an
+    // accounted fallback (probes rejected by patch_st_target are none of
+    // the three — the frozen stress alone exceeded the target).
+    EXPECT_LE(warm.stats().warm_hits + warm.stats().basis_fallbacks +
+                  warm.stats().model_rebuilds,
+              warm.stats().probes)
+        << spec.name;
+    EXPECT_GE(warm.stats().model_rebuilds, 1) << spec.name;
+  }
+  // The corpus must actually bisect (both verdicts present) and the warm
+  // path must actually chain bases — otherwise this test proves nothing.
+  EXPECT_GT(probes_total, 100);
+  EXPECT_GT(warm_hits_total, 0);
+  EXPECT_GT(infeasible_total, 0);
+  std::printf("[corpus] %d probes, %d warm hits, %d infeasible verdicts\n",
+              probes_total, warm_hits_total, infeasible_total);
+}
+
+TEST(ProbeDifferential, FindStTargetWarmAndColdAreIdentical) {
+  // Step 1 proper (no path constraints): LP probes of the all-candidates
+  // model accept ST_low immediately — a fractional assignment spreads
+  // stress perfectly — so these searches are short; the point is that the
+  // warm path takes the exact same log, including the short-circuit.
+  for (const auto& spec : corpus(50)) {
+    const auto bench = workloads::generate_benchmark(spec);
+    StTargetOptions warm_opts;
+    warm_opts.warm_probes = true;
+    const StTargetResult warm =
+        find_st_target(bench.design, bench.baseline, warm_opts);
+    StTargetOptions cold_opts;
+    cold_opts.warm_probes = false;
+    const StTargetResult cold =
+        find_st_target(bench.design, bench.baseline, cold_opts);
+
+    ASSERT_EQ(warm.ok, cold.ok) << spec.name;
+    EXPECT_EQ(warm.st_target, cold.st_target) << spec.name;
+    EXPECT_EQ(warm.probes, cold.probes) << spec.name;
+    ASSERT_EQ(warm.probe_log.size(), cold.probe_log.size()) << spec.name;
+    for (std::size_t i = 0; i < warm.probe_log.size(); ++i) {
+      EXPECT_EQ(warm.probe_log[i].st_target, cold.probe_log[i].st_target)
+          << spec.name << " probe " << i;
+      EXPECT_EQ(warm.probe_log[i].feasible, cold.probe_log[i].feasible)
+          << spec.name << " probe " << i;
+    }
+    EXPECT_EQ(cold.warm_hits, 0) << spec.name;
+    EXPECT_EQ(cold.basis_fallbacks, 0) << spec.name;
+    EXPECT_EQ(cold.model_rebuilds, cold.probes) << spec.name;
+  }
+}
+
+TEST(ProbeDifferential, FirstIlpProbeMatchesColdBitForBit) {
+  // With ILP-confirmed probes the dive is path-dependent once a basis is
+  // chained, but the *first* probe of each search has no chained basis
+  // yet, so it must match the cold search exactly — and both searches must
+  // stay inside the bracket whatever path they took after that.
+  for (const auto& spec : corpus(8)) {
+    const auto bench = workloads::generate_benchmark(spec);
+    StTargetOptions warm_opts;
+    warm_opts.confirm_with_ilp = true;
+    warm_opts.warm_probes = true;
+    const StTargetResult warm =
+        find_st_target(bench.design, bench.baseline, warm_opts);
+    StTargetOptions cold_opts;
+    cold_opts.confirm_with_ilp = true;
+    cold_opts.warm_probes = false;
+    const StTargetResult cold =
+        find_st_target(bench.design, bench.baseline, cold_opts);
+    if (warm.probe_log.empty()) {
+      // Zero-stress designs return before probing; both sides must agree.
+      EXPECT_TRUE(cold.probe_log.empty()) << spec.name;
+      continue;
+    }
+    ASSERT_FALSE(cold.probe_log.empty()) << spec.name;
+    EXPECT_EQ(warm.probe_log[0].st_target, cold.probe_log[0].st_target)
+        << spec.name;
+    EXPECT_EQ(warm.probe_log[0].feasible, cold.probe_log[0].feasible)
+        << spec.name;
+    EXPECT_GE(warm.st_target, warm.st_low - 1e-12) << spec.name;
+    EXPECT_LE(warm.st_target, warm.st_up + 1e-12) << spec.name;
+    EXPECT_GE(cold.st_target, cold.st_low - 1e-12) << spec.name;
+    EXPECT_LE(cold.st_target, cold.st_up + 1e-12) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace cgraf::core

@@ -13,7 +13,8 @@
 namespace cgraf {
 namespace {
 
-core::RemapResult run_flow(const hls::Dfg& dfg, int contexts, int dim) {
+core::RemapResult run_flow(const hls::Dfg& dfg, int contexts, int dim,
+                           bool warm_probes = true) {
   const Fabric fabric(dim, dim);
   hls::ScheduleOptions sched;
   sched.num_contexts = contexts;
@@ -28,6 +29,7 @@ core::RemapResult run_flow(const hls::Dfg& dfg, int contexts, int dim) {
   // Full independent verification on every accepted attempt: the end-to-end
   // flows double as the certifier's hardest fixtures.
   opts.verify.enabled = true;
+  opts.warm_probes = warm_probes;
   const core::RemapResult r = aging_aware_remap(design, baseline, opts);
   EXPECT_TRUE(r.certified) << r.note;
   EXPECT_EQ(r.certify_rejections, 0) << r.note;
@@ -55,6 +57,22 @@ TEST(FullFlow, ButterflyEndToEnd) {
   const core::RemapResult r = run_flow(workloads::butterfly(8, 16), 8, 4);
   EXPECT_LE(r.cpd_after_ns, r.cpd_before_ns + 1e-9);
   EXPECT_GE(r.mttf_gain, 1.0);
+}
+
+TEST(FullFlow, WarmAndColdProbesBothCertify) {
+  // The same kernel end to end with incremental warm-started probes and
+  // with the forced-cold escape hatch: every certificate must pass on both
+  // paths, and both must deliver the paper's zero-degradation guarantee.
+  const hls::Dfg dfg = workloads::fir_filter(16, 16);
+  const core::RemapResult warm = run_flow(dfg, 4, 4, /*warm_probes=*/true);
+  const core::RemapResult cold = run_flow(dfg, 4, 4, /*warm_probes=*/false);
+  EXPECT_LE(warm.cpd_after_ns, warm.cpd_before_ns + 1e-9);
+  EXPECT_LE(cold.cpd_after_ns, cold.cpd_before_ns + 1e-9);
+  EXPECT_EQ(warm.improved, cold.improved);
+  EXPECT_EQ(cold.probe_warm_hits, 0);
+  // The warm flow must actually have exercised basis chaining somewhere
+  // (Step-1 search, presearch, or the Delta loop).
+  EXPECT_GT(warm.probe_warm_hits, 0);
 }
 
 // --- Shape checks (paper Section VI narrative) ---------------------------

@@ -160,5 +160,53 @@ TEST(RemapPipeline, ReportsStepOneBoundBelowFinalTarget) {
   }
 }
 
+TEST(RemapPipeline, WarmProbesMatchColdPipeline) {
+  // The full pipeline with incremental warm-started probes against the
+  // forced-cold escape hatch: both must pass certification and every paper
+  // invariant; the LP presearch and the Step-1 search take identical probe
+  // sequences, so the entry point of the Delta loop is the same and the
+  // two runs land on the same floorplan.
+  for (const std::uint64_t seed : {31ULL, 32ULL}) {
+    const auto bench = make_bench(4, 4, 0.5, seed);
+    RemapOptions warm_opts;
+    warm_opts.verify.enabled = true;
+    warm_opts.warm_probes = true;
+    const RemapResult warm =
+        aging_aware_remap(bench.design, bench.baseline, warm_opts);
+    RemapOptions cold_opts = warm_opts;
+    cold_opts.warm_probes = false;
+    const RemapResult cold =
+        aging_aware_remap(bench.design, bench.baseline, cold_opts);
+
+    EXPECT_TRUE(warm.certified) << warm.note;
+    EXPECT_TRUE(cold.certified) << cold.note;
+    check_invariants(bench, warm);
+    check_invariants(bench, cold);
+    EXPECT_EQ(warm.improved, cold.improved) << seed;
+    // Both runs honor the same guarantees; the achieved balance must agree
+    // (the dive is warm-started, so insist on matching outcomes, not
+    // bitwise-equal floorplans).
+    EXPECT_NEAR(warm.st_max_after, cold.st_max_after,
+                0.05 * bench.design.num_contexts)
+        << seed;
+    // Cold runs never chain bases.
+    EXPECT_EQ(cold.probe_warm_hits, 0) << seed;
+    EXPECT_EQ(cold.probe_basis_fallbacks, 0) << seed;
+    EXPECT_GT(cold.probe_model_rebuilds, 0) << seed;
+  }
+}
+
+TEST(RemapPipeline, WarmProbesAccountingIsConsistent) {
+  const auto bench = make_bench(8, 4, 0.5, 13);
+  RemapOptions opts;
+  opts.warm_probes = true;
+  const RemapResult r = aging_aware_remap(bench.design, bench.baseline, opts);
+  // Every session builds at least once, and chained solves are classified
+  // as either a warm hit or a fallback — never silently dropped.
+  EXPECT_GT(r.probe_model_rebuilds, 0);
+  EXPECT_GE(r.probe_warm_hits, 0);
+  EXPECT_GE(r.probe_basis_fallbacks, 0);
+}
+
 }  // namespace
 }  // namespace cgraf::core

@@ -1,0 +1,173 @@
+// The RHS-patch API behind the incremental ST_target probes: re-ranging a
+// constraint must be indistinguishable from rebuilding the model with the
+// new bound, and a warm solve after an engine-side patch must reach the
+// same optimum a cold solve does — including when the supplied basis is
+// stale, corrupted, or sized for another model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+#include "milp/sparse.h"
+
+namespace cgraf::milp {
+namespace {
+
+// max x + y  s.t. x + 2y <= cap1, 3x + y <= cap2, 0 <= x,y <= 10.
+Model two_row_model(double cap1, double cap2) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_continuous(0, 10, 1);
+  const int y = m.add_continuous(0, 10, 1);
+  m.add_le({{x, 1}, {y, 2}}, cap1);
+  m.add_le({{x, 3}, {y, 1}}, cap2);
+  return m;
+}
+
+TEST(ModelPatch, PatchedModelMatchesFreshBuild) {
+  Model patched = two_row_model(4, 6);
+  patched.set_constraint_bounds(0, -kInf, 9);
+  patched.set_constraint_bounds(1, -kInf, 7);
+  const Model fresh = two_row_model(9, 7);
+
+  ASSERT_EQ(patched.num_constraints(), fresh.num_constraints());
+  for (int i = 0; i < fresh.num_constraints(); ++i) {
+    EXPECT_EQ(patched.constraint(i).lb, fresh.constraint(i).lb) << i;
+    EXPECT_EQ(patched.constraint(i).ub, fresh.constraint(i).ub) << i;
+    ASSERT_EQ(patched.constraint(i).terms.size(),
+              fresh.constraint(i).terms.size());
+  }
+  const LpResult a = solve_lp(patched);
+  const LpResult b = solve_lp(fresh);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.obj, b.obj, 1e-9);
+}
+
+TEST(ModelPatch, PatchPreservesSparsityPattern) {
+  // The computational form built from a patched model must stay canonical
+  // and keep the exact sparsity pattern — that is what makes previously
+  // returned bases structurally valid warm starts.
+  Model m = two_row_model(4, 6);
+  const CscMatrix before = build_computational_form(m);
+  m.set_constraint_bounds(0, -kInf, 5);
+  const CscMatrix after = build_computational_form(m);
+  EXPECT_TRUE(is_canonical(after));
+  EXPECT_EQ(before.col_start, after.col_start);
+  EXPECT_EQ(before.row_idx, after.row_idx);
+  EXPECT_EQ(before.value, after.value);
+}
+
+TEST(ModelPatch, RangedPatch) {
+  // Re-ranging to an equality-like window behaves like a fresh ranged row.
+  Model m = two_row_model(4, 6);
+  m.set_constraint_bounds(0, 3.0, 3.0);
+  Model fresh;
+  fresh.set_sense(Sense::kMaximize);
+  const int x = fresh.add_continuous(0, 10, 1);
+  const int y = fresh.add_continuous(0, 10, 1);
+  fresh.add_eq({{x, 1}, {y, 2}}, 3.0);
+  fresh.add_le({{x, 3}, {y, 1}}, 6.0);
+  const LpResult a = solve_lp(m);
+  const LpResult b = solve_lp(fresh);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.obj, b.obj, 1e-9);
+}
+
+TEST(ModelPatch, WarmSolveAfterEnginePatchMatchesCold) {
+  const Model m = two_row_model(4, 6);
+  SimplexEngine engine(m);
+  const LpResult first = engine.solve();
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(first.warm_used);  // no basis given
+
+  // Walk the caps through a ramp, warm-starting each solve; every optimum
+  // must match a from-scratch solve of the equivalent model.
+  std::vector<ColStatus> basis = first.basis;
+  for (const double cap : {5.0, 7.0, 3.5, 6.0}) {
+    engine.set_row_bounds(0, -kInf, cap);
+    const LpResult warm = engine.solve(&basis);
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal) << cap;
+    EXPECT_TRUE(warm.warm_used) << cap;
+    const LpResult cold = solve_lp(two_row_model(cap, 6));
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal) << cap;
+    EXPECT_NEAR(warm.obj, cold.obj, 1e-8) << cap;
+    basis = warm.basis;
+  }
+}
+
+TEST(ModelPatch, PatchCanFlipFeasibility) {
+  const Model m = two_row_model(4, 6);
+  SimplexEngine engine(m);
+  std::vector<ColStatus> basis = engine.solve().basis;
+
+  // x + 2y in [20, inf) is unreachable with x,y <= 10 under row 2.
+  engine.set_row_bounds(0, 20.0, kInf);
+  const LpResult infeas = engine.solve(&basis);
+  EXPECT_EQ(infeas.status, SolveStatus::kInfeasible);
+
+  // Relaxing it back restores the original optimum.
+  engine.set_row_bounds(0, -kInf, 4.0);
+  if (!infeas.basis.empty()) basis = infeas.basis;
+  const LpResult back = engine.solve(&basis);
+  ASSERT_EQ(back.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(back.obj, solve_lp(m).obj, 1e-8);
+}
+
+TEST(ModelPatch, SingularWarmBasisFallsBackToSlackBasis) {
+  // Duplicate columns: marking both x and y basic in row-duplicated
+  // geometry gives a singular basis matrix; the engine must reject it,
+  // restart from the slack basis and still reach the optimum.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_continuous(0, 5, 1);
+  const int y = m.add_continuous(0, 5, 1);
+  m.add_le({{x, 1}, {y, 1}}, 1);
+  m.add_le({{x, 1}, {y, 1}}, 2);
+  SimplexEngine engine(m);
+
+  std::vector<ColStatus> corrupt(4, ColStatus::kAtLower);
+  corrupt[0] = ColStatus::kBasic;  // x
+  corrupt[1] = ColStatus::kBasic;  // y — duplicate of x's column
+  const LpResult r = engine.solve(&corrupt);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(r.warm_used);
+  EXPECT_NEAR(r.obj, 1.0, 1e-8);
+}
+
+TEST(ModelPatch, WrongSizeBasisIsIgnored) {
+  const Model m = two_row_model(4, 6);
+  SimplexEngine engine(m);
+  std::vector<ColStatus> stale(3, ColStatus::kAtLower);  // needs n+m == 4
+  const LpResult r = engine.solve(&stale);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(r.warm_used);
+  EXPECT_NEAR(r.obj, solve_lp(m).obj, 1e-8);
+}
+
+TEST(ModelPatch, WrongBasicCountIsIgnored) {
+  const Model m = two_row_model(4, 6);
+  SimplexEngine engine(m);
+  // Right length, wrong cardinality: 3 basic columns for 2 rows.
+  std::vector<ColStatus> bad(4, ColStatus::kBasic);
+  bad[3] = ColStatus::kAtLower;
+  const LpResult r = engine.solve(&bad);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(r.warm_used);
+  EXPECT_NEAR(r.obj, solve_lp(m).obj, 1e-8);
+}
+
+TEST(ModelPatchDeathTest, RejectsInvertedBounds) {
+  Model m = two_row_model(4, 6);
+  EXPECT_DEATH(m.set_constraint_bounds(0, 2.0, 1.0), "lb <= ub");
+}
+
+TEST(ModelPatchDeathTest, RejectsBadRowIndex) {
+  Model m = two_row_model(4, 6);
+  EXPECT_DEATH(m.set_constraint_bounds(7, 0.0, 1.0), "num_constraints");
+}
+
+}  // namespace
+}  // namespace cgraf::milp

@@ -51,7 +51,7 @@ int usage(int code = 2) {
                "  remap  --design FILE --floorplan FILE --out FILE"
                " [--mode freeze|rotate] [--margin F] [--seed S]\n"
                "         [--strategy dive|fix-once|ilp] [--threads N]"
-               " [--verbose]\n"
+               " [--warm-probes on|off] [--verbose]\n"
                "  report --design FILE --floorplan FILE [--compare FILE]\n"
                "  lint   --design FILE --floorplan FILE [--st-target X]"
                " [--margin F] [--json] [--no-info]\n"
@@ -281,6 +281,20 @@ int cmd_remap(const Args& args) {
       return 1;
     }
     opts.solver.mip.num_threads = static_cast<int>(v);
+  }
+  // Escape hatch for the incremental probe sessions: `--warm-probes off`
+  // forces the legacy full-rebuild cold solve per attempt. Results are
+  // identical either way; off trades speed for a simpler solve path when
+  // triaging a suspect run.
+  const std::string warm = args.get_or("warm-probes", "on");
+  if (warm == "on") {
+    opts.warm_probes = true;
+  } else if (warm == "off") {
+    opts.warm_probes = false;
+  } else {
+    std::fprintf(stderr, "unknown --warm-probes '%s' (on|off)\n",
+                 warm.c_str());
+    return 1;
   }
 
   const core::RemapResult result =
@@ -540,7 +554,8 @@ int main(int argc, char** argv) {
       args.check_allowed({"design", "out", "seed"});
     } else if (cmd == "remap") {
       args.check_allowed({"design", "floorplan", "out", "mode", "margin",
-                          "seed", "strategy", "threads", "verbose"});
+                          "seed", "strategy", "threads", "warm-probes",
+                          "verbose"});
     } else if (cmd == "report") {
       args.check_allowed({"design", "floorplan", "compare"});
     } else if (cmd == "lint") {

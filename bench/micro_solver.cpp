@@ -34,9 +34,15 @@ void append_stage_fields(obs::JsonWriter& w, const LpStageStats& s) {
       .field("ftran_seconds", s.ftran_seconds)
       .field("btran_seconds", s.btran_seconds)
       .field("factor_seconds", s.factor_seconds)
+      .field("dse_seconds", s.dse_seconds)
       .field("incremental_updates", s.incremental_updates)
       .field("full_refreshes", s.full_refreshes)
-      .field("bucket_rebuilds", s.bucket_rebuilds);
+      .field("bucket_rebuilds", s.bucket_rebuilds)
+      .field("dual_iterations", s.dual_iterations)
+      .field("bound_flips", s.bound_flips)
+      .field("refactorizations", s.refactorizations)
+      .field("steepest_edge_resets", s.steepest_edge_resets)
+      .field("dual_fallbacks", s.dual_fallbacks);
 }
 
 void emit_lp_json(const char* name, long arg, const LpResult& r,
@@ -240,6 +246,91 @@ void BM_LpRhsRampProbes(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LpRhsRampProbes)
+    ->Args({48, 0})->Args({48, 1})
+    ->Args({96, 0})->Args({96, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The branch & bound child shape: each re-solve differs from the shared
+// parent by exactly one tightened variable bound and starts from the
+// parent's optimal basis — the case the dual simplex loop exists for.
+// range(0) = ops, range(1) = algorithm (0 warm primal, 1 auto/dual). The
+// pair of JSON lines is the dual-vs-primal re-solve comparison tracked by
+// the bench trajectory.
+void BM_LpChildResolve(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const bool dual = state.range(1) == 1;
+  const Model m = assignment_model(ops, 36, 4, 42, /*integer=*/false);
+  LpOptions opts;
+  opts.algorithm = dual ? LpAlgorithm::kAutoWarm : LpAlgorithm::kPrimal;
+  SimplexEngine engine(m, opts);
+  const LpResult root = engine.solve();
+  if (root.status != SolveStatus::kOptimal) {
+    state.SkipWithError("root LP failed");
+    return;
+  }
+  // Branch on basic (fractional-looking) columns so every child does real
+  // pivoting work instead of confirming an unchanged optimum.
+  std::vector<int> branch_vars;
+  for (int j = 0;
+       j < engine.num_structural() && static_cast<int>(branch_vars.size()) < 16;
+       ++j) {
+    if (root.basis[static_cast<size_t>(j)] == ColStatus::kBasic)
+      branch_vars.push_back(j);
+  }
+  const std::vector<double>& lb = engine.model_lb();
+  std::vector<double> ub = engine.model_ub();
+  long iters = 0, dual_iters = 0;
+  double wall = 0.0, obj_sum = 0.0;
+  LpStageStats stage;
+  for (auto _ : state) {
+    iters = 0;
+    dual_iters = 0;
+    wall = 0.0;
+    obj_sum = 0.0;
+    stage = LpStageStats{};
+    for (const int v : branch_vars) {
+      const double saved = ub[static_cast<size_t>(v)];
+      ub[static_cast<size_t>(v)] = 0.0;  // the "fix to 0" child
+      const LpResult r = engine.solve(lb, ub, &root.basis);
+      ub[static_cast<size_t>(v)] = saved;
+      if (r.status != SolveStatus::kOptimal &&
+          r.status != SolveStatus::kInfeasible) {
+        state.SkipWithError("child LP failed");
+        break;
+      }
+      iters += r.iterations;
+      dual_iters += r.stats.dual_iterations;
+      wall += r.seconds;
+      if (r.status == SolveStatus::kOptimal) obj_sum += r.obj;
+      stage.add(r.stats);
+      benchmark::DoNotOptimize(r.obj);
+    }
+  }
+  state.counters["children"] = static_cast<double>(branch_vars.size());
+  state.counters["lp_iters"] = static_cast<double>(iters);
+  state.counters["dual_iters"] = static_cast<double>(dual_iters);
+  {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("case", "lp_child_resolve")
+        .field("arg", static_cast<long>(state.range(0)))
+        .field("algorithm", dual ? "auto" : "primal")
+        .field("children", static_cast<long>(branch_vars.size()))
+        .field("wall_seconds", wall)
+        .field("lp_iterations", iters)
+        // Bit-comparable across the two algorithm variants: the dual loop's
+        // results are certified by the primal pricing pass, so this sum must
+        // match between the primal and auto JSON lines.
+        .field("objective_sum", obj_sum)
+        .field("nodes", 0L)
+        .field("threads", 1L);
+    append_stage_fields(w, stage);
+    if (g_trace_path != nullptr) w.field("trace", g_trace_path);
+    w.end_object();
+    std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
+  }
+}
+BENCHMARK(BM_LpChildResolve)
     ->Args({48, 0})->Args({48, 1})
     ->Args({96, 0})->Args({96, 1})
     ->Unit(benchmark::kMillisecond);

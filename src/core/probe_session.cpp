@@ -74,14 +74,17 @@ TwoStepResult ProbeSession::solve_lp_probe() {
   res.stats.warm_start_used = have_warm && lp.warm_used;
   if (!lp.basis.empty()) basis_ = lp.basis;
 
+  if (lp.dual_used) ++stats_.dual_solves;
   res.stats.lp_status = lp.status;
   res.stats.lp_iterations = lp.iterations;
   res.stats.lp_seconds = lp.seconds;
+  res.stats.lp_algorithm = solver_.lp.algorithm;
   res.stats.lp_stage.add(lp.stats);
   res.basis = lp.basis;
   span.arg("status", milp::to_string(lp.status))
       .arg("iterations", lp.iterations)
-      .arg("warm", res.stats.warm_start_used);
+      .arg("warm", res.stats.warm_start_used)
+      .arg("dual", lp.dual_used);
   if (lp.status != milp::SolveStatus::kOptimal) {
     res.status = lp.status == milp::SolveStatus::kUnbounded
                      ? milp::SolveStatus::kNumericalError
@@ -132,6 +135,7 @@ TwoStepResult ProbeSession::solve(double st_target) {
     if (res.stats.warm_start_used) ++stats_.warm_hits;
     else ++stats_.basis_fallbacks;
   }
+  if (res.stats.lp_stage.dual_iterations > 0) ++stats_.dual_solves;
   if (!res.basis.empty()) basis_ = res.basis;
   return res;
 }

@@ -116,10 +116,18 @@ std::string format_solver_stats(const TwoStepStats& stats) {
   }
   table.add_row({"nodes per thread",
                  per_thread.empty() ? std::string("-") : per_thread});
+  table.add_row({"LP algorithm", milp::to_string(stats.lp_algorithm)});
+  table.add_row({"dual iterations", std::to_string(s.dual_iterations)});
+  table.add_row({"bound flips", std::to_string(s.bound_flips)});
+  table.add_row({"refactorizations", std::to_string(s.refactorizations)});
+  table.add_row({"steepest-edge resets",
+                 std::to_string(s.steepest_edge_resets)});
+  table.add_row({"dual fallbacks", std::to_string(s.dual_fallbacks)});
   table.add_row({"pricing time", fmt_double(s.pricing_seconds, 4) + "s"});
   table.add_row({"ftran time", fmt_double(s.ftran_seconds, 4) + "s"});
   table.add_row({"btran time", fmt_double(s.btran_seconds, 4) + "s"});
   table.add_row({"factorize time", fmt_double(s.factor_seconds, 4) + "s"});
+  table.add_row({"dual pricing time", fmt_double(s.dse_seconds, 4) + "s"});
   table.add_row({"incremental price updates",
                  std::to_string(s.incremental_updates)});
   table.add_row({"full pricing refreshes",
@@ -140,10 +148,17 @@ std::string solver_stats_json(const TwoStepStats& stats) {
       .field("phase1_iterations", s.phase1_iterations)
       .field("nodes", stats.mip_nodes)
       .field("threads", stats.mip_threads)
+      .field("algorithm", milp::to_string(stats.lp_algorithm))
+      .field("dual_iterations", s.dual_iterations)
+      .field("bound_flips", s.bound_flips)
+      .field("refactorizations", s.refactorizations)
+      .field("steepest_edge_resets", s.steepest_edge_resets)
+      .field("dual_fallbacks", s.dual_fallbacks)
       .field("pricing_seconds", s.pricing_seconds)
       .field("ftran_seconds", s.ftran_seconds)
       .field("btran_seconds", s.btran_seconds)
       .field("factor_seconds", s.factor_seconds)
+      .field("dse_seconds", s.dse_seconds)
       .field("incremental_updates", s.incremental_updates)
       .field("full_refreshes", s.full_refreshes)
       .field("bucket_rebuilds", s.bucket_rebuilds)

@@ -86,16 +86,25 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
     res.warm_hits = ps.warm_hits;
     res.basis_fallbacks = ps.basis_fallbacks;
     res.model_rebuilds = ps.model_rebuilds;
+    res.dual_solves = ps.dual_solves;
     obs::Metrics::global().counter("st_target.warm_hits").add(ps.warm_hits);
     obs::Metrics::global()
         .counter("st_target.basis_fallbacks")
         .add(ps.basis_fallbacks);
+    obs::Metrics::global().counter("st_target.dual_solves").add(ps.dual_solves);
+    obs::Metrics::global()
+        .counter("st_target.dual_iterations")
+        .add(res.lp_stage.dual_iterations);
+    obs::Metrics::global()
+        .counter("st_target.bound_flips")
+        .add(res.lp_stage.bound_flips);
     search_span.arg("st_target", res.st_target)
         .arg("st_low", res.st_low)
         .arg("st_up", res.st_up)
         .arg("probes", static_cast<long>(res.probes))
         .arg("warm_hits", static_cast<long>(ps.warm_hits))
-        .arg("basis_fallbacks", static_cast<long>(ps.basis_fallbacks));
+        .arg("basis_fallbacks", static_cast<long>(ps.basis_fallbacks))
+        .arg("dual_solves", static_cast<long>(ps.dual_solves));
   };
 
   double lo = res.st_low;

@@ -398,6 +398,12 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     m.counter("simplex.bucket_rebuilds").add(sh.lp_stats.bucket_rebuilds);
     m.counter("simplex.incremental_updates")
         .add(sh.lp_stats.incremental_updates);
+    m.counter("simplex.dual_iterations").add(sh.lp_stats.dual_iterations);
+    m.counter("simplex.bound_flips").add(sh.lp_stats.bound_flips);
+    m.counter("simplex.refactorizations").add(sh.lp_stats.refactorizations);
+    m.counter("simplex.steepest_edge_resets")
+        .add(sh.lp_stats.steepest_edge_resets);
+    m.counter("simplex.dual_fallbacks").add(sh.lp_stats.dual_fallbacks);
   }
   solve_span.arg("nodes", sh.nodes).arg("lp_iterations", sh.lp_iterations);
 

@@ -27,6 +27,15 @@ const char* to_string(SolveStatus s) {
   return "?";
 }
 
+const char* to_string(LpAlgorithm a) {
+  switch (a) {
+    case LpAlgorithm::kPrimal: return "primal";
+    case LpAlgorithm::kDual: return "dual";
+    case LpAlgorithm::kAutoWarm: return "auto";
+  }
+  return "?";
+}
+
 namespace {
 
 constexpr double kPivotZero = 1e-9;   // |w_i| below this cannot pivot
@@ -135,6 +144,7 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     const double t0 = now_seconds();
     const bool ok = w.lu.factorize(a_, w.basis);
     res.stats.factor_seconds += now_seconds() - t0;
+    ++res.stats.refactorizations;
     return ok;
   };
 
@@ -331,7 +341,427 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     return res;
   };
 
-  for (long iter = 0;; ++iter) {
+  long iter = 0;
+
+  // ===== Dual simplex =====
+  // Runs ahead of the primal loop when requested: pivots while some basic
+  // violates a bound but the reduced costs stay dual feasible. On every
+  // exit except a proven infeasibility certificate, control falls through
+  // to the primal loop below, which certifies the result with exact
+  // pricing (and takes zero pivots after a clean dual run) — so statuses
+  // and objectives are identical across all algorithm settings.
+  const bool want_dual =
+      opts_.algorithm == LpAlgorithm::kDual ||
+      (opts_.algorithm == LpAlgorithm::kAutoWarm && warmed);
+  if (want_dual && m_ > 0) {
+    refresh_d();
+
+    // --- Dual-feasibility repair: a nonbasic column whose reduced cost
+    // points the wrong way is fine if it can flip to its other (finite)
+    // bound; a free or one-sided violator makes this basis unusable for
+    // the dual loop and we fall back to primal, keeping the basis.
+    bool repairable = true;
+    std::vector<int> repair;
+    for (int j = 0; j < w.total; ++j) {
+      const ColStatus s = w.status[static_cast<size_t>(j)];
+      if (s == ColStatus::kBasic) continue;
+      if (w.lb[static_cast<size_t>(j)] == w.ub[static_cast<size_t>(j)])
+        continue;  // fixed: any reduced-cost sign is dual feasible
+      const double dj = d[static_cast<size_t>(j)];
+      if (s == ColStatus::kAtLower && dj < -told) {
+        if (w.ub[static_cast<size_t>(j)] == kInf) {
+          repairable = false;
+          break;
+        }
+        repair.push_back(j);
+      } else if (s == ColStatus::kAtUpper && dj > told) {
+        if (w.lb[static_cast<size_t>(j)] == -kInf) {
+          repairable = false;
+          break;
+        }
+        repair.push_back(j);
+      } else if (s == ColStatus::kFreeZero && std::abs(dj) > told) {
+        repairable = false;
+        break;
+      }
+    }
+    if (!repairable) {
+      ++res.stats.dual_fallbacks;
+    } else {
+      if (!repair.empty()) {
+        for (const int j : repair) {
+          w.status[static_cast<size_t>(j)] =
+              w.status[static_cast<size_t>(j)] == ColStatus::kAtLower
+                  ? ColStatus::kAtUpper
+                  : ColStatus::kAtLower;
+        }
+        res.stats.bound_flips += static_cast<long>(repair.size());
+        recompute_basics();  // the repair moved nonbasic values
+      }
+      res.dual_used = true;
+
+      // --- Leaving-row pricing weights. Steepest edge wants
+      // w_i = ||B^-T e_i||^2; a slack start (B = -I) makes the unit init
+      // exact for free, a warm start can often reuse the engine's cached
+      // weights from the previous dual run on the same basis, and anything
+      // else starts approximate and converges via the periodic exact
+      // recompute. Devex keeps cheap reference weights instead.
+      const bool steepest = opts_.dual_pricing == DualPricing::kSteepestEdge;
+      std::vector<double> dw(static_cast<size_t>(m_), 1.0);
+      bool weights_exact = steepest && !warmed;
+      if (steepest && warmed && dse_exact_ && dse_basis_cols_ == w.basis) {
+        dw = dse_weights_;
+        weights_exact = true;
+      }
+
+      auto exact_weights = [&](std::vector<double>& out) {
+        const double t0 = now_seconds();
+        out.assign(static_cast<size_t>(m_), 0.0);
+        std::vector<double> e(static_cast<size_t>(m_));
+        for (int i = 0; i < m_; ++i) {
+          std::fill(e.begin(), e.end(), 0.0);
+          e[static_cast<size_t>(i)] = 1.0;
+          w.lu.btran(e);
+          double s2 = 0.0;
+          for (const double v : e) s2 += v * v;
+          out[static_cast<size_t>(i)] = s2;
+        }
+        res.stats.dse_seconds += now_seconds() - t0;
+      };
+
+      auto clear_alpha = [&] {
+        for (const int j : alpha_touched) {
+          alpha_mark[static_cast<size_t>(j)] = 0;
+          alpha[static_cast<size_t>(j)] = 0.0;
+        }
+        alpha_touched.clear();
+      };
+
+      struct DualCand {
+        int j;
+        double ratio;  // d_j / (sigma * alpha_j), >= 0 at dual feasibility
+        double step;   // |alpha_j|
+      };
+      std::vector<DualCand> cands;
+      std::vector<int> flip_list;
+      std::vector<double> flip_rhs(static_cast<size_t>(m_));
+      std::vector<double> tau(static_cast<size_t>(m_));
+      long dual_stalled = 0;
+      double dual_last_infeas = kInf;
+      long since_recompute = 0;
+      bool just_refactored = false;
+
+      while (iter < opts_.max_iters) {
+        if ((iter & 127) == 0 &&
+            now_seconds() - t_start > opts_.time_limit_s) {
+          break;  // the primal loop reports the limit status
+        }
+        if (!d_valid ||
+            updates_since_refresh >= opts_.pricing_refresh_interval) {
+          refresh_d();
+        }
+
+        // --- Leaving row: largest squared violation over its weight.
+        int r = -1;
+        double best_score = 0.0;
+        for (int i = 0; i < m_; ++i) {
+          const int j = w.basis[static_cast<size_t>(i)];
+          const double xj = w.x[static_cast<size_t>(j)];
+          double viol = 0.0;
+          if (xj > w.ub[static_cast<size_t>(j)] + tolf)
+            viol = xj - w.ub[static_cast<size_t>(j)];
+          else if (xj < w.lb[static_cast<size_t>(j)] - tolf)
+            viol = xj - w.lb[static_cast<size_t>(j)];
+          else
+            continue;
+          const double score =
+              viol * viol / std::max(dw[static_cast<size_t>(i)], 1e-10);
+          if (score > best_score) {
+            best_score = score;
+            r = i;
+          }
+        }
+        if (r < 0) break;  // primal feasible: primal loop certifies it
+
+        // Anti-stall: the dual loop has no Bland mode; hand persistent
+        // degeneracy to the primal loop instead of cycling here.
+        const double infeas_now = total_infeasibility();
+        if (infeas_now < dual_last_infeas - 1e-11) {
+          dual_stalled = 0;
+          dual_last_infeas = infeas_now;
+        } else if (++dual_stalled > kBlandTrigger) {
+          break;
+        }
+
+        const int leave = w.basis[static_cast<size_t>(r)];
+        const double x_leave = w.x[static_cast<size_t>(leave)];
+        const double sigma =
+            x_leave > w.ub[static_cast<size_t>(leave)] ? 1.0 : -1.0;
+        const double bound_to = sigma > 0
+                                    ? w.ub[static_cast<size_t>(leave)]
+                                    : w.lb[static_cast<size_t>(leave)];
+
+        // --- Pivot row: rho = B^-T e_r scattered through the row-major
+        // mirror (the same machinery the primal pricing update uses).
+        std::fill(rho.begin(), rho.end(), 0.0);
+        rho[static_cast<size_t>(r)] = 1.0;
+        timed_btran(rho);
+        const double t_row = now_seconds();
+        for (int i = 0; i < m_; ++i) {
+          const double ri = rho[static_cast<size_t>(i)];
+          if (std::abs(ri) < kRhoZero) continue;
+          for (int q = a_rows_.begin(i); q < a_rows_.end(i); ++q) {
+            const int j = a_rows_.col_idx[static_cast<size_t>(q)];
+            if (!alpha_mark[static_cast<size_t>(j)]) {
+              alpha_mark[static_cast<size_t>(j)] = 1;
+              alpha_touched.push_back(j);
+            }
+            alpha[static_cast<size_t>(j)] +=
+                ri * a_rows_.value[static_cast<size_t>(q)];
+          }
+        }
+        res.stats.pricing_seconds += now_seconds() - t_row;
+
+        // --- Dual ratio test over the sigma-normalized row. A candidate
+        // whose |alpha| is below the pivot tolerance cannot enter, but its
+        // box range still bounds how much violation it could absorb; that
+        // mass keeps an exhausted test from overclaiming infeasibility.
+        cands.clear();
+        double excluded = 0.0;
+        for (const int j : alpha_touched) {
+          const ColStatus s = w.status[static_cast<size_t>(j)];
+          if (s == ColStatus::kBasic) continue;
+          const double l = w.lb[static_cast<size_t>(j)];
+          const double u = w.ub[static_cast<size_t>(j)];
+          if (l == u) continue;  // fixed
+          const double at = sigma * alpha[static_cast<size_t>(j)];
+          bool elig = false;
+          if (s == ColStatus::kAtLower) elig = at > 0.0;
+          else if (s == ColStatus::kAtUpper) elig = at < 0.0;
+          else elig = at != 0.0;  // free
+          if (!elig) continue;
+          if (std::abs(at) <= kPivotZero) {
+            if (excluded != kInf && l != -kInf && u != kInf)
+              excluded += (u - l) * std::abs(at);
+            else
+              excluded = kInf;
+            continue;
+          }
+          cands.push_back({j,
+                           std::max(0.0, d[static_cast<size_t>(j)] / at),
+                           std::abs(at)});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const DualCand& a, const DualCand& b) {
+                    if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                    if (a.step != b.step) return a.step > b.step;
+                    return a.j < b.j;
+                  });
+
+        // --- Bound-flipping walk: boxed candidates passed while the
+        // remaining violation stays positive flip bound-to-bound; the one
+        // that would drive it through zero enters the basis.
+        double remaining = std::abs(x_leave - bound_to);
+        int enter = -1;
+        flip_list.clear();
+        for (const DualCand& c : cands) {
+          const double l = w.lb[static_cast<size_t>(c.j)];
+          const double u = w.ub[static_cast<size_t>(c.j)];
+          const bool boxed = l != -kInf && u != kInf;
+          if (boxed && remaining - (u - l) * c.step > tolf) {
+            flip_list.push_back(c.j);
+            remaining -= (u - l) * c.step;
+          } else {
+            enter = c.j;
+            break;
+          }
+        }
+        if (enter < 0) {
+          clear_alpha();
+          // Every eligible column sits at its far bound and row r is still
+          // violated: a box-arithmetic infeasibility certificate, unless
+          // the excluded tiny pivots could still cover the residual.
+          if (remaining > excluded + 10 * tolf)
+            return finish(SolveStatus::kInfeasible);
+          break;  // ambiguous within tolerance: the primal loop decides
+        }
+
+        // --- FTRAN the entering column (also the LU update spike).
+        std::fill(spike.begin(), spike.end(), 0.0);
+        a_.axpy_col(enter, 1.0, spike);
+        timed_ftran(spike);
+        const double w_r = spike[static_cast<size_t>(r)];
+        if (std::abs(w_r) <= kPivotZero) {
+          // Scatter and FTRAN disagree on the pivot magnitude: refactorize
+          // once and retry the iteration; bail to primal if it persists.
+          clear_alpha();
+          if (just_refactored) break;
+          if (!timed_factorize()) return finish(SolveStatus::kNumericalError);
+          recompute_basics();
+          refresh_d();
+          just_refactored = true;
+          continue;
+        }
+        just_refactored = false;
+
+        ++iter;
+        res.iterations = iter;
+        ++res.stats.dual_iterations;
+
+        // --- Apply the bound flips: the basics absorb all the flipped
+        // columns' bound-to-bound jumps via one batched FTRAN.
+        if (!flip_list.empty()) {
+          std::fill(flip_rhs.begin(), flip_rhs.end(), 0.0);
+          for (const int j : flip_list) {
+            const size_t sj = static_cast<size_t>(j);
+            const double range = w.ub[sj] - w.lb[sj];
+            const double delta =
+                w.status[sj] == ColStatus::kAtLower ? range : -range;
+            w.status[sj] = w.status[sj] == ColStatus::kAtLower
+                               ? ColStatus::kAtUpper
+                               : ColStatus::kAtLower;
+            w.x[sj] = nonbasic_value(j);
+            a_.axpy_col(j, delta, flip_rhs);
+          }
+          timed_ftran(flip_rhs);
+          for (int i = 0; i < m_; ++i)
+            w.x[static_cast<size_t>(w.basis[static_cast<size_t>(i)])] -=
+                flip_rhs[static_cast<size_t>(i)];
+          res.stats.bound_flips += static_cast<long>(flip_list.size());
+        }
+
+        // --- Primal step: drive the leaving basic exactly onto its
+        // violated bound (distance recomputed after the flips).
+        const double t_step =
+            (w.x[static_cast<size_t>(leave)] - bound_to) / w_r;
+        for (int i = 0; i < m_; ++i) {
+          const double wi = spike[static_cast<size_t>(i)];
+          if (wi == 0.0) continue;
+          w.x[static_cast<size_t>(w.basis[static_cast<size_t>(i)])] -=
+              t_step * wi;
+        }
+        w.x[static_cast<size_t>(enter)] = nonbasic_value(enter) + t_step;
+        w.status[static_cast<size_t>(leave)] =
+            sigma > 0 ? ColStatus::kAtUpper : ColStatus::kAtLower;
+        w.x[static_cast<size_t>(leave)] = bound_to;
+        w.status[static_cast<size_t>(enter)] = ColStatus::kBasic;
+        w.basis[static_cast<size_t>(r)] = enter;
+
+        // --- Incremental reduced-cost update along the pivot row. The
+        // generic form covers the leaving column too (alpha_leave == 1,
+        // overwritten with the exact value below); flipped columns cross
+        // to the feasible side of their new bound by construction.
+        {
+          const double t0 = now_seconds();
+          const double theta = d[static_cast<size_t>(enter)] / w_r;
+          for (const int j : alpha_touched) {
+            if (w.status[static_cast<size_t>(j)] == ColStatus::kBasic)
+              continue;
+            d[static_cast<size_t>(j)] -= theta * alpha[static_cast<size_t>(j)];
+          }
+          d[static_cast<size_t>(leave)] = -theta;
+          d[static_cast<size_t>(enter)] = 0.0;
+          ++updates_since_refresh;
+          res.stats.pricing_seconds += now_seconds() - t0;
+        }
+
+        // --- Weight update. Steepest edge (Forrest–Goldfarb) needs
+        // tau = B^-1 rho against the *outgoing* basis, so this runs before
+        // the LU update; beta_r = ||rho||^2 and the pivot come out exact.
+        {
+          const double t0 = now_seconds();
+          const double inv = 1.0 / w_r;
+          if (steepest) {
+            double beta_r = 0.0;
+            for (const double v : rho) beta_r += v * v;
+            tau = rho;
+            w.lu.ftran(tau);
+            for (int i = 0; i < m_; ++i) {
+              if (i == r) continue;
+              const double wi = spike[static_cast<size_t>(i)];
+              if (wi == 0.0) continue;
+              const double k = wi * inv;
+              double nw = dw[static_cast<size_t>(i)] -
+                          2.0 * k * tau[static_cast<size_t>(i)] +
+                          k * k * beta_r;
+              if (nw < 1e-10) {
+                nw = 1e-10;  // cancellation floor: no longer exact
+                weights_exact = false;
+              }
+              dw[static_cast<size_t>(i)] = nw;
+            }
+            dw[static_cast<size_t>(r)] = std::max(beta_r * inv * inv, 1e-10);
+          } else {
+            const double gr = dw[static_cast<size_t>(r)];
+            for (int i = 0; i < m_; ++i) {
+              if (i == r) continue;
+              const double wi = spike[static_cast<size_t>(i)];
+              if (wi == 0.0) continue;
+              const double cand = wi * inv * wi * inv * gr;
+              if (cand > dw[static_cast<size_t>(i)])
+                dw[static_cast<size_t>(i)] = cand;
+            }
+            dw[static_cast<size_t>(r)] = std::max(gr * inv * inv, 1.0);
+            if (dw[static_cast<size_t>(r)] > 1e10) {
+              std::fill(dw.begin(), dw.end(), 1.0);
+              ++res.stats.steepest_edge_resets;
+            }
+          }
+          res.stats.dse_seconds += now_seconds() - t0;
+        }
+
+        clear_alpha();
+
+        // --- LU update / periodic refactorization.
+        const double t_upd = now_seconds();
+        const bool updated = w.lu.num_updates() < opts_.refactor_interval &&
+                             w.lu.update(spike, r);
+        res.stats.factor_seconds += now_seconds() - t_upd;
+        if (!updated) {
+          if (!timed_factorize()) return finish(SolveStatus::kNumericalError);
+          recompute_basics();
+          refresh_d();
+        }
+
+        // --- Periodic exact steepest-edge recompute (numerical hygiene)
+        // plus, in debug builds, the drift cross-check of the incremental
+        // weights. The check only fires while the weights are provably
+        // exact modulo roundoff (exact init or last exact recompute, no
+        // cancellation floor hit since).
+        if (steepest) {
+          ++since_recompute;
+#ifndef NDEBUG
+          if (opts_.dse_check_interval > 0 && weights_exact &&
+              since_recompute % opts_.dse_check_interval == 0) {
+            std::vector<double> exact;
+            exact_weights(exact);
+            for (int i = 0; i < m_; ++i) {
+              const double e = exact[static_cast<size_t>(i)];
+              CGRAF_DCHECK(std::abs(dw[static_cast<size_t>(i)] - e) <=
+                           5e-2 * (1.0 + e));
+            }
+          }
+#endif
+          if (opts_.dse_recompute_interval > 0 &&
+              since_recompute >= opts_.dse_recompute_interval) {
+            exact_weights(dw);
+            weights_exact = true;
+            since_recompute = 0;
+            ++res.stats.steepest_edge_resets;
+          }
+        }
+      }
+
+      // Park the weights for the next warm re-solve on this engine.
+      if (steepest) {
+        dse_basis_cols_ = w.basis;
+        dse_weights_ = dw;
+        dse_exact_ = weights_exact;
+      }
+    }
+  }
+
+  for (;; ++iter) {
     if (iter >= opts_.max_iters) return finish(SolveStatus::kIterLimit);
     if ((iter & 127) == 0 && now_seconds() - t_start > opts_.time_limit_s)
       return finish(SolveStatus::kTimeLimit);

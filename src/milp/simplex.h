@@ -39,6 +39,38 @@ enum class Pricing {
   kCandidateList,
 };
 
+// Which simplex variant drives a solve. The dual loop never decides
+// optimality on its own: whenever it reaches primal feasibility (or gives
+// up for numerical reasons) control falls through to the primal loop, which
+// certifies optimality with exact pricing. Statuses and objectives are
+// therefore identical across all three settings; only the pivot sequence
+// (and hence the iteration/time profile) differs.
+enum class LpAlgorithm {
+  // The original two-phase primal simplex, warm or cold.
+  kPrimal,
+  // Dual simplex whenever the starting basis (warm or slack) can be made
+  // dual-feasible by flipping boxed nonbasic columns; primal otherwise.
+  kDual,
+  // Dual simplex iff a usable warm basis was supplied and is dual-feasible
+  // after the bound change — the B&B-child / probe-chain case, where costs
+  // and matrix are unchanged so the parent's optimal basis stays dual
+  // feasible. Falls back to primal (keeping the warm basis) otherwise.
+  kAutoWarm,
+};
+
+const char* to_string(LpAlgorithm a);
+
+// Leaving-row selection weights for the dual loop.
+enum class DualPricing {
+  // Dual steepest edge (Forrest–Goldfarb): w_i ~ ||B^-T e_i||^2, updated
+  // incrementally each pivot and recomputed exactly every
+  // dse_recompute_interval iterations.
+  kSteepestEdge,
+  // Devex-style reference weights: cheaper upkeep (no extra FTRAN per
+  // pivot), approximate, reset to 1 when they overflow.
+  kDevex,
+};
+
 struct LpOptions {
   long max_iters = 500000;
   double time_limit_s = 1e18;
@@ -51,6 +83,14 @@ struct LpOptions {
   // Full reduced-cost refresh at least every this many incremental updates
   // (numerical hygiene; refactorizations force one too).
   int pricing_refresh_interval = 64;
+  LpAlgorithm algorithm = LpAlgorithm::kAutoWarm;
+  DualPricing dual_pricing = DualPricing::kSteepestEdge;
+  // Exact steepest-edge weight recompute every this many dual pivots
+  // (m BTRANs each time; keeps long dual runs from drifting). <= 0 disables.
+  int dse_recompute_interval = 128;
+  // Debug builds cross-check incremental weights against an exact recompute
+  // every this many dual pivots (CGRAF_DCHECK). <= 0 disables.
+  int dse_check_interval = 64;
 };
 
 // Nonbasic/basic status of one column, used for warm starts.
@@ -68,20 +108,40 @@ struct LpStageStats {
   double ftran_seconds = 0.0;    // entering-column FTRANs
   double btran_seconds = 0.0;    // dual/pricing BTRANs
   double factor_seconds = 0.0;   // basis (re)factorizations
+  double dse_seconds = 0.0;      // dual pricing-weight upkeep + recomputes
   long phase1_iterations = 0;    // iterations spent restoring feasibility
   long full_refreshes = 0;       // full reduced-cost recomputations
   long bucket_rebuilds = 0;      // candidate bucket rebuilds
   long incremental_updates = 0;  // pivots priced via the incremental path
+  long dual_iterations = 0;      // pivots taken by the dual loop
+  long bound_flips = 0;          // bound-to-bound flips (dual ratio test +
+                                 // dual-feasibility repair)
+  long refactorizations = 0;     // basis factorizations, incl. the initial
+  long steepest_edge_resets = 0;  // pricing weights re-seeded (exact
+                                  // recompute or Devex overflow reset)
+  long dual_fallbacks = 0;       // dual requested but basis not repairable
+                                 // to dual feasibility; primal ran instead
 
   void add(const LpStageStats& o) {
     pricing_seconds += o.pricing_seconds;
     ftran_seconds += o.ftran_seconds;
     btran_seconds += o.btran_seconds;
     factor_seconds += o.factor_seconds;
+    dse_seconds += o.dse_seconds;
     phase1_iterations += o.phase1_iterations;
     full_refreshes += o.full_refreshes;
     bucket_rebuilds += o.bucket_rebuilds;
     incremental_updates += o.incremental_updates;
+    dual_iterations += o.dual_iterations;
+    bound_flips += o.bound_flips;
+    refactorizations += o.refactorizations;
+    steepest_edge_resets += o.steepest_edge_resets;
+    dual_fallbacks += o.dual_fallbacks;
+  }
+
+  LpStageStats& operator+=(const LpStageStats& o) {
+    add(o);
+    return *this;
   }
 };
 
@@ -98,6 +158,10 @@ struct LpResult {
   // slack basis. Callers chaining bases across re-solves (the ST_target
   // probe sessions) use this to count warm hits vs fallbacks.
   bool warm_used = false;
+  // The dual simplex loop ran for this solve (kDual, or kAutoWarm with a
+  // dual-feasible warm basis). The reported optimum is still certified by
+  // the primal loop's exact pricing pass.
+  bool dual_used = false;
   LpStageStats stats;
 };
 
@@ -134,6 +198,15 @@ class SimplexEngine {
   std::vector<double> slack_lb_, slack_ub_;  // slack bounds (size m_)
   double sign_ = 1.0;           // +1 minimize, -1 maximize
   LpOptions opts_;
+
+  // Dual steepest-edge weight cache, carried across solves. Keyed by the
+  // ordered basis column list of the previous dual run's final basis: B&B
+  // workers and probe sessions re-solve on one persistent engine, and the
+  // warm basis they pass back is usually exactly the basis this engine last
+  // left behind, so its (expensive, exact) weights can be reused verbatim.
+  std::vector<int> dse_basis_cols_;
+  std::vector<double> dse_weights_;
+  bool dse_exact_ = false;
 };
 
 // One-shot convenience wrapper.

@@ -73,6 +73,82 @@ TEST(Report, Fig5GroupsByConfiguration) {
   EXPECT_NE(out.find("-"), std::string::npos);
 }
 
+TEST(Report, SummedStageStatsReachSolverStatsJson) {
+  // Every LpStageStats field must survive operator+= and land in the JSON
+  // totals — a field added to the struct but forgotten in add() would show
+  // only one stage's value here.
+  milp::LpStageStats a;
+  a.pricing_seconds = 0.5;
+  a.ftran_seconds = 0.25;
+  a.btran_seconds = 0.125;
+  a.factor_seconds = 1.5;
+  a.dse_seconds = 0.75;
+  a.phase1_iterations = 3;
+  a.full_refreshes = 5;
+  a.bucket_rebuilds = 7;
+  a.incremental_updates = 11;
+  a.dual_iterations = 13;
+  a.bound_flips = 17;
+  a.refactorizations = 19;
+  a.steepest_edge_resets = 23;
+  a.dual_fallbacks = 29;
+  milp::LpStageStats b;
+  b.pricing_seconds = 0.25;
+  b.ftran_seconds = 0.5;
+  b.btran_seconds = 0.375;
+  b.factor_seconds = 0.5;
+  b.dse_seconds = 0.25;
+  b.phase1_iterations = 100;
+  b.full_refreshes = 100;
+  b.bucket_rebuilds = 100;
+  b.incremental_updates = 100;
+  b.dual_iterations = 100;
+  b.bound_flips = 100;
+  b.refactorizations = 100;
+  b.steepest_edge_resets = 100;
+  b.dual_fallbacks = 100;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.pricing_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a.ftran_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a.btran_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(a.factor_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.dse_seconds, 1.0);
+  EXPECT_EQ(a.phase1_iterations, 103);
+  EXPECT_EQ(a.full_refreshes, 105);
+  EXPECT_EQ(a.bucket_rebuilds, 107);
+  EXPECT_EQ(a.incremental_updates, 111);
+  EXPECT_EQ(a.dual_iterations, 113);
+  EXPECT_EQ(a.bound_flips, 117);
+  EXPECT_EQ(a.refactorizations, 119);
+  EXPECT_EQ(a.steepest_edge_resets, 123);
+  EXPECT_EQ(a.dual_fallbacks, 129);
+
+  TwoStepStats stats;
+  stats.lp_stage = a;
+  stats.lp_algorithm = milp::LpAlgorithm::kDual;
+  const std::string json = solver_stats_json(stats);
+  EXPECT_NE(json.find("\"algorithm\":\"dual\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase1_iterations\":103"), std::string::npos);
+  EXPECT_NE(json.find("\"full_refreshes\":105"), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_rebuilds\":107"), std::string::npos);
+  EXPECT_NE(json.find("\"incremental_updates\":111"), std::string::npos);
+  EXPECT_NE(json.find("\"dual_iterations\":113"), std::string::npos);
+  EXPECT_NE(json.find("\"bound_flips\":117"), std::string::npos);
+  EXPECT_NE(json.find("\"refactorizations\":119"), std::string::npos);
+  EXPECT_NE(json.find("\"steepest_edge_resets\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"dual_fallbacks\":129"), std::string::npos);
+  // The binary-exact doubles above render without rounding surprises.
+  EXPECT_NE(json.find("\"pricing_seconds\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"dse_seconds\":1"), std::string::npos);
+
+  const std::string table = format_solver_stats(stats);
+  EXPECT_NE(table.find("dual iterations"), std::string::npos);
+  EXPECT_NE(table.find("113"), std::string::npos);
+  EXPECT_NE(table.find("bound flips"), std::string::npos);
+  EXPECT_NE(table.find("LP algorithm"), std::string::npos);
+  EXPECT_NE(table.find("dual"), std::string::npos);
+}
+
 TEST(Report, RunBenchmarkProducesBothVariants) {
   workloads::BenchmarkSpec spec;
   spec.name = "rb";

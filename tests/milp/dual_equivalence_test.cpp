@@ -1,0 +1,117 @@
+// Randomized dual-vs-primal equivalence corpus (labelled `slow`): on boxed
+// LPs — where the dual-feasibility repair can always flip its way to a
+// usable start — the dual loop must reach exactly the verdicts and
+// objectives of the primal algorithm, both cold and along warm re-solve
+// chains of tightening bounds (the B&B / probe-session access pattern).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+#include "util/rng.h"
+
+namespace cgraf::milp {
+namespace {
+
+// Every column boxed with finite bounds, mixed row senses, random sense.
+Model random_boxed_lp(Rng& rng, int max_vars, int max_rows) {
+  Model m;
+  const int nv = 3 + static_cast<int>(
+                         rng.next_below(static_cast<std::uint64_t>(max_vars)));
+  const int nc = 2 + static_cast<int>(
+                         rng.next_below(static_cast<std::uint64_t>(max_rows)));
+  for (int j = 0; j < nv; ++j) {
+    const double lo = rng.next_double() * 2 - 1;
+    m.add_continuous(lo, lo + 0.5 + rng.next_double() * 4,
+                     rng.next_double() * 10 - 5);
+  }
+  for (int r = 0; r < nc; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < nv; ++j)
+      if (rng.next_bool(0.55))
+        terms.emplace_back(j, rng.next_double() * 6 - 3);
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    const double rhs = rng.next_double() * 8 - 2;
+    switch (rng.next_below(3)) {
+      case 0: m.add_le(std::move(terms), rhs); break;
+      case 1: m.add_ge(std::move(terms), -rhs); break;
+      default:
+        m.add_constraint(std::move(terms), -2.5 - rhs, 2.5 + rhs);
+        break;
+    }
+  }
+  if (rng.next_bool(0.5)) m.set_sense(Sense::kMaximize);
+  return m;
+}
+
+void expect_same(const LpResult& dual, const LpResult& primal,
+                 const char* label) {
+  ASSERT_EQ(dual.status, primal.status) << label;
+  if (primal.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(dual.obj, primal.obj, 1e-6 * (1.0 + std::abs(primal.obj)))
+        << label;
+  }
+}
+
+class DualEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualEquivalence, ColdSolvesAgree) {
+  Rng rng(52000 + static_cast<std::uint64_t>(GetParam()));
+  const Model m = random_boxed_lp(rng, 14, 10);
+  LpOptions primal_opts;
+  primal_opts.algorithm = LpAlgorithm::kPrimal;
+  LpOptions dual_opts;
+  dual_opts.algorithm = LpAlgorithm::kDual;
+  const LpResult rp = solve_lp(m, primal_opts);
+  const LpResult rd = solve_lp(m, dual_opts);
+  expect_same(rd, rp, "cold boxed");
+  if (rp.status == SolveStatus::kOptimal) {
+    EXPECT_LE(m.max_violation(rd.x), 1e-6);
+  }
+  // Devex must match too.
+  LpOptions devex = dual_opts;
+  devex.dual_pricing = DualPricing::kDevex;
+  expect_same(solve_lp(m, devex), rp, "cold boxed devex");
+}
+
+TEST_P(DualEquivalence, WarmResolveChainsAgree) {
+  Rng rng(53000 + static_cast<std::uint64_t>(GetParam()));
+  const Model m = random_boxed_lp(rng, 12, 8);
+  LpOptions primal_opts;
+  primal_opts.algorithm = LpAlgorithm::kPrimal;
+  LpOptions auto_opts;
+  auto_opts.algorithm = LpAlgorithm::kAutoWarm;
+  SimplexEngine pe(m, primal_opts);
+  SimplexEngine de(m, auto_opts);
+  const LpResult proot = pe.solve();
+  const LpResult droot = de.solve();
+  expect_same(droot, proot, "chain root");
+  if (proot.status != SolveStatus::kOptimal) return;
+
+  // Chain of tightenings, each re-solved warm from the previous basis by
+  // both engines — exactly how B&B descends and how probe sessions step.
+  std::vector<double> lb = pe.model_lb();
+  std::vector<double> ub = pe.model_ub();
+  const std::vector<ColStatus>* pwarm = &proot.basis;
+  const std::vector<ColStatus>* dwarm = &droot.basis;
+  LpResult plast, dlast;
+  for (int step = 0; step < 6; ++step) {
+    const auto v = static_cast<size_t>(
+        rng.next_below(static_cast<std::uint64_t>(pe.num_structural())));
+    const double mid = lb[v] + 0.4 * (ub[v] - lb[v]);
+    if (rng.next_bool(0.5)) ub[v] = mid; else lb[v] = mid;
+    plast = pe.solve(lb, ub, pwarm);
+    dlast = de.solve(lb, ub, dwarm);
+    expect_same(dlast, plast, "chain step");
+    if (plast.status != SolveStatus::kOptimal) break;
+    pwarm = &plast.basis;
+    dwarm = &dlast.basis;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualEquivalence, ::testing::Range(0, 120));
+
+}  // namespace
+}  // namespace cgraf::milp

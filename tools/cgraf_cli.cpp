@@ -26,6 +26,7 @@
 #include "core/analysis.h"
 #include "cgrra/stress.h"
 #include "core/remapper.h"
+#include "core/report.h"
 #include "hls/placer.h"
 #include "verify/certify.h"
 #include "verify/model_lint.h"
@@ -51,7 +52,8 @@ int usage(int code = 2) {
                "  remap  --design FILE --floorplan FILE --out FILE"
                " [--mode freeze|rotate] [--margin F] [--seed S]\n"
                "         [--strategy dive|fix-once|ilp] [--threads N]"
-               " [--warm-probes on|off] [--verbose]\n"
+               " [--warm-probes on|off]\n"
+               "         [--lp-algorithm primal|dual|auto] [--verbose]\n"
                "  report --design FILE --floorplan FILE [--compare FILE]\n"
                "  lint   --design FILE --floorplan FILE [--st-target X]"
                " [--margin F] [--json] [--no-info]\n"
@@ -296,6 +298,25 @@ int cmd_remap(const Args& args) {
                  warm.c_str());
     return 1;
   }
+  // Simplex variant for every LP in the pipeline (probe chains, dives and
+  // B&B child re-solves). `auto` runs dual simplex on dual-feasible warm
+  // bases and primal otherwise; results are identical across all three,
+  // only the iteration/time profile moves.
+  const std::string algo = args.get_or("lp-algorithm", "auto");
+  milp::LpAlgorithm lp_algorithm;
+  if (algo == "primal") {
+    lp_algorithm = milp::LpAlgorithm::kPrimal;
+  } else if (algo == "dual") {
+    lp_algorithm = milp::LpAlgorithm::kDual;
+  } else if (algo == "auto") {
+    lp_algorithm = milp::LpAlgorithm::kAutoWarm;
+  } else {
+    std::fprintf(stderr, "unknown --lp-algorithm '%s' (primal|dual|auto)\n",
+                 algo.c_str());
+    return 1;
+  }
+  opts.solver.lp.algorithm = lp_algorithm;
+  opts.solver.mip.lp.algorithm = lp_algorithm;
 
   const core::RemapResult result =
       aging_aware_remap(*design, *baseline, opts);
@@ -304,6 +325,11 @@ int cmd_remap(const Args& args) {
     return 1;
   }
   std::printf("wrote %s\n", out->c_str());
+  if (args.has("verbose")) {
+    // The last solve's counters, including which simplex variant ran and
+    // how much of the work the dual loop carried.
+    std::printf("%s", core::format_solver_stats(result.last_solve).c_str());
+  }
   std::printf("cpd: %.3f -> %.3f ns | max stress: %.3f -> %.3f | "
               "MTTF: %.2f -> %.2f years (%.2fx)\n",
               result.cpd_before_ns, result.cpd_after_ns, result.st_max_before,
@@ -555,7 +581,7 @@ int main(int argc, char** argv) {
     } else if (cmd == "remap") {
       args.check_allowed({"design", "floorplan", "out", "mode", "margin",
                           "seed", "strategy", "threads", "warm-probes",
-                          "verbose"});
+                          "lp-algorithm", "verbose"});
     } else if (cmd == "report") {
       args.check_allowed({"design", "floorplan", "compare"});
     } else if (cmd == "lint") {

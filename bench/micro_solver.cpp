@@ -16,6 +16,8 @@
 #include "milp/lu.h"
 #include "milp/model.h"
 #include "milp/simplex.h"
+#include "obs/bench_compare.h"
+#include "obs/build_info.h"
 #include "obs/json_writer.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -28,6 +30,14 @@ using namespace cgraf::milp;
 // Set by main() from the CGRAF_TRACE env var; when tracing, each bench JSON
 // line carries the trace path so the trajectory links back to the profile.
 const char* g_trace_path = nullptr;
+
+// Provenance stamp on every CGRAF_BENCH_JSON line: schema version, git SHA,
+// compiler and host thread count, so standalone lines (outside a
+// cgraf_bench-run document) remain self-describing and comparable.
+void append_meta_fields(obs::JsonWriter& w) {
+  w.field("schema_version", obs::kBenchJsonSchemaVersion);
+  obs::append_build_info_fields(w);
+}
 
 void append_stage_fields(obs::JsonWriter& w, const LpStageStats& s) {
   w.field("pricing_seconds", s.pricing_seconds)
@@ -58,6 +68,7 @@ void emit_lp_json(const char* name, long arg, const LpResult& r,
       .field("nodes", 0L)
       .field("threads", 1L);
   append_stage_fields(w, r.stats);
+  append_meta_fields(w);
   if (g_trace_path != nullptr) w.field("trace", g_trace_path);
   w.end_object();
   std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
@@ -73,6 +84,7 @@ void emit_mip_json(const char* name, long arg, const MipResult& r) {
       .field("nodes", r.nodes)
       .field("threads", r.threads_used);
   append_stage_fields(w, r.lp_stats);
+  append_meta_fields(w);
   if (g_trace_path != nullptr) w.field("trace", g_trace_path);
   w.end_object();
   std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
@@ -240,6 +252,7 @@ void BM_LpRhsRampProbes(benchmark::State& state) {
         .field("lp_iterations", iters)
         .field("nodes", 0L)
         .field("threads", 1L);
+    append_meta_fields(w);
     if (g_trace_path != nullptr) w.field("trace", g_trace_path);
     w.end_object();
     std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());
@@ -325,6 +338,7 @@ void BM_LpChildResolve(benchmark::State& state) {
         .field("nodes", 0L)
         .field("threads", 1L);
     append_stage_fields(w, stage);
+    append_meta_fields(w);
     if (g_trace_path != nullptr) w.field("trace", g_trace_path);
     w.end_object();
     std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());

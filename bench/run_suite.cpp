@@ -1,0 +1,279 @@
+// cgraf_bench — perf-regression harness over the bench binaries.
+//
+//   cgraf_bench run [--preset quick|full] [--label L] [--out FILE]
+//                   [--bin-dir DIR]
+//   cgraf_bench compare BASELINE.json CANDIDATE.json
+//                   [--wall-ratio X] [--count-ratio X] [--min-wall-ms X]
+//
+// `run` executes the declared suite entries (pinned seeds and thread
+// counts; the quick preset is a small deterministic subset for CI
+// perf-smoke), scrapes their `CGRAF_BENCH_JSON {...}` stdout lines and
+// writes one schema-versioned BENCH_<label>.json document stamped with the
+// git SHA, compiler and host thread count.
+//
+// `compare` diffs two such documents with per-metric noise thresholds
+// (obs/bench_compare.h) and exits nonzero when the candidate regresses —
+// the CI gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.h"
+#include "obs/build_info.h"
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace cgraf;
+
+int usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: cgraf_bench run [--preset quick|full] [--label L]"
+               " [--out FILE] [--bin-dir DIR]\n"
+               "       cgraf_bench compare BASELINE.json CANDIDATE.json\n"
+               "               [--wall-ratio X] [--count-ratio X]"
+               " [--min-wall-ms X]\n"
+               "run     executes the bench suite and writes BENCH_<L>.json\n"
+               "compare exits 1 when the candidate regresses vs baseline\n");
+  return code;
+}
+
+struct SuiteEntry {
+  const char* label;   // also the key of the harness wall-time result row
+  const char* binary;  // executable name, resolved relative to --bin-dir
+  const char* args;    // already shell-safe (literal flags, no user input)
+  bool in_quick;       // part of the quick (CI perf-smoke) preset
+};
+
+// Declared suite. Seeds live inside the bench bodies; thread counts are
+// pinned by the benchmark Args, so reruns on the same host are
+// deterministic in their work counters.
+const SuiteEntry kSuite[] = {
+    {"micro_solver_quick", "micro_solver",
+     "--benchmark_filter='BM_LpAssignment/24|BM_MilpAssignment/16/1|"
+     "BM_LpRhsRampProbes/48|BM_LpChildResolve/48'"
+     " --benchmark_report_aggregates_only=false",
+     /*in_quick=*/true},
+    {"micro_solver_full", "micro_solver", "", /*in_quick=*/false},
+    {"scaling_small", "scaling_ilp_vs_milp", "2 2", /*in_quick=*/false},
+};
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') out += "'\\''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+// Runs one suite entry, appending every valid CGRAF_BENCH_JSON payload to
+// `results`. Returns false when the child fails to launch or exits
+// nonzero (its scraped lines are still kept).
+bool run_entry(const std::string& bin_dir, const SuiteEntry& entry,
+               std::vector<std::string>* results) {
+  std::string cmd = shell_quote(bin_dir + "/" + entry.binary);
+  if (entry.args[0] != '\0') cmd += std::string(" ") + entry.args;
+  std::fprintf(stderr, "[cgraf_bench] %s\n", cmd.c_str());
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "cgraf_bench: failed to launch %s\n",
+                 entry.binary);
+    return false;
+  }
+  constexpr const char kPrefix[] = "CGRAF_BENCH_JSON ";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  std::string line;
+  char buf[4096];
+  long scraped = 0, malformed = 0;
+  auto consume_line = [&]() {
+    if (line.compare(0, kPrefixLen, kPrefix) == 0) {
+      const std::string payload = line.substr(kPrefixLen);
+      obs::JsonValue v;
+      std::string err;
+      if (obs::parse_json(payload, &v, &err) && v.is_object()) {
+        results->push_back(payload);
+        ++scraped;
+      } else {
+        ++malformed;
+      }
+    }
+    line.clear();
+  };
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      consume_line();
+    }
+  }
+  if (!line.empty()) consume_line();
+  const int status = pclose(pipe);
+  if (malformed > 0) {
+    std::fprintf(stderr,
+                 "cgraf_bench: %s emitted %ld malformed bench line(s)\n",
+                 entry.binary, malformed);
+  }
+  std::fprintf(stderr, "[cgraf_bench] %s: %ld result line(s)\n", entry.label,
+               scraped);
+  if (status != 0) {
+    std::fprintf(stderr, "cgraf_bench: %s exited with status %d\n",
+                 entry.binary, status);
+    return false;
+  }
+  return true;
+}
+
+// Default --bin-dir: wherever this harness itself lives (the bench
+// binaries are built as its siblings).
+std::string default_bin_dir(const char* argv0) {
+  const std::string self(argv0);
+  const std::size_t slash = self.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : self.substr(0, slash);
+}
+
+int cmd_run(int argc, char** argv) {
+  std::string preset = "quick";
+  std::string label = "local";
+  std::string out_path;
+  std::string bin_dir = default_bin_dir(argv[0]);
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (key == "--preset" && (v = value()) != nullptr) preset = v;
+    else if (key == "--label" && (v = value()) != nullptr) label = v;
+    else if (key == "--out" && (v = value()) != nullptr) out_path = v;
+    else if (key == "--bin-dir" && (v = value()) != nullptr) bin_dir = v;
+    else if (key == "--help") return usage(0);
+    else {
+      std::fprintf(stderr, "cgraf_bench: bad run option '%s'\n", key.c_str());
+      return usage(2);
+    }
+  }
+  if (preset != "quick" && preset != "full") {
+    std::fprintf(stderr, "cgraf_bench: unknown preset '%s' (quick|full)\n",
+                 preset.c_str());
+    return 2;
+  }
+  if (out_path.empty()) out_path = "BENCH_" + label + ".json";
+
+  std::vector<std::string> results;
+  bool all_ok = true;
+  for (const SuiteEntry& entry : kSuite) {
+    if (preset == "quick" && !entry.in_quick) continue;
+    const double t0 = now_seconds();
+    const bool ok = run_entry(bin_dir, entry, &results);
+    const double seconds = now_seconds() - t0;
+    all_ok = all_ok && ok;
+    // The harness's own wall clock per entry: a coarse, always-present
+    // wall metric even for entries whose lines carry only counters.
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("case", std::string("suite/") + entry.label)
+        .field("ok", ok)
+        .field("wall_seconds", seconds)
+        .end_object();
+    results.push_back(w.str());
+  }
+
+  obs::JsonWriter doc;
+  doc.begin_object()
+      .field("schema_version", obs::kBenchJsonSchemaVersion)
+      .field("label", label)
+      .field("preset", preset);
+  obs::append_build_info_fields(doc);
+  doc.key("results").begin_array();
+  for (const std::string& r : results) doc.raw(r);
+  doc.end_array();
+  doc.end_object();
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cgraf_bench: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string text = doc.str() + "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[cgraf_bench] wrote %s (%zu result(s))\n",
+               out_path.c_str(), results.size());
+  return all_ok ? 0 : 1;
+}
+
+bool read_file_text(const std::string& path, std::string* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+int cmd_compare(int argc, char** argv) {
+  std::vector<std::string> paths;
+  obs::BenchThresholds thresholds;
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (key == "--wall-ratio" && (v = value()) != nullptr) {
+      thresholds.wall_ratio = std::atof(v);
+    } else if (key == "--count-ratio" && (v = value()) != nullptr) {
+      thresholds.count_ratio = std::atof(v);
+    } else if (key == "--min-wall-ms" && (v = value()) != nullptr) {
+      thresholds.min_wall_s = std::atof(v) * 1e-3;
+    } else if (key == "--help") {
+      return usage(0);
+    } else if (key.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "cgraf_bench: bad compare option '%s'\n",
+                   key.c_str());
+      return usage(2);
+    } else {
+      paths.push_back(key);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "cgraf_bench: compare needs exactly a baseline and a"
+                 " candidate document\n");
+    return usage(2);
+  }
+  std::string old_doc, new_doc;
+  if (!read_file_text(paths[0], &old_doc)) {
+    std::fprintf(stderr, "cgraf_bench: cannot read %s\n", paths[0].c_str());
+    return 2;
+  }
+  if (!read_file_text(paths[1], &new_doc)) {
+    std::fprintf(stderr, "cgraf_bench: cannot read %s\n", paths[1].c_str());
+    return 2;
+  }
+  const obs::BenchComparison cmp =
+      obs::compare_bench_docs(old_doc, new_doc, thresholds);
+  std::printf("%s", cmp.to_text().c_str());
+  if (!cmp.ok) return 2;
+  return cmp.has_regression() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(0);
+  if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "compare") return cmd_compare(argc, argv);
+  std::fprintf(stderr, "cgraf_bench: unknown command '%s'\n", cmd.c_str());
+  return usage(2);
+}

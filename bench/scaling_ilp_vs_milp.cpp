@@ -16,6 +16,8 @@
 #include "cgrra/stress.h"
 #include "core/report.h"
 #include "core/st_target.h"
+#include "obs/bench_compare.h"
+#include "obs/build_info.h"
 #include "obs/json_writer.h"
 #include "obs/trace.h"
 #include "util/ascii.h"
@@ -334,6 +336,8 @@ int main(int argc, char** argv) {
         .raw_field("dive_primal",
                    "{" + core::solver_stats_json(row.dive_primal_stats) +
                        "}");
+    w.field("schema_version", obs::kBenchJsonSchemaVersion);
+    obs::append_build_info_fields(w);
     if (trace_path != nullptr) w.field("trace", trace_path);
     w.end_object();
     std::printf("CGRAF_BENCH_JSON %s\n", w.str().c_str());

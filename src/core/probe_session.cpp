@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -14,6 +15,10 @@ ProbeSession::ProbeSession(RemapModelSpec spec, TwoStepOptions solver,
                            bool warm)
     : spec_(std::move(spec)), solver_(std::move(solver)), warm_(warm) {
   CGRAF_ASSERT(spec_.design != nullptr && spec_.base != nullptr);
+  // Either plumbing route reaches the persistent LP engine and the nested
+  // two-step solves alike.
+  if (solver_.events == nullptr) solver_.events = solver_.lp.events;
+  if (solver_.lp.events == nullptr) solver_.lp.events = solver_.events;
 }
 
 bool ProbeSession::ensure_model(double target) {
@@ -111,32 +116,63 @@ TwoStepResult ProbeSession::solve_lp_probe() {
 
 TwoStepResult ProbeSession::solve(double st_target) {
   ++stats_.probes;
-  if (!warm_) {
-    // Forced-cold mode: the legacy rebuild-everything path, byte for byte.
-    spec_.st_target = st_target;
-    rm_ = build_remap_model(spec_);
-    built_ = true;
-    ++stats_.model_rebuilds;
-    return solve_two_step(rm_, solver_);
-  }
+  // Snapshot for the probe.solve record: the deltas below ARE the session's
+  // accounting, so the analyzer's warm-hit/fallback totals summed over
+  // probe.solve events match ProbeSessionStats exactly.
+  const ProbeSessionStats before = stats_;
+  const double t0 = now_seconds();
+  const char* mode = "two_step";
 
-  if (!ensure_model(st_target)) {
-    TwoStepResult res;
-    res.status = milp::SolveStatus::kInfeasible;
-    return res;
-  }
-  if (solver_.lp_only) return solve_lp_probe();
+  TwoStepResult res = [&]() -> TwoStepResult {
+    if (!warm_) {
+      // Forced-cold mode: the legacy rebuild-everything path, byte for
+      // byte.
+      mode = "cold";
+      spec_.st_target = st_target;
+      rm_ = build_remap_model(spec_);
+      built_ = true;
+      ++stats_.model_rebuilds;
+      return solve_two_step(rm_, solver_);
+    }
 
-  TwoStepOptions probe_opts = solver_;
-  const bool have_warm = !basis_.empty();
-  probe_opts.warm_basis = have_warm ? &basis_ : nullptr;
-  TwoStepResult res = solve_two_step(rm_, probe_opts);
-  if (have_warm) {
-    if (res.stats.warm_start_used) ++stats_.warm_hits;
-    else ++stats_.basis_fallbacks;
+    if (!ensure_model(st_target)) {
+      mode = "trivial_infeasible";
+      TwoStepResult r;
+      r.status = milp::SolveStatus::kInfeasible;
+      return r;
+    }
+    if (solver_.lp_only) {
+      mode = "lp";
+      return solve_lp_probe();
+    }
+
+    TwoStepOptions probe_opts = solver_;
+    const bool have_warm = !basis_.empty();
+    probe_opts.warm_basis = have_warm ? &basis_ : nullptr;
+    TwoStepResult r = solve_two_step(rm_, probe_opts);
+    if (have_warm) {
+      if (r.stats.warm_start_used) ++stats_.warm_hits;
+      else ++stats_.basis_fallbacks;
+    }
+    if (r.stats.lp_stage.dual_iterations > 0) ++stats_.dual_solves;
+    if (!r.basis.empty()) basis_ = r.basis;
+    return r;
+  }();
+
+  obs::Event ev(solver_.events, "probe.solve");
+  if (ev.active()) {
+    ev.arg("target", st_target)
+        .arg("mode", mode)
+        .arg("status", milp::to_string(res.status))
+        .arg("warm_hit", stats_.warm_hits > before.warm_hits)
+        .arg("fallback", stats_.basis_fallbacks > before.basis_fallbacks)
+        .arg("rebuild", stats_.model_rebuilds > before.model_rebuilds)
+        .arg("patch", stats_.patches > before.patches)
+        .arg("dual", stats_.dual_solves > before.dual_solves)
+        .arg("lp_iterations",
+             res.stats.lp_iterations + res.stats.mip_lp_iterations)
+        .arg("seconds", now_seconds() - t0);
   }
-  if (res.stats.lp_stage.dual_iterations > 0) ++stats_.dual_solves;
-  if (!res.basis.empty()) basis_ = res.basis;
   return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "cgrra/stress.h"
 #include "core/probe_session.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -18,6 +19,13 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
   const double t_start = now_seconds();
   obs::Span remap_span("remap");
   remap_span.arg("ops", design.num_ops())
+      .arg("contexts", design.num_contexts)
+      .arg("pes", design.fabric.num_pes());
+  obs::EventLog* const events = opts.solver.events != nullptr
+                                    ? opts.solver.events
+                                    : opts.solver.lp.events;
+  obs::Event(events, "remap.begin")
+      .arg("ops", design.num_ops())
       .arg("contexts", design.num_contexts)
       .arg("pes", design.fabric.num_pes());
   RemapResult res;
@@ -121,6 +129,9 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
   // --- Step 1: delay-unaware stress-target lower bound.
   StTargetOptions st_opts = opts.st_search;
   st_opts.warm_probes = opts.warm_probes;
+  // The Step-1 search usually carries its own solver options; route the
+  // remap-level event sink into it unless one was set there explicitly.
+  if (st_opts.solver.events == nullptr) st_opts.solver.events = events;
   const StTargetResult st = find_st_target(design, baseline, st_opts);
   res.probe_warm_hits += st.warm_hits;
   res.probe_basis_fallbacks += st.basis_fallbacks;
@@ -313,6 +324,13 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       attempt_span.arg("status", milp::to_string(solved.status))
           .arg("cpd_ok", cpd_ok)
           .arg("vars", rm.num_binary_vars);
+      obs::Event(events, "remap.attempt")
+          .arg("iter", res.outer_iterations)
+          .arg("st_target", target)
+          .arg("status", milp::to_string(solved.status))
+          .arg("cpd_ok", cpd_ok)
+          .arg("vars", rm.num_binary_vars)
+          .arg("seconds", now_seconds() - t_iter);
       obs::Progress::global().logf(
           opts.verbose,
           "  [remap] iter=%d st_target=%.4f vars=%d paths=%d status=%s "
@@ -406,6 +424,13 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
           .arg("st_target_final", res.st_target_final)
           .arg("attempts", res.outer_iterations)
           .arg("warm_hits", static_cast<long>(res.probe_warm_hits));
+      obs::Event(events, "remap.end")
+          .arg("improved", res.improved)
+          .arg("st_target_final", res.st_target_final)
+          .arg("attempts", res.outer_iterations)
+          .arg("warm_hits", res.probe_warm_hits)
+          .arg("basis_fallbacks", res.probe_basis_fallbacks)
+          .arg("seconds", res.seconds);
       return res;
     }
     fold_session(attempt_session.stats());
@@ -424,6 +449,13 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
   remap_span.arg("improved", false)
       .arg("attempts", res.outer_iterations)
       .arg("warm_hits", static_cast<long>(res.probe_warm_hits));
+  obs::Event(events, "remap.end")
+      .arg("improved", false)
+      .arg("st_target_final", res.st_target_final)
+      .arg("attempts", res.outer_iterations)
+      .arg("warm_hits", res.probe_warm_hits)
+      .arg("basis_fallbacks", res.probe_basis_fallbacks)
+      .arg("seconds", res.seconds);
   return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "cgrra/stress.h"
 #include "core/probe_session.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -14,13 +15,25 @@ namespace cgraf::core {
 StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
                               const StTargetOptions& opts) {
   obs::Span search_span("st_target.search");
+  obs::EventLog* const events = opts.solver.events != nullptr
+                                    ? opts.solver.events
+                                    : opts.solver.lp.events;
   StTargetResult res;
   const StressMap stress = compute_stress(design, baseline);
   res.st_up = stress.max_accumulated();
   res.st_low = stress.avg_accumulated();
+  obs::Event(events, "st.search_begin")
+      .arg("st_low", res.st_low)
+      .arg("st_up", res.st_up);
   if (res.st_up <= 0.0) {
     res.ok = true;  // no stress at all; nothing to balance
     res.st_target = 0.0;
+    obs::Event(events, "st.search_end")
+        .arg("st_target", res.st_target)
+        .arg("probes", static_cast<long>(res.probes))
+        .arg("warm_hits", 0L)
+        .arg("basis_fallbacks", 0L)
+        .arg("lp_iterations", res.lp_iterations);
     return res;
   }
 
@@ -77,7 +90,12 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
     }
     probe_span.arg("feasible", ok).arg("warm", r.stats.warm_start_used);
     obs::Metrics::global().counter("st_target.probes").add(1);
-    res.probe_log.push_back({target, ok, now_seconds() - t_probe});
+    const double probe_seconds = now_seconds() - t_probe;
+    obs::Event(events, "st.probe")
+        .arg("target", target)
+        .arg("feasible", ok)
+        .arg("seconds", probe_seconds);
+    res.probe_log.push_back({target, ok, probe_seconds});
     return ok;
   };
 
@@ -105,6 +123,12 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
         .arg("warm_hits", static_cast<long>(ps.warm_hits))
         .arg("basis_fallbacks", static_cast<long>(ps.basis_fallbacks))
         .arg("dual_solves", static_cast<long>(ps.dual_solves));
+    obs::Event(events, "st.search_end")
+        .arg("st_target", res.st_target)
+        .arg("probes", static_cast<long>(res.probes))
+        .arg("warm_hits", static_cast<long>(ps.warm_hits))
+        .arg("basis_fallbacks", static_cast<long>(ps.basis_fallbacks))
+        .arg("lp_iterations", res.lp_iterations);
   };
 
   double lo = res.st_low;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "milp/simplex.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -260,7 +261,16 @@ const char* strategy_name(RoundingStrategy s) {
 
 }  // namespace
 
-TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
+TwoStepResult solve_two_step(const RemapModel& rm,
+                             const TwoStepOptions& opts_in) {
+  // Local copy so the event-log sink reaches every nested solve: either
+  // plumbing route (opts.events or opts.lp.events) enables all of them.
+  TwoStepOptions opts = opts_in;
+  if (opts.events == nullptr) opts.events = opts.lp.events;
+  if (opts.lp.events == nullptr) opts.lp.events = opts.events;
+  if (opts.mip.events == nullptr) opts.mip.events = opts.events;
+  if (opts.mip.lp.events == nullptr) opts.mip.lp.events = opts.events;
+
   obs::Span solve_span("two_step.solve");
   solve_span.arg("strategy", strategy_name(opts.strategy))
       .arg("lp_only", opts.lp_only)
@@ -273,6 +283,19 @@ TwoStepResult solve_two_step(const RemapModel& rm, const TwoStepOptions& opts) {
     solve_span.arg("status", milp::to_string(res.status));
     if (res.stats.fallback_unfixed)
       obs::Metrics::global().counter("two_step.unfixed_fallbacks").add(1);
+    obs::Event ev(opts.events, "twostep.solve");
+    if (ev.active()) {
+      ev.arg("strategy", strategy_name(opts.strategy))
+          .arg("lp_only", opts.lp_only)
+          .arg("status", milp::to_string(res.status))
+          .arg("lp_iterations", res.stats.lp_iterations)
+          .arg("mip_lp_iterations", res.stats.mip_lp_iterations)
+          .arg("nodes", res.stats.mip_nodes)
+          .arg("dive_rounds", res.stats.dive_rounds)
+          .arg("vars_fixed", res.stats.vars_fixed)
+          .arg("warm_start_used", res.stats.warm_start_used)
+          .arg("fallback_unfixed", res.stats.fallback_unfixed);
+    }
   };
   if (rm.trivially_infeasible) {
     res.status = milp::SolveStatus::kInfeasible;

@@ -58,6 +58,11 @@ struct TwoStepOptions {
   // rejected: the result degrades to kNumericalError instead of shipping an
   // illegal floorplan.
   verify::VerifyOptions verify;
+  // Structured solve-event log (obs/event_log.h). Propagated into lp.events
+  // and mip.events (and mip.lp.events) when those are unset, so one pointer
+  // here covers every LP and B&B solve underneath, plus a "twostep.solve"
+  // summary record per call.
+  obs::EventLog* events = nullptr;
 };
 
 struct TwoStepStats {

@@ -8,6 +8,7 @@
 #include <queue>
 #include <thread>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -30,6 +31,8 @@ struct Node {
   std::shared_ptr<const std::vector<ColStatus>> warm;
   double bound;  // internal (minimization) bound inherited from the parent
   int depth;
+  long parent;  // expansion seq of the parent node (0 for the root), so the
+                // event-log analyzer can reconstruct the search tree
 };
 
 struct NodeOrder {
@@ -115,6 +118,14 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
   solve_span.arg("vars", static_cast<long>(model.num_vars()))
       .arg("rows", static_cast<long>(model.num_constraints()))
       .arg("threads", static_cast<long>(threads));
+  // Solve-event log: either plumbing route (MipOptions::events or
+  // LpOptions::events) enables the whole record family.
+  obs::EventLog* const events =
+      opts.events != nullptr ? opts.events : opts.lp.events;
+  obs::Event(events, "bnb.begin")
+      .arg("vars", static_cast<long>(model.num_vars()))
+      .arg("rows", static_cast<long>(model.num_constraints()))
+      .arg("threads", static_cast<long>(threads));
   // One histogram handle per solve; workers observe lock-free.
   obs::Histogram& lp_iter_hist = obs::Metrics::global().histogram(
       "bnb.lp_iterations_per_node",
@@ -154,7 +165,7 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
   Shared sh;
   {
     MutexLock lk(&sh.mu);
-    sh.open.push(Node{nullptr, nullptr, -kInf, 0});
+    sh.open.push(Node{nullptr, nullptr, -kInf, 0, 0});
   }
 
   // Rounds integer variables of an LP point; returns the internal objective
@@ -222,7 +233,11 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
         // the incumbent only improves, so the whole pool prunes with it.
         // In-flight workers may still push better-bounded children.
         sh.exhausted_bound = std::min(sh.exhausted_bound, node.bound);
+        const long dropped = 1 + static_cast<long>(sh.open.size());
         while (!sh.open.empty()) sh.open.pop();
+        obs::Event(events, "bnb.pool_prune")
+            .arg("dropped", dropped)
+            .arg("bound", node.bound);
         sh.cv.notify_all();
         continue;
       }
@@ -240,6 +255,7 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       const double remaining = opts.time_limit_s - (now_seconds() - t_start);
       lp_opts.time_limit_s =
           std::min(lp_opts.time_limit_s, std::max(0.0, remaining));
+      lp_opts.events = events;  // node LPs feed the same solve-event log
       engine.set_options(lp_opts);
       LpResult lp = engine.solve(lb, ub, node.warm.get());
 
@@ -248,11 +264,20 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       const double node_bound = sign * lp.obj;
       lp_iter_hist.observe(static_cast<double>(lp.iterations));
       if ((node_seq & 63) == 1 && tracer.enabled()) {
+        // %g would print "inf"/"nan" (invalid JSON) for non-finite bounds
+        // (e.g. an infeasible or unbounded node LP); emit null instead,
+        // matching the JsonWriter policy.
+        char bound_buf[32];
+        if (std::isfinite(node_bound)) {
+          std::snprintf(bound_buf, sizeof bound_buf, "%.9g", node_bound);
+        } else {
+          std::snprintf(bound_buf, sizeof bound_buf, "null");
+        }
         char buf[128];
         std::snprintf(buf, sizeof buf,
                       "\"seq\":%ld,\"depth\":%d,\"lp_iters\":%ld,"
-                      "\"bound\":%.9g",
-                      node_seq, node.depth, lp.iterations, node_bound);
+                      "\"bound\":%s",
+                      node_seq, node.depth, lp.iterations, bound_buf);
         tracer.instant("bnb.node", buf);
       }
       if ((node_seq & 255) == 0) {
@@ -300,7 +325,26 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       sh.lp_stats.add(lp.stats);
       res.nodes_per_thread[static_cast<size_t>(tid)] = my_nodes;
 
+      // Exactly one bnb.node record per counted node (sh.nodes), whatever
+      // its fate — the analyzer's node total must match MipResult::nodes.
+      auto emit_node = [&](const char* action) {
+        obs::Event ev(events, "bnb.node");
+        if (ev.active()) {
+          ev.arg("seq", node_seq)
+              .arg("parent", node.parent)
+              .arg("depth", node.depth)
+              .arg("bound", node_bound)
+              .arg("lp_status", to_string(lp.status))
+              .arg("lp_iters", lp.iterations)
+              .arg("warm_used", lp.warm_used)
+              .arg("dual_used", lp.dual_used)
+              .arg("action", action)
+              .arg("branch_var", branch_var);
+        }
+      };
+
       if (lp.status == SolveStatus::kInfeasible) {
+        emit_node("infeasible");
         sh.cv.notify_all();
         continue;
       }
@@ -313,11 +357,13 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
           // treat the proof as incomplete and keep searching siblings.
           sh.proof_incomplete = true;
         }
+        emit_node("unbounded");
         sh.cv.notify_all();
         continue;
       }
       if (lp.status != SolveStatus::kOptimal) {
         sh.proof_incomplete = true;
+        emit_node("lp_limit");
         sh.cv.notify_all();
         continue;
       }
@@ -325,9 +371,13 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       if (cand_ok && cand_internal < sh.incumbent_internal - 1e-12) {
         sh.incumbent_internal = cand_internal;
         sh.incumbent_x = cand_x;
+        obs::Event(events, "bnb.incumbent")
+            .arg("seq", node_seq)
+            .arg("obj", sign * cand_internal);
         if (opts.stop_at_first_incumbent) {
           sh.limit_hit = SolveStatus::kFeasible;
           sh.stop = true;
+          emit_node(branch_var < 0 ? "integral" : "stop");
           sh.cv.notify_all();
           continue;
         }
@@ -335,9 +385,11 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
 
       if (node_bound >= sh.incumbent_internal - opts.abs_gap ||
           branch_var < 0) {
+        emit_node(branch_var < 0 ? "integral" : "prune");
         sh.cv.notify_all();
         continue;
       }
+      emit_node("branch");
 
       auto warm =
           std::make_shared<std::vector<ColStatus>>(std::move(lp.basis));
@@ -354,9 +406,9 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       // (bound, depth) order dives into it first on ties.
       const bool lean_up = (branch_val - down) > 0.5;
       Node child_down{mk_delta(-kInf, down), warm, node_bound,
-                      node.depth + 1};
+                      node.depth + 1, node_seq};
       Node child_up{mk_delta(down + 1.0, kInf), warm, node_bound,
-                    node.depth + 1};
+                    node.depth + 1, node_seq};
       if (lean_up) {
         sh.open.push(child_down);
         sh.open.push(child_up);
@@ -406,6 +458,11 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     m.counter("simplex.dual_fallbacks").add(sh.lp_stats.dual_fallbacks);
   }
   solve_span.arg("nodes", sh.nodes).arg("lp_iterations", sh.lp_iterations);
+  obs::Event(events, "bnb.end")
+      .arg("nodes", sh.nodes)
+      .arg("lp_iterations", sh.lp_iterations)
+      .arg("incumbent", sh.incumbent_internal < kInf)
+      .arg("seconds", res.seconds);
 
   if (sh.root_unbounded) {
     res.status = SolveStatus::kUnbounded;

@@ -36,6 +36,11 @@ struct MipOptions {
   // contract violation: solve_milp aborts with a clear message instead of
   // silently falling back to hardware concurrency.
   int num_threads = 0;
+  // Structured solve-event log (obs/event_log.h). When set, the search
+  // emits bnb.begin/bnb.node/bnb.incumbent/bnb.pool_prune/bnb.end records
+  // and propagates the sink into every node LP (unless lp.events was
+  // already set explicitly).
+  obs::EventLog* events = nullptr;
 };
 
 struct MipResult {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "milp/lu.h"
+#include "obs/event_log.h"
 #include "util/check.h"
 #include "util/clock.h"
 
@@ -338,6 +339,23 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     for (int j = 0; j < n_; ++j)
       obj += cost_[static_cast<size_t>(j)] * w.x[static_cast<size_t>(j)];
     res.obj = sign_ * obj;
+    // One record per LP solve, from the single exit point so the analyzer's
+    // iteration totals cover every solve (node LPs, dives, probe chains).
+    obs::Event ev(opts_.events, "lp.solve");
+    if (ev.active()) {
+      ev.arg("status", to_string(st))
+          .arg("iterations", res.iterations)
+          .arg("phase1_iterations", res.stats.phase1_iterations)
+          .arg("dual_iterations", res.stats.dual_iterations)
+          .arg("bound_flips", res.stats.bound_flips)
+          .arg("refactorizations", res.stats.refactorizations)
+          .arg("dual_fallbacks", res.stats.dual_fallbacks)
+          .arg("algorithm", to_string(opts_.algorithm))
+          .arg("warm_used", res.warm_used)
+          .arg("dual_used", res.dual_used)
+          .arg("obj", res.obj)
+          .arg("seconds", res.seconds);
+    }
     return res;
   };
 

@@ -11,6 +11,10 @@
 #include "milp/model.h"
 #include "milp/sparse.h"
 
+namespace cgraf::obs {
+class EventLog;
+}  // namespace cgraf::obs
+
 namespace cgraf::milp {
 
 enum class SolveStatus {
@@ -91,6 +95,11 @@ struct LpOptions {
   // Debug builds cross-check incremental weights against an exact recompute
   // every this many dual pivots (CGRAF_DCHECK). <= 0 disables.
   int dse_check_interval = 64;
+  // When non-null and enabled, every solve() emits one "lp.solve" record
+  // here (obs/event_log.h). The analyzer's LP-iteration totals sum these,
+  // so the pointer is plumbed to EVERY engine (B&B children, dive LPs,
+  // probe chains) or the totals would undercount.
+  obs::EventLog* events = nullptr;
 };
 
 // Nonbasic/basic status of one column, used for warm starts.

@@ -1,0 +1,69 @@
+// Perf-regression comparison between two BENCH_<label>.json documents
+// produced by `cgraf_bench run` (bench/run_suite.cpp).
+//
+// Document shape (schema_version 1):
+//   {
+//     "schema_version": 1, "label": "...", "git_sha": "...",
+//     "compiler": "...", "hardware_threads": N, "preset": "quick",
+//     "results": [ {"case": "...", ...metrics...}, ... ]
+//   }
+// Each result carries a unique "case" key plus numeric metrics (wall
+// seconds, iteration/node counters). Comparison is one-sided: only the NEW
+// document being slower/bigger counts as a regression, with per-metric
+// noise thresholds so CI runs on shared machines don't flap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgraf::obs {
+
+// Version of the BENCH_*.json document shape (and of the per-case
+// CGRAF_BENCH_JSON lines the bench binaries emit). Bump on breaking
+// changes; compare refuses documents without one.
+inline constexpr long kBenchJsonSchemaVersion = 1;
+
+struct BenchThresholds {
+  // A wall-time metric regresses when new > old * wall_ratio ...
+  double wall_ratio = 1.5;
+  // ... and old is at least this long — sub-millisecond timings are noise.
+  double min_wall_s = 1e-3;
+  // Deterministic work counters (iterations, nodes) regress past this
+  // ratio. Tighter than wall time: same seed + same thread count should
+  // reproduce counts closely.
+  double count_ratio = 1.25;
+};
+
+struct BenchDelta {
+  std::string case_name;
+  std::string metric;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double ratio = 0.0;   // new / old
+  bool regression = false;
+};
+
+struct BenchComparison {
+  bool ok = false;              // both documents parsed and were comparable
+  std::string error;            // set when !ok
+  std::string old_label, new_label;
+  std::string old_sha, new_sha;
+  long cases_compared = 0;
+  std::vector<std::string> missing_cases;  // in old but not in new
+  std::vector<std::string> new_cases;      // in new but not in old
+  std::vector<BenchDelta> deltas;          // every compared metric
+
+  // Regressions (missing cases count as regressions too).
+  bool has_regression() const;
+  std::string to_text() const;
+};
+
+// Compares two bench documents (full JSON texts). Metrics are matched by
+// (case, metric-name); wall-time metrics are those whose name ends in
+// "_s"/"_seconds" or equals "seconds"/"wall_s", everything else numeric is
+// treated as a work counter. Non-numeric fields are ignored.
+BenchComparison compare_bench_docs(const std::string& old_doc,
+                                   const std::string& new_doc,
+                                   const BenchThresholds& thresholds = {});
+
+}  // namespace cgraf::obs

@@ -1,0 +1,70 @@
+#include "obs/build_info.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "obs/json_writer.h"
+
+namespace cgraf::obs {
+
+namespace {
+
+std::string run_git_rev_parse() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128] = {0};
+  std::string out;
+  if (std::fgets(buf, sizeof buf, pipe) != nullptr) out = buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  // A SHA is 40 hex chars; anything else means git failed quietly.
+  if (out.size() != 40) return "unknown";
+  return out;
+#endif
+}
+
+}  // namespace
+
+std::string git_sha() {
+  static const std::string sha = [] {
+    if (const char* env = std::getenv("CGRAF_GIT_SHA");
+        env != nullptr && env[0] != '\0') {
+      return std::string(env);
+    }
+    return run_git_rev_parse();
+  }();
+  return sha;
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+long hardware_threads() {
+  return static_cast<long>(std::thread::hardware_concurrency());
+}
+
+void append_build_info_fields(JsonWriter& w) {
+  w.field("git_sha", git_sha());
+  w.field("compiler", compiler_id());
+  w.field("hardware_threads", hardware_threads());
+}
+
+}  // namespace cgraf::obs

@@ -1,0 +1,51 @@
+// Minimal recursive-descent JSON parser producing a small DOM. Consumer of
+// the artifacts JsonWriter and EventLog produce: event-log JSONL lines
+// (obs/postmortem.h) and BENCH_*.json documents (obs/bench_compare.h).
+//
+// Scope: full JSON value grammar with \uXXXX escapes decoded to UTF-8
+// (surrogate pairs included). Numbers parse as double; int_or() rounds.
+// Not a validator of anything beyond syntax — no schema checking here.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cgraf::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  // Insertion-ordered; duplicate keys are kept (find returns the first).
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // First member named `key`, or nullptr (also for non-objects).
+  const JsonValue* find(std::string_view key) const;
+
+  // Typed accessors with defaults; wrong-typed/missing members yield the
+  // default rather than throwing, so analyzers degrade gracefully on
+  // records from newer schema versions.
+  double num_or(std::string_view key, double dflt) const;
+  long int_or(std::string_view key, long dflt) const;
+  bool bool_or(std::string_view key, bool dflt) const;
+  std::string str_or(std::string_view key, const std::string& dflt) const;
+};
+
+// Parses exactly one JSON value spanning all of `text` (surrounding
+// whitespace allowed). Returns false and sets *error (with an offset) on
+// malformed input or trailing garbage.
+bool parse_json(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace cgraf::obs

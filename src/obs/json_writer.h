@@ -39,6 +39,9 @@ class JsonWriter {
 
   JsonWriter& value(std::string_view v);
   JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  // NaN and +/-Inf have no JSON representation; they are emitted as null
+  // (never as the literal `nan`/`inf`, which breaks every strict parser).
+  // Consumers treat a null metric as "not available".
   JsonWriter& value(double v);
   JsonWriter& value(long v);
   JsonWriter& value(int v) { return value(static_cast<long>(v)); }

@@ -29,6 +29,35 @@ std::vector<long> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::percentile(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  const std::vector<long> counts = bucket_counts();
+  long total = 0;
+  for (const long c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based, rounded up so p=1.0 lands on
+  // the last observation and p=0.0 on the first).
+  const double rank = std::max(1.0, p * static_cast<double>(total));
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) {
+      // Overflow bucket: unbounded above, so report the best lower bound.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    const double frac = in_bucket > 0.0 ? (rank - cumulative) / in_bucket
+                                        : 1.0;
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
   count_.store(0);
@@ -93,6 +122,9 @@ std::string Metrics::to_json() const {
     w.end_array();
     w.field("count", h->count());
     w.field("sum", h->sum());
+    w.field("p50", h->percentile(0.50));
+    w.field("p90", h->percentile(0.90));
+    w.field("p99", h->percentile(0.99));
     w.end_object();
   }
   w.end_object();

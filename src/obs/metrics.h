@@ -57,6 +57,13 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   // Size bounds().size() + 1; the last entry is the overflow bucket.
   std::vector<long> bucket_counts() const;
+  // Estimated value at quantile p in [0, 1] (0.5 = median), by linear
+  // interpolation within the containing bucket (Prometheus-style). The
+  // first bucket interpolates from 0 (or its bound, if negative); a
+  // quantile landing in the unbounded overflow bucket is clamped to the
+  // last finite bound. Returns 0 when the histogram is empty. Consistent
+  // reads only when no concurrent observes are in flight (dumps/tests).
+  double percentile(double p) const;
   void reset();
 
  private:
@@ -81,8 +88,8 @@ class Metrics {
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
-  //  "counts":[...],"count":N,"sum":S}}} — keys sorted, so dumps diff
-  // cleanly across runs.
+  //  "counts":[...],"count":N,"sum":S,"p50":...,"p90":...,"p99":...}}} —
+  // keys sorted, so dumps diff cleanly across runs.
   std::string to_json() const;
 
   // Drops every registered metric. Invalidates previously returned handles.

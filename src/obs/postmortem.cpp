@@ -1,0 +1,385 @@
+#include "obs/postmortem.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "obs/event_log.h"
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+#include "util/ascii.h"
+
+namespace cgraf::obs {
+
+namespace {
+
+void fold_record(const JsonValue& rec, PostmortemReport& r) {
+  const std::string type = rec.str_or("type", "");
+  ++r.records_by_type[type];
+  const double t_us = rec.num_or("t", 0.0);
+
+  if (type == "log.header") {
+    r.have_header = true;
+    r.schema = rec.int_or("schema", 0);
+    r.git_sha = rec.str_or("git_sha", "");
+    r.compiler = rec.str_or("compiler", "");
+    return;
+  }
+  if (type == "lp.solve") {
+    ++r.lp_solves;
+    r.lp_iterations += rec.int_or("iterations", 0);
+    r.lp_phase1_iterations += rec.int_or("phase1_iterations", 0);
+    r.lp_dual_iterations += rec.int_or("dual_iterations", 0);
+    r.lp_bound_flips += rec.int_or("bound_flips", 0);
+    r.lp_refactorizations += rec.int_or("refactorizations", 0);
+    r.lp_dual_fallbacks += rec.int_or("dual_fallbacks", 0);
+    if (rec.bool_or("warm_used", false)) ++r.lp_warm_used;
+    if (rec.bool_or("dual_used", false)) ++r.lp_dual_used;
+    r.lp_seconds += rec.num_or("seconds", 0.0);
+    return;
+  }
+  if (type == "bnb.begin") {
+    ++r.bnb_solves;
+    return;
+  }
+  if (type == "bnb.node") {
+    ++r.bnb_nodes;
+    const long iters = rec.int_or("lp_iters", 0);
+    r.bnb_node_lp_iters += iters;
+    const int depth = static_cast<int>(rec.int_or("depth", 0));
+    const std::string action = rec.str_or("action", "?");
+    ++r.node_actions[action];
+    PostmortemReport::DepthRow& row = r.by_depth[depth];
+    ++row.nodes;
+    row.lp_iters += iters;
+    if (action == "branch") ++row.branches;
+    else if (action == "prune") ++row.prunes;
+    else if (action == "integral" || action == "stop") ++row.integrals;
+    else if (action == "infeasible") ++row.infeasibles;
+    return;
+  }
+  if (type == "bnb.incumbent") {
+    r.incumbents.push_back({t_us, rec.int_or("seq", 0),
+                            rec.num_or("obj", 0.0)});
+    return;
+  }
+  if (type == "bnb.pool_prune") {
+    ++r.bnb_pool_prunes;
+    r.bnb_pool_dropped += rec.int_or("dropped", 0);
+    return;
+  }
+  if (type == "probe.solve") {
+    ++r.probes;
+    PostmortemReport::Probe p;
+    p.t_us = t_us;
+    p.target = rec.num_or("target", 0.0);
+    p.mode = rec.str_or("mode", "?");
+    p.status = rec.str_or("status", "?");
+    p.warm_hit = rec.bool_or("warm_hit", false);
+    p.fallback = rec.bool_or("fallback", false);
+    p.lp_iterations = rec.int_or("lp_iterations", 0);
+    p.seconds = rec.num_or("seconds", 0.0);
+    if (p.warm_hit) ++r.probe_warm_hits;
+    if (p.fallback) ++r.probe_fallbacks;
+    if (rec.bool_or("rebuild", false)) ++r.probe_rebuilds;
+    if (rec.bool_or("patch", false)) ++r.probe_patches;
+    r.probe_chain.push_back(std::move(p));
+    return;
+  }
+  if (type == "st.search_end") {
+    ++r.st_searches;
+    return;
+  }
+  if (type == "twostep.solve") {
+    ++r.twostep_solves;
+    return;
+  }
+  if (type == "remap.end") {
+    ++r.remap_runs;
+    return;
+  }
+  if (type == "remap.attempt") {
+    ++r.remap_attempts;
+    if (rec.bool_or("cpd_ok", false)) ++r.remap_attempts_cpd_ok;
+    return;
+  }
+  // st.search_begin / st.probe / remap.begin / bnb.end and unknown types:
+  // counted in records_by_type only.
+}
+
+std::string fmt_long(long v) { return std::to_string(v); }
+
+std::string fmt_pct(long part, long whole) {
+  if (whole <= 0) return "-";
+  return fmt_double(100.0 * static_cast<double>(part) /
+                        static_cast<double>(whole),
+                    1) +
+         "%";
+}
+
+}  // namespace
+
+bool analyze_events(const std::string& jsonl, PostmortemReport* report,
+                    std::string* error) {
+  *report = PostmortemReport();
+  PostmortemReport& r = *report;
+
+  std::size_t pos = 0;
+  long line_no = 0;
+  bool any = false;
+  while (pos < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    ++line_no;
+    const std::string_view line(jsonl.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    any = true;
+    JsonValue rec;
+    std::string perr;
+    if (!parse_json(line, &rec, &perr) || !rec.is_object()) {
+      r.parse_errors.emplace_back(line_no,
+                                  perr.empty() ? "not an object" : perr);
+      continue;
+    }
+    ++r.total_records;
+    fold_record(rec, r);
+  }
+
+  if (!any) {
+    if (error != nullptr) *error = "empty event stream";
+    return false;
+  }
+  if (r.have_header && r.schema > kEventLogSchemaVersion) {
+    if (error != nullptr) {
+      *error = "event log schema " + std::to_string(r.schema) +
+               " is newer than supported " +
+               std::to_string(kEventLogSchemaVersion);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool analyze_events_file(const std::string& path, PostmortemReport* report,
+                         std::string* error) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    text.append(buf, got);
+  }
+  return analyze_events(text, report, error);
+}
+
+std::string PostmortemReport::to_text() const {
+  std::string out;
+  out += "=== solve-event log post-mortem ===\n";
+  if (have_header) {
+    out += "schema " + std::to_string(schema) + " | git " +
+           (git_sha.empty() ? "unknown" : git_sha.substr(0, 12)) + " | " +
+           compiler + "\n";
+  } else {
+    out += "(no log.header record)\n";
+  }
+  out += "records: " + std::to_string(total_records);
+  if (!parse_errors.empty()) {
+    out += " (" + std::to_string(parse_errors.size()) + " unparseable)";
+  }
+  out += "\n\n";
+
+  {
+    AsciiTable t({"record type", "count"});
+    for (const auto& [type, count] : records_by_type) {
+      t.add_row({type, fmt_long(count)});
+    }
+    out += t.render();
+    out += "\n";
+  }
+
+  out += "--- LP engine (" + fmt_long(lp_solves) + " solves) ---\n";
+  {
+    AsciiTable t({"metric", "total"});
+    t.add_row({"iterations", fmt_long(lp_iterations)});
+    t.add_row({"phase1 iterations", fmt_long(lp_phase1_iterations)});
+    t.add_row({"dual iterations", fmt_long(lp_dual_iterations)});
+    t.add_row({"bound flips", fmt_long(lp_bound_flips)});
+    t.add_row({"refactorizations", fmt_long(lp_refactorizations)});
+    t.add_row({"dual fallbacks", fmt_long(lp_dual_fallbacks)});
+    t.add_row({"warm-started solves",
+               fmt_long(lp_warm_used) + " (" +
+                   fmt_pct(lp_warm_used, lp_solves) + ")"});
+    t.add_row({"dual-loop solves",
+               fmt_long(lp_dual_used) + " (" +
+                   fmt_pct(lp_dual_used, lp_solves) + ")"});
+    t.add_row({"seconds", fmt_double(lp_seconds, 4)});
+    out += t.render();
+    out += "\n";
+  }
+
+  if (bnb_solves > 0 || bnb_nodes > 0) {
+    out += "--- branch & bound (" + fmt_long(bnb_solves) + " solves, " +
+           fmt_long(bnb_nodes) + " nodes) ---\n";
+    AsciiTable t({"depth", "nodes", "lp iters", "branch", "prune",
+                  "integral", "infeas"});
+    for (const auto& [depth, row] : by_depth) {
+      t.add_row({fmt_long(depth), fmt_long(row.nodes),
+                 fmt_long(row.lp_iters), fmt_long(row.branches),
+                 fmt_long(row.prunes), fmt_long(row.integrals),
+                 fmt_long(row.infeasibles)});
+    }
+    out += t.render();
+    const long pruned_total =
+        node_actions.count("prune") ? node_actions.at("prune") : 0;
+    out += "pruning: " + fmt_long(pruned_total) + " node prunes, " +
+           fmt_long(bnb_pool_prunes) + " pool prunes dropping " +
+           fmt_long(bnb_pool_dropped) + " queued nodes (" +
+           fmt_pct(bnb_pool_dropped,
+                   bnb_nodes + bnb_pool_dropped) +
+           " of discovered work avoided an LP)\n";
+    if (!incumbents.empty()) {
+      out += "incumbent timeline:\n";
+      AsciiTable inc({"t (ms)", "node seq", "objective"});
+      for (const auto& i : incumbents) {
+        inc.add_row({fmt_double(i.t_us / 1e3, 3), fmt_long(i.seq),
+                     fmt_double(i.obj, 6)});
+      }
+      out += inc.render();
+    }
+    out += "\n";
+  }
+
+  if (probes > 0) {
+    out += "--- probe chain (" + fmt_long(probes) + " probes) ---\n";
+    AsciiTable t({"metric", "value"});
+    t.add_row({"warm hits",
+               fmt_long(probe_warm_hits) + " (" +
+                   fmt_pct(probe_warm_hits, probes) + ")"});
+    t.add_row({"basis fallbacks", fmt_long(probe_fallbacks)});
+    t.add_row({"model rebuilds", fmt_long(probe_rebuilds)});
+    t.add_row({"RHS patches", fmt_long(probe_patches)});
+    out += t.render();
+    AsciiTable chain({"t (ms)", "target", "mode", "status", "warm",
+                      "lp iters", "sec"});
+    for (const auto& p : probe_chain) {
+      chain.add_row({fmt_double(p.t_us / 1e3, 3), fmt_double(p.target, 4),
+                     p.mode, p.status, p.warm_hit ? "yes" : "no",
+                     fmt_long(p.lp_iterations), fmt_double(p.seconds, 4)});
+    }
+    out += chain.render();
+    out += "\n";
+  }
+
+  if (remap_runs > 0 || remap_attempts > 0 || st_searches > 0) {
+    out += "--- pipeline ---\n";
+    AsciiTable t({"metric", "count"});
+    t.add_row({"st_target searches", fmt_long(st_searches)});
+    t.add_row({"two-step solves", fmt_long(twostep_solves)});
+    t.add_row({"remap runs", fmt_long(remap_runs)});
+    t.add_row({"remap attempts",
+               fmt_long(remap_attempts) + " (" +
+                   fmt_long(remap_attempts_cpd_ok) + " cpd-ok)"});
+    out += t.render();
+  }
+  return out;
+}
+
+std::string PostmortemReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", schema);
+  w.field("git_sha", git_sha);
+  w.field("compiler", compiler);
+  w.field("total_records", total_records);
+  w.field("parse_errors", static_cast<long>(parse_errors.size()));
+
+  w.key("records_by_type").begin_object();
+  for (const auto& [type, count] : records_by_type) w.field(type, count);
+  w.end_object();
+
+  w.key("lp").begin_object();
+  w.field("solves", lp_solves);
+  w.field("iterations", lp_iterations);
+  w.field("phase1_iterations", lp_phase1_iterations);
+  w.field("dual_iterations", lp_dual_iterations);
+  w.field("bound_flips", lp_bound_flips);
+  w.field("refactorizations", lp_refactorizations);
+  w.field("dual_fallbacks", lp_dual_fallbacks);
+  w.field("warm_used", lp_warm_used);
+  w.field("dual_used", lp_dual_used);
+  w.field("seconds", lp_seconds);
+  w.end_object();
+
+  w.key("bnb").begin_object();
+  w.field("solves", bnb_solves);
+  w.field("nodes", bnb_nodes);
+  w.field("node_lp_iterations", bnb_node_lp_iters);
+  w.field("pool_prunes", bnb_pool_prunes);
+  w.field("pool_dropped", bnb_pool_dropped);
+  w.key("actions").begin_object();
+  for (const auto& [action, count] : node_actions) w.field(action, count);
+  w.end_object();
+  w.key("by_depth").begin_array();
+  for (const auto& [depth, row] : by_depth) {
+    w.begin_object();
+    w.field("depth", static_cast<long>(depth));
+    w.field("nodes", row.nodes);
+    w.field("lp_iterations", row.lp_iters);
+    w.field("branches", row.branches);
+    w.field("prunes", row.prunes);
+    w.field("integrals", row.integrals);
+    w.field("infeasibles", row.infeasibles);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("incumbents").begin_array();
+  for (const auto& i : incumbents) {
+    w.begin_object();
+    w.field("t_us", i.t_us);
+    w.field("seq", i.seq);
+    w.field("obj", i.obj);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("probes").begin_object();
+  w.field("count", probes);
+  w.field("warm_hits", probe_warm_hits);
+  w.field("basis_fallbacks", probe_fallbacks);
+  w.field("model_rebuilds", probe_rebuilds);
+  w.field("patches", probe_patches);
+  w.key("chain").begin_array();
+  for (const auto& p : probe_chain) {
+    w.begin_object();
+    w.field("t_us", p.t_us);
+    w.field("target", p.target);
+    w.field("mode", p.mode);
+    w.field("status", p.status);
+    w.field("warm_hit", p.warm_hit);
+    w.field("fallback", p.fallback);
+    w.field("lp_iterations", p.lp_iterations);
+    w.field("seconds", p.seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("pipeline").begin_object();
+  w.field("st_searches", st_searches);
+  w.field("twostep_solves", twostep_solves);
+  w.field("remap_runs", remap_runs);
+  w.field("remap_attempts", remap_attempts);
+  w.field("remap_attempts_cpd_ok", remap_attempts_cpd_ok);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cgraf::obs

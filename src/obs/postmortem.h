@@ -1,0 +1,111 @@
+// Post-mortem analysis of a structured solve-event log (obs/event_log.h).
+//
+// Reconstructs, from the JSONL event stream alone, what the solver pipeline
+// did: the branch & bound tree (per-depth node/LP-iteration breakdown,
+// action mix, pruning efficacy), the incumbent-improvement timeline, the
+// ST_target probe chain with warm-hit rates, and LP-iteration totals per
+// record family. The totals are exact — every LP solve and every counted
+// B&B node emits exactly one record — so `cgraf_cli analyze` can be
+// cross-checked against the in-process solver stats.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cgraf::obs {
+
+struct PostmortemReport {
+  // --- log.header ---------------------------------------------------------
+  bool have_header = false;
+  long schema = 0;
+  std::string git_sha;
+  std::string compiler;
+
+  long total_records = 0;
+  // Record counts per type, insertion-free (sorted by type name).
+  std::map<std::string, long> records_by_type;
+
+  // --- lp.solve ----------------------------------------------------------
+  long lp_solves = 0;
+  long lp_iterations = 0;        // sum over every LP solved anywhere
+  long lp_phase1_iterations = 0;
+  long lp_dual_iterations = 0;
+  long lp_bound_flips = 0;
+  long lp_refactorizations = 0;
+  long lp_dual_fallbacks = 0;
+  long lp_warm_used = 0;
+  long lp_dual_used = 0;
+  double lp_seconds = 0.0;
+
+  // --- bnb.* -------------------------------------------------------------
+  struct DepthRow {
+    long nodes = 0;
+    long lp_iters = 0;
+    long branches = 0;
+    long prunes = 0;      // bound-pruned after their LP
+    long integrals = 0;
+    long infeasibles = 0;
+  };
+  long bnb_solves = 0;            // bnb.begin records
+  long bnb_nodes = 0;             // bnb.node records == MipResult::nodes sum
+  long bnb_node_lp_iters = 0;     // sum of per-node lp_iters
+  long bnb_pool_prunes = 0;       // bnb.pool_prune records
+  long bnb_pool_dropped = 0;      // nodes discarded without an LP solve
+  std::map<int, DepthRow> by_depth;
+  std::map<std::string, long> node_actions;
+
+  struct Incumbent {
+    double t_us = 0.0;
+    long seq = 0;
+    double obj = 0.0;
+  };
+  std::vector<Incumbent> incumbents;
+
+  // --- probe.solve -------------------------------------------------------
+  struct Probe {
+    double t_us = 0.0;
+    double target = 0.0;
+    std::string mode;
+    std::string status;
+    bool warm_hit = false;
+    bool fallback = false;
+    long lp_iterations = 0;
+    double seconds = 0.0;
+  };
+  long probes = 0;
+  long probe_warm_hits = 0;       // == ProbeSessionStats::warm_hits sum
+  long probe_fallbacks = 0;
+  long probe_rebuilds = 0;
+  long probe_patches = 0;
+  std::vector<Probe> probe_chain;
+
+  // --- st.* / twostep.solve / remap.* ------------------------------------
+  long st_searches = 0;           // st.search_end records
+  long twostep_solves = 0;
+  long remap_runs = 0;            // remap.end records
+  long remap_attempts = 0;
+  long remap_attempts_cpd_ok = 0;
+
+  // Lines that failed to parse (offset = 1-based line number).
+  std::vector<std::pair<long, std::string>> parse_errors;
+
+  // Human-readable report (aligned tables).
+  std::string to_text() const;
+  // Machine-readable report (one JSON object).
+  std::string to_json() const;
+};
+
+// Analyzes a whole JSONL event stream held in memory. Unknown record types
+// are counted but otherwise skipped (forward compatibility); unparseable
+// lines land in parse_errors without aborting. Returns false (with *error)
+// only when the stream is unusable: empty, or a log.header with a schema
+// newer than kEventLogSchemaVersion.
+bool analyze_events(const std::string& jsonl, PostmortemReport* report,
+                    std::string* error);
+
+// Convenience: reads `path` and analyzes it.
+bool analyze_events_file(const std::string& path, PostmortemReport* report,
+                         std::string* error);
+
+}  // namespace cgraf::obs

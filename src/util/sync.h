@@ -87,9 +87,17 @@ inline constexpr int kBnbShared = 10;
 inline constexpr int kObsProgress = 20;
 // obs: tracer event buffer and thread-track table.
 inline constexpr int kObsTracer = 30;
-// obs: metrics registry maps. Highest rank: metric registration happens
-// under solver locks, never the other way around.
+// obs: metrics registry maps. Metric registration happens under solver
+// locks, never the other way around.
 inline constexpr int kObsMetrics = 40;
+// obs: event-log buffer registry (the list of per-thread buffers).
+inline constexpr int kObsEventLog = 45;
+// obs: one per-thread event buffer. Acquired after the registry on the
+// flush-all path; emitting threads take only their own buffer's lock.
+inline constexpr int kObsEventBuf = 50;
+// obs: the event-log sink (file or in-memory capture). Highest rank: a
+// buffer flush holds its buffer lock while appending to the sink.
+inline constexpr int kObsEventSink = 55;
 }  // namespace lock_rank
 
 // Snapshot of one mutex's (or one name's aggregated) contention counters.

@@ -1,0 +1,178 @@
+// Acceptance tests for the perf-regression gate: an injected 2x slowdown
+// must be flagged, a same-document rerun must pass, and the thresholds
+// must absorb benign noise.
+#include "obs/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cgraf::obs {
+namespace {
+
+std::string doc(const std::string& results,
+                const std::string& label = "test") {
+  return std::string("{\"schema_version\":1,\"label\":\"") + label +
+         "\",\"git_sha\":\"deadbeef\",\"compiler\":\"gcc\"," +
+         "\"hardware_threads\":8,\"results\":[" + results + "]}";
+}
+
+TEST(BenchCompare, IdenticalDocumentsPass) {
+  const std::string d = doc(
+      R"({"case":"lp","wall_seconds":0.125,"lp_iterations":900},)"
+      R"({"case":"milp","wall_seconds":0.5,"nodes":220})");
+  const BenchComparison cmp = compare_bench_docs(d, d);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_FALSE(cmp.has_regression());
+  EXPECT_EQ(cmp.cases_compared, 2);
+  EXPECT_NE(cmp.to_text().find("verdict: OK"), std::string::npos);
+}
+
+TEST(BenchCompare, InjectedDoubleSlowdownIsDetected) {
+  const std::string base =
+      doc(R"({"case":"lp","wall_seconds":0.125,"lp_iterations":900})");
+  const std::string slow =
+      doc(R"({"case":"lp","wall_seconds":0.25,"lp_iterations":900})");
+  const BenchComparison cmp = compare_bench_docs(base, slow);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_TRUE(cmp.has_regression());
+  bool found = false;
+  for (const auto& d : cmp.deltas) {
+    if (d.metric == "wall_seconds" && d.regression) {
+      found = true;
+      EXPECT_NEAR(d.ratio, 2.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(cmp.to_text().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompare, NoiseBelowThresholdPasses) {
+  // +40% wall (under the default 1.5x) and +20% counters (under 1.25x).
+  const std::string base =
+      doc(R"({"case":"lp","wall_seconds":0.1,"lp_iterations":1000})");
+  const std::string noisy =
+      doc(R"({"case":"lp","wall_seconds":0.14,"lp_iterations":1200})");
+  const BenchComparison cmp = compare_bench_docs(base, noisy);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_FALSE(cmp.has_regression());
+}
+
+TEST(BenchCompare, CounterBlowupIsARegression) {
+  const std::string base =
+      doc(R"({"case":"milp","wall_seconds":0.2,"nodes":200})");
+  const std::string worse =
+      doc(R"({"case":"milp","wall_seconds":0.2,"nodes":400})");
+  const BenchComparison cmp = compare_bench_docs(base, worse);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_TRUE(cmp.has_regression());
+}
+
+TEST(BenchCompare, SubMillisecondTimingsAreNoise) {
+  // 5x on a 0.1ms case: under min_wall_s, not actionable.
+  const std::string base =
+      doc(R"({"case":"tiny","wall_seconds":0.0001})");
+  const std::string slow =
+      doc(R"({"case":"tiny","wall_seconds":0.0005})");
+  const BenchComparison cmp = compare_bench_docs(base, slow);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_FALSE(cmp.has_regression());
+}
+
+TEST(BenchCompare, SmallCountersAreNoise) {
+  // 2 -> 3 warm hits is 50% but absolute noise on the 8-count floor.
+  const std::string base = doc(R"({"case":"probes","warm_hits":2})");
+  const std::string cand = doc(R"({"case":"probes","warm_hits":3})");
+  const BenchComparison cmp = compare_bench_docs(base, cand);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_FALSE(cmp.has_regression());
+}
+
+TEST(BenchCompare, MissingCaseIsARegression) {
+  const std::string base = doc(
+      R"({"case":"a","wall_seconds":0.1},{"case":"b","wall_seconds":0.1})");
+  const std::string cand = doc(R"({"case":"a","wall_seconds":0.1})");
+  const BenchComparison cmp = compare_bench_docs(base, cand);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_TRUE(cmp.has_regression());
+  ASSERT_EQ(cmp.missing_cases.size(), 1u);
+  EXPECT_EQ(cmp.missing_cases[0], "b");
+}
+
+TEST(BenchCompare, NewCasesAndDroppedMetricsAreBenign) {
+  const std::string base = doc(
+      R"({"case":"a","wall_seconds":0.1,"retired_metric":12345})");
+  const std::string cand = doc(
+      R"({"case":"a","wall_seconds":0.1},{"case":"brand_new","wall_seconds":9.0})");
+  const BenchComparison cmp = compare_bench_docs(base, cand);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_FALSE(cmp.has_regression());
+  ASSERT_EQ(cmp.new_cases.size(), 1u);
+  EXPECT_EQ(cmp.new_cases[0], "brand_new");
+}
+
+TEST(BenchCompare, ProvenanceFieldsAreNotMetrics) {
+  // The candidate ran on a bigger host: hardware_threads 8 -> 64 must not
+  // count as a counter regression.
+  const std::string base =
+      "{\"schema_version\":1,\"label\":\"old\",\"hardware_threads\":8,"
+      "\"results\":[{\"case\":\"a\",\"wall_seconds\":0.1,"
+      "\"schema_version\":1,\"hardware_threads\":8}]}";
+  const std::string cand =
+      "{\"schema_version\":1,\"label\":\"new\",\"hardware_threads\":64,"
+      "\"results\":[{\"case\":\"a\",\"wall_seconds\":0.1,"
+      "\"schema_version\":1,\"hardware_threads\":64}]}";
+  const BenchComparison cmp = compare_bench_docs(base, cand);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_FALSE(cmp.has_regression());
+}
+
+TEST(BenchCompare, SweepRowsKeyedByInstanceAndVariant) {
+  // Rows reusing one case name must not collapse onto each other.
+  const std::string base = doc(
+      R"({"case":"scaling","instance":"B1","wall_seconds":0.1},)"
+      R"({"case":"scaling","instance":"B2","wall_seconds":0.2},)"
+      R"({"case":"lp","arg":24,"pricing":"full","wall_seconds":0.1},)"
+      R"({"case":"lp","arg":24,"pricing":"candidate","wall_seconds":0.1})");
+  const std::string cand = doc(
+      R"({"case":"scaling","instance":"B1","wall_seconds":0.1},)"
+      R"({"case":"scaling","instance":"B2","wall_seconds":0.9},)"
+      R"({"case":"lp","arg":24,"pricing":"full","wall_seconds":0.1},)"
+      R"({"case":"lp","arg":24,"pricing":"candidate","wall_seconds":0.1})");
+  const BenchComparison cmp = compare_bench_docs(base, cand);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_EQ(cmp.cases_compared, 4);
+  EXPECT_TRUE(cmp.has_regression());
+  bool b2_flagged = false;
+  for (const auto& d : cmp.deltas) {
+    if (d.case_name == "scaling/B2" && d.regression) b2_flagged = true;
+    EXPECT_NE(d.case_name, "scaling") << "instance rows collapsed";
+  }
+  EXPECT_TRUE(b2_flagged);
+}
+
+TEST(BenchCompare, RejectsUnversionedDocuments) {
+  const std::string versioned =
+      doc(R"({"case":"a","wall_seconds":0.1})");
+  const std::string unversioned =
+      R"({"results":[{"case":"a","wall_seconds":0.1}]})";
+  EXPECT_FALSE(compare_bench_docs(unversioned, versioned).ok);
+  EXPECT_FALSE(compare_bench_docs(versioned, unversioned).ok);
+  EXPECT_FALSE(compare_bench_docs("not json", versioned).ok);
+  const BenchComparison cmp = compare_bench_docs("not json", versioned);
+  EXPECT_TRUE(cmp.has_regression() || !cmp.ok);
+  EXPECT_NE(cmp.to_text().find("compare failed"), std::string::npos);
+}
+
+TEST(BenchCompare, ImprovementIsNotARegression) {
+  const std::string base =
+      doc(R"({"case":"lp","wall_seconds":0.4,"lp_iterations":2000})");
+  const std::string faster =
+      doc(R"({"case":"lp","wall_seconds":0.1,"lp_iterations":500})");
+  const BenchComparison cmp = compare_bench_docs(base, faster);
+  ASSERT_TRUE(cmp.ok) << cmp.error;
+  EXPECT_FALSE(cmp.has_regression());
+}
+
+}  // namespace
+}  // namespace cgraf::obs

@@ -1,0 +1,149 @@
+// The JSON parser feeding the post-mortem analyzer and the bench compare:
+// grammar coverage, escape decoding, typed accessors, error reporting, and
+// a round-trip against JsonWriter.
+#include "obs/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace cgraf::obs {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(parse_json(text, &v, &err)) << text << ": " << err;
+  return v;
+}
+
+void expect_fail(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(parse_json(text, &v, &err)) << text;
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonReader, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").b);
+  EXPECT_FALSE(parse_ok("false").b);
+  EXPECT_DOUBLE_EQ(parse_ok("3.25").num, 3.25);
+  EXPECT_DOUBLE_EQ(parse_ok("-12").num, -12.0);
+  EXPECT_DOUBLE_EQ(parse_ok("6.02e23").num, 6.02e23);
+  EXPECT_EQ(parse_ok("\"hi\"").str, "hi");
+  EXPECT_EQ(parse_ok("  42  ").num, 42.0);  // surrounding whitespace ok
+}
+
+TEST(JsonReader, NestedContainers) {
+  const JsonValue v =
+      parse_ok(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":[]})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->arr[0].num, 1.0);
+  EXPECT_TRUE(a->arr[2].is_object());
+  EXPECT_TRUE(a->arr[2].bool_or("b", false));
+  const JsonValue* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(c->find("d"), nullptr);
+  EXPECT_TRUE(c->find("d")->is_null());
+  EXPECT_TRUE(v.find("e")->is_array());
+  EXPECT_TRUE(v.find("e")->arr.empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReader, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\b\f\n\r\t")").str,
+            "a\"b\\c/d\b\f\n\r\t");
+  // \uXXXX, including plain BMP (U+00E9) and a surrogate pair (U+1F600).
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").str, "\xC3\xA9");
+  EXPECT_EQ(parse_ok("\"\\uD83D\\uDE00\"").str, "\xF0\x9F\x98\x80");
+  expect_fail(R"("\uD83D")");   // lone high surrogate
+  expect_fail(R"("\uZZZZ")");   // bad hex
+  expect_fail(R"("\q")");       // unknown escape
+  expect_fail("\"unterminated");
+}
+
+TEST(JsonReader, TypedAccessors) {
+  const JsonValue v = parse_ok(
+      R"({"n":3.7,"i":42,"b":true,"s":"x","wrong":"notanumber"})");
+  EXPECT_DOUBLE_EQ(v.num_or("n", 0.0), 3.7);
+  EXPECT_EQ(v.int_or("n", 0), 4);  // rounds
+  EXPECT_EQ(v.int_or("i", 0), 42);
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_EQ(v.str_or("s", ""), "x");
+  // Missing or wrong-typed members yield the default.
+  EXPECT_DOUBLE_EQ(v.num_or("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.num_or("wrong", -1.0), -1.0);
+  EXPECT_EQ(v.str_or("n", "dflt"), "dflt");
+  EXPECT_FALSE(v.bool_or("missing", false));
+}
+
+TEST(JsonReader, MalformedInputs) {
+  expect_fail("");
+  expect_fail("{");
+  expect_fail("[1,2");
+  expect_fail("{\"a\":}");
+  expect_fail("{\"a\" 1}");
+  expect_fail("[1,]");
+  expect_fail("{} trailing");
+  expect_fail("nul");
+  expect_fail("+1");
+  expect_fail("01");  // leading zero
+  expect_fail("1.");  // digitless fraction
+}
+
+TEST(JsonReader, ErrorCarriesOffset) {
+  JsonValue v;
+  std::string err;
+  ASSERT_FALSE(parse_json("[1, x]", &v, &err));
+  EXPECT_NE(err.find("offset"), std::string::npos) << err;
+}
+
+TEST(JsonReader, DuplicateKeysKeepFirstOnFind) {
+  const JsonValue v = parse_ok(R"({"k":1,"k":2})");
+  ASSERT_EQ(v.obj.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.find("k")->num, 1.0);
+}
+
+TEST(JsonReader, DeepNestingIsRejectedNotCrashed) {
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += '[';
+  for (int i = 0; i < 5000; ++i) deep += ']';
+  expect_fail(deep);
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "a\"b\\c\nd\x01")
+      .field("d", 0.125)
+      .field("neg", -7L)
+      .field("flag", false)
+      .field("nothing", std::nan(""))  // writer emits null
+      .key("arr")
+      .begin_array()
+      .value(1L)
+      .value("two")
+      .end_array()
+      .end_object();
+  const JsonValue v = parse_ok(w.str());
+  EXPECT_EQ(v.str_or("s", ""), "a\"b\\c\nd\x01");
+  EXPECT_DOUBLE_EQ(v.num_or("d", 0.0), 0.125);
+  EXPECT_EQ(v.int_or("neg", 0), -7);
+  EXPECT_FALSE(v.bool_or("flag", true));
+  ASSERT_NE(v.find("nothing"), nullptr);
+  EXPECT_TRUE(v.find("nothing")->is_null());
+  ASSERT_NE(v.find("arr"), nullptr);
+  ASSERT_EQ(v.find("arr")->arr.size(), 2u);
+  EXPECT_EQ(v.find("arr")->arr[1].str, "two");
+}
+
+}  // namespace
+}  // namespace cgraf::obs

@@ -99,6 +99,60 @@ TEST(Metrics, JsonDumpIsValidAndSorted) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST(Metrics, HistogramPercentilesInterpolate) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations uniformly in the first bucket, 10 in the second.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  // p50: rank 10 of 20 → exactly fills the first bucket → its upper bound.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 10.0);
+  // p25: rank 5 of 20, halfway through [0, 10].
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 5.0);
+  // p75: rank 15, halfway through (10, 20].
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 15.0);
+  // p100 lands at the last populated bucket's bound.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 20.0);
+}
+
+TEST(Metrics, HistogramPercentileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+  // Everything in the overflow bucket clamps to the last finite bound.
+  Histogram over({1.0, 2.0});
+  over.observe(100.0);
+  over.observe(200.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.99), 2.0);
+
+  // A single observation is every percentile (rank clamps to 1).
+  Histogram one({10.0});
+  one.observe(3.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), one.percentile(0.99));
+
+  // Negative first bound: the first bucket interpolates from its bound,
+  // not from 0.
+  Histogram neg({-5.0, 5.0});
+  neg.observe(-6.0);
+  EXPECT_LE(neg.percentile(0.5), -5.0);
+
+  // Out-of-range p clamps instead of faulting.
+  EXPECT_DOUBLE_EQ(one.percentile(-1.0), one.percentile(0.0));
+  EXPECT_DOUBLE_EQ(one.percentile(2.0), one.percentile(1.0));
+}
+
+TEST(Metrics, JsonDumpCarriesPercentiles) {
+  Metrics m;
+  Histogram& h = m.histogram("lat", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  const std::string json = m.to_json();
+  std::string why;
+  EXPECT_TRUE(test::JsonChecker::valid(json, &why)) << why << "\n" << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(Metrics, ClearEmptiesRegistry) {
   Metrics m;
   m.counter("c").add(1);

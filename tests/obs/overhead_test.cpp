@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -71,6 +72,42 @@ TEST(Overhead, MetricHandleUpdatesDoNotAllocate) {
   const long after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0)
       << "metric updates through stable handles must be allocation-free";
+}
+
+TEST(Overhead, DisabledEventLogFastPathDoesNotAllocate) {
+  // The contract behind `--log-events` being free when off: an Event built
+  // against a disabled (or null) log is inert — no heap, no buffers.
+  EventLog log;
+  ASSERT_FALSE(log.enabled());
+
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    Event ev(&log, "lp.solve");
+    ev.arg("iterations", static_cast<long>(i))
+        .arg("obj", 1.5)
+        .arg("warm_used", true)
+        .arg("status", "optimal");
+    Event null_log(nullptr, "bnb.node");
+    null_log.arg("depth", 3);
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "disabled solve events must not touch the heap";
+}
+
+TEST(Overhead, EventLogConfirmsAllocationsWhenEnabled) {
+  // Sanity check for the interposed counter: an enabled in-memory log must
+  // allocate while rendering the record.
+  EventLog log;
+  log.open_memory();
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  {
+    Event ev(&log, "lp.solve");
+    ev.arg("iterations", 7L);
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_GT(after - before, 0);
+  log.close();
 }
 
 TEST(Overhead, CounterConfirmsAllocationsWhenEnabled) {

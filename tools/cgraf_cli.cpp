@@ -9,6 +9,7 @@
 //   cgraf_cli lint    --design d.cgraf --floorplan base.fp [--json]
 //   cgraf_cli certify --design d.cgraf --baseline base.fp
 //                     --floorplan aged.fp [--st-target X] [--json]
+//   cgraf_cli analyze events.jsonl [--json]   (post-mortem of --log-events)
 //
 // Every artifact is the text format of cgrra/io.h, so the steps compose
 // with shell pipelines and with hand-edited fixtures.
@@ -30,7 +31,9 @@
 #include "hls/placer.h"
 #include "verify/certify.h"
 #include "verify/model_lint.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/progress.h"
 #include "obs/sync_metrics.h"
 #include "obs/trace.h"
@@ -64,12 +67,19 @@ int usage(int code = 2) {
                " [--json]\n"
                "         independently re-validate a remapped floorplan"
                " (exit 0 = certified)\n"
+               "  analyze EVENTS.jsonl [--json]\n"
+               "         post-mortem of a --log-events stream: B&B tree,"
+               " LP totals, probe chain\n"
                "observability (any command):\n"
-               "  --trace FILE    write a Chrome trace-event JSON of the run"
-               " (chrome://tracing, Perfetto)\n"
-               "  --metrics FILE  write the solver metrics registry as JSON\n"
-               "  --progress      rate-limited progress heartbeats on stderr\n"
-               "  --help          show this message\n");
+               "  --trace FILE      write a Chrome trace-event JSON of the"
+               " run (chrome://tracing, Perfetto)\n"
+               "  --metrics FILE    write the solver metrics registry as"
+               " JSON\n"
+               "  --log-events FILE append structured solve events as JSONL"
+               " (see `analyze`)\n"
+               "  --progress        rate-limited progress heartbeats on"
+               " stderr\n"
+               "  --help            show this message\n");
   return code;
 }
 
@@ -112,7 +122,7 @@ struct Args {
   // instead of being silently ignored. The observability flags are legal
   // with every command.
   bool check_allowed(std::set<std::string> allowed) {
-    allowed.insert({"trace", "metrics", "progress", "help"});
+    allowed.insert({"trace", "metrics", "log-events", "progress", "help"});
     for (const auto& [key, value] : values) {
       if (allowed.count(key) == 0) {
         ok = false;
@@ -317,6 +327,11 @@ int cmd_remap(const Args& args) {
   }
   opts.solver.lp.algorithm = lp_algorithm;
   opts.solver.mip.lp.algorithm = lp_algorithm;
+  // --log-events: hand the pipeline the process-wide event log; the
+  // remapper propagates the pointer down to the ST search, probe sessions
+  // and every LP/B&B solve. A disabled log costs nothing here.
+  if (obs::EventLog::global().enabled())
+    opts.solver.events = &obs::EventLog::global();
 
   const core::RemapResult result =
       aging_aware_remap(*design, *baseline, opts);
@@ -564,12 +579,51 @@ int cmd_certify(const Args& args) {
   return cert.ok ? 0 : 1;
 }
 
+int cmd_analyze(const std::string& path, const Args& args) {
+  obs::PostmortemReport report;
+  std::string error;
+  if (!obs::analyze_events_file(path, &report, &error)) {
+    std::fprintf(stderr, "analyze: %s\n", error.c_str());
+    return 1;
+  }
+  if (!report.parse_errors.empty()) {
+    std::fprintf(stderr,
+                 "analyze: skipped %zu malformed line(s) (truncated"
+                 " flush?), first at line %ld: %s\n",
+                 report.parse_errors.size(), report.parse_errors.front().first,
+                 report.parse_errors.front().second.c_str());
+  }
+  if (args.has("json")) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(0);
+  if (cmd == "analyze") {
+    // Unlike the other commands, analyze takes its input as a positional
+    // path: `cgraf_cli analyze events.jsonl [--json]`.
+    if (argc >= 3 && std::strcmp(argv[2], "--help") == 0) return usage(0);
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr, "cgraf_cli: analyze needs an events.jsonl path\n");
+      return usage();
+    }
+    Args aargs(argc, argv, 3);
+    if (aargs.has("help")) return usage(0);
+    if (aargs.ok) aargs.check_allowed({"json"});
+    if (!aargs.ok) {
+      std::fprintf(stderr, "cgraf_cli: %s\n", aargs.problem.c_str());
+      return usage();
+    }
+    return cmd_analyze(argv[2], aargs);
+  }
   Args args(argc, argv, 2);
   if (args.has("help")) return usage(0);
   if (args.ok) {
@@ -600,10 +654,20 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  // Observability: tracing/metrics/progress wrap whatever command runs.
+  // Observability: tracing/metrics/events/progress wrap whatever command
+  // runs.
   const auto trace_path = args.get("trace");
   const auto metrics_path = args.get("metrics");
+  const auto events_path = args.get("log-events");
   if (trace_path) obs::Tracer::global().enable();
+  if (events_path) {
+    std::string open_error;
+    if (!obs::EventLog::global().open(*events_path, &open_error)) {
+      std::fprintf(stderr, "failed to open event log: %s\n",
+                   open_error.c_str());
+      return 1;
+    }
+  }
   if (args.has("progress"))
     obs::Progress::global().configure(true, /*min_interval_s=*/0.5);
   else if (args.has("verbose"))
@@ -638,6 +702,10 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "metrics: %s\n", metrics_path->c_str());
     }
+  }
+  if (events_path) {
+    obs::EventLog::global().close();
+    std::fprintf(stderr, "events: %s\n", events_path->c_str());
   }
   return code;
 }

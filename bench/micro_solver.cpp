@@ -392,7 +392,8 @@ BENCHMARK(BM_FtranBtran)->Unit(benchmark::kMicrosecond);
 // BENCHMARK_MAIN() expanded so tracing can wrap the runs: CGRAF_TRACE=<path>
 // records every solver span fired by the benchmark bodies.
 int main(int argc, char** argv) {
-  g_trace_path = std::getenv("CGRAF_TRACE");
+  // Single-threaded main() before any worker starts; no setenv anywhere.
+  g_trace_path = std::getenv("CGRAF_TRACE");  // NOLINT(concurrency-mt-unsafe)
   if (g_trace_path != nullptr && *g_trace_path == '\0') g_trace_path = nullptr;
   if (g_trace_path != nullptr) obs::Tracer::global().enable();
 

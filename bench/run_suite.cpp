@@ -228,12 +228,23 @@ int cmd_compare(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     const char* v = nullptr;
+    auto strict = [&](const char* s, double* out) {
+      char* end = nullptr;
+      *out = std::strtod(s, &end);
+      if (end == s || *end != '\0') {
+        std::fprintf(stderr, "cgraf_bench: bad numeric value '%s' for %s\n",
+                     s, key.c_str());
+        return false;
+      }
+      return true;
+    };
     if (key == "--wall-ratio" && (v = value()) != nullptr) {
-      thresholds.wall_ratio = std::atof(v);
+      if (!strict(v, &thresholds.wall_ratio)) return usage(2);
     } else if (key == "--count-ratio" && (v = value()) != nullptr) {
-      thresholds.count_ratio = std::atof(v);
+      if (!strict(v, &thresholds.count_ratio)) return usage(2);
     } else if (key == "--min-wall-ms" && (v = value()) != nullptr) {
-      thresholds.min_wall_s = std::atof(v) * 1e-3;
+      if (!strict(v, &thresholds.min_wall_s)) return usage(2);
+      thresholds.min_wall_s *= 1e-3;
     } else if (key == "--help") {
       return usage(0);
     } else if (key.rfind("--", 0) == 0) {

@@ -198,13 +198,29 @@ Row run_one(const workloads::BenchmarkSpec& spec, double ilp_budget_s,
 int main(int argc, char** argv) {
   // CGRAF_TRACE=<path>: record a Chrome trace of the whole sweep; each
   // CGRAF_BENCH_JSON line then carries the trace path.
-  const char* trace_path = std::getenv("CGRAF_TRACE");
+  // Single-threaded main() before any worker starts; no setenv anywhere.
+  const char* trace_path = std::getenv("CGRAF_TRACE");  // NOLINT(concurrency-mt-unsafe)
   if (trace_path != nullptr && *trace_path == '\0') trace_path = nullptr;
   if (trace_path != nullptr) obs::Tracer::global().enable();
   double budget = 60.0;
-  if (argc > 1) budget = std::atof(argv[1]);
+  if (argc > 1) {
+    char* end = nullptr;
+    budget = std::strtod(argv[1], &end);
+    if (end == argv[1] || *end != '\0' || !(budget > 0)) {
+      std::fprintf(stderr, "bad wall-clock budget '%s'\n", argv[1]);
+      return 2;
+    }
+  }
   int threads = 0;  // 0 = hardware_concurrency
-  if (argc > 2) threads = std::atoi(argv[2]);
+  if (argc > 2) {
+    char* end = nullptr;
+    const long t = std::strtol(argv[2], &end, 10);
+    if (end == argv[2] || *end != '\0' || t < 0 || t > 4096) {
+      std::fprintf(stderr, "bad thread count '%s'\n", argv[2]);
+      return 2;
+    }
+    threads = static_cast<int>(t);
+  }
   const int threads_eff =
       threads > 0 ? threads
                   : std::max(1u, std::thread::hardware_concurrency());

@@ -7,6 +7,7 @@
 //                  DESIGN.md §5) instead of the default {4x4, 6x6, 8x8}.
 //   --max-dim N    skip benchmarks with fabric dimension > N.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -21,8 +22,15 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--paper-scale") == 0) paper_scale = true;
     else if (std::strcmp(argv[i], "--band") == 0 && i + 1 < argc)
       band_filter = argv[++i];
-    else if (std::strcmp(argv[i], "--max-dim") == 0 && i + 1 < argc)
-      max_dim = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--max-dim") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v <= 0 || v > (1L << 30)) {
+        std::fprintf(stderr, "bad --max-dim '%s'\n", argv[i]);
+        return 2;
+      }
+      max_dim = static_cast<int>(v);
+    }
   }
 
   std::printf("== Table I: MTTF increase for the B1-B27 suite ==\n");

@@ -14,7 +14,16 @@
 
 int main(int argc, char** argv) {
   using namespace cgraf;
-  const int index = argc > 1 ? std::atoi(argv[1]) : 4;  // default: B5
+  int index = 4;  // default: B5
+  if (argc > 1) {
+    char* end = nullptr;
+    const long v = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0') {
+      std::printf("benchmark index must be a number, got '%s'\n", argv[1]);
+      return 1;
+    }
+    index = static_cast<int>(v);
+  }
   const auto specs = workloads::table1_specs(false);
   if (index < 0 || index >= static_cast<int>(specs.size())) {
     std::printf("benchmark index must be 0..%zu\n", specs.size() - 1);

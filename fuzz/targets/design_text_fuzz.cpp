@@ -1,0 +1,33 @@
+// Byte-level target for cgrra::design_from_text.
+//
+// Crash conditions: any abort/UB inside the parser, plus two differential
+// oracles on accepted inputs — the DL linter must run without crashing on
+// whatever the parser let through, and the structural rules the parser
+// claims to enforce itself (geometry/context/bitwidth/id ranges; DL001 and
+// DL004-DL008) must agree that the result is in range.
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "cgrra/io.h"
+#include "verify/input_lint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const std::optional<cgraf::Design> design =
+      cgraf::design_from_text(text, &error);
+  if (!design.has_value()) return 0;
+  const cgraf::verify::LintReport report =
+      cgraf::verify::lint_design(*design);
+  // The parser enforces the range rules itself, so a parser-accepted design
+  // may only be dirty on the graph-shape rules it does not check
+  // (DL009-DL011); any range-rule finding means parser and linter disagree.
+  for (const cgraf::verify::LintFinding& f : report.findings) {
+    if (f.severity == cgraf::verify::Severity::kError && f.rule < "DL009")
+      std::abort();
+  }
+  return 0;
+}

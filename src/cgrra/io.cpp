@@ -1,5 +1,7 @@
 #include "cgrra/io.h"
 
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -8,6 +10,18 @@
 
 namespace cgraf {
 namespace {
+
+// Adversarial-input ceilings. The text format arrives from untrusted
+// sources (fixtures, shell pipelines, eventually a service socket), so the
+// declared counts are capped *before* any allocation sized by them, and the
+// raw input is capped before tokenization. The semantic halves of the same
+// limits live in verify::InputLintOptions, which re-checks the in-memory
+// structs; keep the two in sync.
+constexpr std::size_t kMaxInputBytes = 16u * 1024u * 1024u;
+constexpr int kMaxContexts = 4096;
+constexpr int kMaxOps = 1000000;
+constexpr int kMaxEdges = 4000000;
+constexpr long kMaxFabricPes = 64 * 1024;
 
 // Tokenized view of the input with '#' comments and blank lines removed.
 struct Lines {
@@ -45,7 +59,7 @@ bool parse_int(const std::string& s, int* out) {
   try {
     std::size_t pos = 0;
     const long v = std::stol(s, &pos);
-    if (pos != s.size()) return false;
+    if (pos != s.size() || v < INT_MIN || v > INT_MAX) return false;
     *out = static_cast<int>(v);
     return true;
   } catch (...) {
@@ -115,6 +129,12 @@ std::string to_text(const Floorplan& fp) {
 
 std::optional<Design> design_from_text(const std::string& text,
                                        std::string* error) {
+  if (text.size() > kMaxInputBytes) {
+    set_error(error, "input of " + std::to_string(text.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxInputBytes) + " byte limit");
+    return std::nullopt;
+  }
   const Lines lines(text);
   std::size_t i = 0;
   auto expect = [&](const std::string& what, std::size_t arity) {
@@ -149,16 +169,34 @@ std::optional<Design> design_from_text(const std::string& text,
       !parse_double(ft[6], &delays.dmu_delay_ns) ||
       !parse_double(ft[7], &delays.width_offset) ||
       !parse_double(ft[8], &delays.width_slope) || rows <= 0 || cols <= 0 ||
-      clock <= 0) {
+      // Fabric's constructor asserts these; NaN must not slip past the
+      // comparisons (NaN <= 0 is false), so check finiteness explicitly.
+      !std::isfinite(clock) || clock <= 0 || !std::isfinite(uwd) || uwd < 0 ||
+      !std::isfinite(delays.alu_delay_ns) || delays.alu_delay_ns <= 0 ||
+      !std::isfinite(delays.dmu_delay_ns) || delays.dmu_delay_ns <= 0 ||
+      !std::isfinite(delays.width_offset) ||
+      !std::isfinite(delays.width_slope)) {
     set_error(error, "malformed fabric line", lines.line_no[i]);
+    return std::nullopt;
+  }
+  // 64-bit product: hostile dimensions must not overflow int before the
+  // comparison (num_pes() multiplies them as int downstream).
+  if (static_cast<long>(rows) * static_cast<long>(cols) > kMaxFabricPes) {
+    set_error(error, "fabric of " + std::to_string(rows) + "x" +
+                         std::to_string(cols) + " PEs exceeds the " +
+                         std::to_string(kMaxFabricPes) + " PE limit",
+              lines.line_no[i]);
     return std::nullopt;
   }
   ++i;
 
   if (!expect("contexts", 1)) return std::nullopt;
   int contexts = 0;
-  if (!parse_int(lines.tokens[i][1], &contexts) || contexts <= 0) {
-    set_error(error, "malformed contexts line", lines.line_no[i]);
+  if (!parse_int(lines.tokens[i][1], &contexts) || contexts <= 0 ||
+      contexts > kMaxContexts) {
+    set_error(error, "malformed contexts line (limit " +
+                         std::to_string(kMaxContexts) + ")",
+              lines.line_no[i]);
     return std::nullopt;
   }
   ++i;
@@ -167,8 +205,11 @@ std::optional<Design> design_from_text(const std::string& text,
 
   if (!expect("ops", 1)) return std::nullopt;
   int n_ops = 0;
-  if (!parse_int(lines.tokens[i][1], &n_ops) || n_ops < 0) {
-    set_error(error, "malformed ops line", lines.line_no[i]);
+  if (!parse_int(lines.tokens[i][1], &n_ops) || n_ops < 0 ||
+      n_ops > kMaxOps) {
+    set_error(error, "malformed ops line (limit " + std::to_string(kMaxOps) +
+                         ")",
+              lines.line_no[i]);
     return std::nullopt;
   }
   ++i;
@@ -192,11 +233,15 @@ std::optional<Design> design_from_text(const std::string& text,
 
   if (!expect("edges", 1)) return std::nullopt;
   int n_edges = 0;
-  if (!parse_int(lines.tokens[i][1], &n_edges) || n_edges < 0) {
-    set_error(error, "malformed edges line", lines.line_no[i]);
+  if (!parse_int(lines.tokens[i][1], &n_edges) || n_edges < 0 ||
+      n_edges > kMaxEdges) {
+    set_error(error, "malformed edges line (limit " +
+                         std::to_string(kMaxEdges) + ")",
+              lines.line_no[i]);
     return std::nullopt;
   }
   ++i;
+  design.edges.reserve(static_cast<std::size_t>(n_edges));
   for (int k = 0; k < n_edges; ++k) {
     if (!expect("edge", 2)) return std::nullopt;
     Edge e;
@@ -211,11 +256,21 @@ std::optional<Design> design_from_text(const std::string& text,
   }
 
   if (!expect("end", 0)) return std::nullopt;
+  if (i + 1 < lines.tokens.size()) {
+    set_error(error, "trailing junk after 'end'", lines.line_no[i + 1]);
+    return std::nullopt;
+  }
   return design;
 }
 
 std::optional<Floorplan> floorplan_from_text(const std::string& text,
                                              std::string* error) {
+  if (text.size() > kMaxInputBytes) {
+    set_error(error, "input of " + std::to_string(text.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxInputBytes) + " byte limit");
+    return std::nullopt;
+  }
   const Lines lines(text);
   std::size_t i = 0;
   if (i >= lines.tokens.size() || lines.tokens[i].size() < 2 ||
@@ -230,8 +285,10 @@ std::optional<Floorplan> floorplan_from_text(const std::string& text,
     return std::nullopt;
   }
   int n = 0;
-  if (!parse_int(lines.tokens[i][1], &n) || n < 0) {
-    set_error(error, "malformed ops line", lines.line_no[i]);
+  if (!parse_int(lines.tokens[i][1], &n) || n < 0 || n > kMaxOps) {
+    set_error(error, "malformed ops line (limit " + std::to_string(kMaxOps) +
+                         ")",
+              lines.line_no[i]);
     return std::nullopt;
   }
   ++i;
@@ -245,8 +302,13 @@ std::optional<Floorplan> floorplan_from_text(const std::string& text,
     }
     int op = 0, pe = 0;
     if (!parse_int(lines.tokens[i][1], &op) ||
-        !parse_int(lines.tokens[i][2], &pe) || op < 0 || op >= n) {
+        !parse_int(lines.tokens[i][2], &pe) || op < 0 || op >= n || pe < 0) {
       set_error(error, "malformed map line", lines.line_no[i]);
+      return std::nullopt;
+    }
+    if (fp.op_to_pe[static_cast<std::size_t>(op)] != -1) {
+      set_error(error, "duplicate map line for op " + std::to_string(op),
+                lines.line_no[i]);
       return std::nullopt;
     }
     fp.op_to_pe[static_cast<std::size_t>(op)] = pe;
@@ -254,6 +316,10 @@ std::optional<Floorplan> floorplan_from_text(const std::string& text,
   }
   if (i >= lines.tokens.size() || lines.tokens[i][0] != "end") {
     set_error(error, "expected 'end'");
+    return std::nullopt;
+  }
+  if (i + 1 < lines.tokens.size()) {
+    set_error(error, "trailing junk after 'end'", lines.line_no[i + 1]);
     return std::nullopt;
   }
   for (const int pe : fp.op_to_pe) {

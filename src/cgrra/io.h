@@ -23,6 +23,14 @@
 //
 // '#' starts a comment; blank lines are ignored. Parsers return
 // std::nullopt with a positional error message on malformed input.
+//
+// The parsers are hardened against adversarial bytes: the raw input is
+// capped at 16 MiB, declared counts are capped (4096 contexts, 1M ops, 4M
+// edges, 64K PEs) before any allocation sized by them, duplicate/negative
+// map lines and trailing junk after 'end' are rejected. Deeper semantic
+// validation (dangling edges are caught here, but e.g. combinational
+// cycles or floorplan exclusivity are not) is verify/input_lint.h's DL
+// rules; load through verify::accept_design_text to get both.
 #pragma once
 
 #include <optional>

@@ -11,6 +11,7 @@
 #include "util/ascii.h"
 #include "util/check.h"
 #include "util/clock.h"
+#include "verify/input_lint.h"
 
 namespace cgraf::core {
 
@@ -29,6 +30,27 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       .arg("contexts", design.num_contexts)
       .arg("pes", design.fabric.num_pes());
   RemapResult res;
+
+  // Input boundary: reject garbage with a DL rule ID before any model is
+  // built. The is_valid assert below stays as a backstop — the DL error
+  // rules are a superset of its checks, so it can only fire on inputs the
+  // lint already waved through (i.e. a lint bug).
+  {
+    const verify::LintReport input_rep =
+        verify::lint_inputs(design, &baseline);
+    if (!input_rep.clean()) {
+      res.floorplan = baseline;
+      for (const verify::LintFinding& f : input_rep.findings) {
+        if (f.severity == verify::Severity::kError) {
+          res.note = "rejected by input lint: " + f.rule + ": " + f.message;
+          break;
+        }
+      }
+      obs::Event(events, "remap.end").arg("improved", false).arg(
+          "note", res.note);
+      return res;
+    }
+  }
   std::string why;
   CGRAF_ASSERT(is_valid(design, baseline, &why));
 

@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/clock.h"
+#include "verify/input_lint.h"
 
 namespace cgraf::core {
 
@@ -19,6 +20,16 @@ StTargetResult find_st_target(const Design& design, const Floorplan& baseline,
                                     ? opts.solver.events
                                     : opts.solver.lp.events;
   StTargetResult res;
+  // Input boundary: compute_stress and the model build below index the
+  // design freely, so garbage must be turned away first (DL rule errors).
+  if (!verify::lint_inputs(design, &baseline).clean()) {
+    res.ok = false;
+    obs::Event(events, "st.search_end")
+        .arg("st_target", 0.0)
+        .arg("probes", 0L)
+        .arg("rejected_by_input_lint", true);
+    return res;
+  }
   const StressMap stress = compute_stress(design, baseline);
   res.st_up = stress.max_accumulated();
   res.st_low = stress.avg_accumulated();

@@ -9,11 +9,24 @@ namespace {
 // Values during parsing: either a DFG node (>= 0) or a primary input (-1).
 constexpr int kPrimaryInput = -1;
 
+// Adversarial-input ceilings: expr/term/atom recurse on '(' and call
+// arguments, so a fuzzer's "((((..." would otherwise overflow the stack,
+// and a multi-megabyte "kernel" is never legitimate at expression
+// granularity.
+constexpr int kMaxExprDepth = 200;
+constexpr std::size_t kMaxSourceBytes = 1u * 1024u * 1024u;
+
 class Parser {
  public:
   explicit Parser(const std::string& src) : src_(src) {}
 
   ParseResult run() {
+    if (src_.size() > kMaxSourceBytes) {
+      fail("kernel source exceeds " + std::to_string(kMaxSourceBytes) +
+           " bytes");
+      result_.ok = false;
+      return std::move(result_);
+    }
     while (!at_end()) {
       skip_ws();
       if (at_end()) break;
@@ -57,6 +70,17 @@ class Parser {
   }
 
   std::optional<int> expr() {
+    if (depth_ >= kMaxExprDepth) {
+      fail("expression nesting too deep");
+      return std::nullopt;
+    }
+    ++depth_;
+    std::optional<int> result = expr_inner();
+    --depth_;
+    return result;
+  }
+
+  std::optional<int> expr_inner() {
     std::optional<int> lhs = term();
     if (!lhs) return std::nullopt;
     for (;;) {
@@ -181,7 +205,9 @@ class Parser {
     if (!std::isdigit(static_cast<unsigned char>(peek()))) return std::nullopt;
     int v = 0;
     while (std::isdigit(static_cast<unsigned char>(peek()))) {
-      v = v * 10 + (src_[pos_] - '0');
+      // Saturate instead of overflowing (UB): every consumer range-checks
+      // anyway, so a 100-digit literal just reads as "absurdly large".
+      if (v < (1 << 24)) v = v * 10 + (src_[pos_] - '0');
       ++pos_;
     }
     return v;
@@ -194,6 +220,7 @@ class Parser {
   const std::string& src_;
   std::size_t pos_ = 0;
   int width_ = 32;
+  int depth_ = 0;
   ParseResult result_;
 };
 

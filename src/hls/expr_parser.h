@@ -16,6 +16,10 @@
 //
 // Example:
 //   "@width 16; acc = a*c0 + b*c1; out = shuffle(acc, acc >> 2);"
+//
+// The parser is safe on adversarial bytes: expression nesting is capped
+// (no stack overflow on "(((("), integer literals saturate instead of
+// overflowing, and sources beyond 1 MiB are rejected outright.
 #pragma once
 
 #include <map>

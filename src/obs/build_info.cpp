@@ -34,7 +34,10 @@ std::string run_git_rev_parse() {
 
 std::string git_sha() {
   static const std::string sha = [] {
-    if (const char* env = std::getenv("CGRAF_GIT_SHA");
+    // Read once under the function-local static's init guard; nothing in
+    // this process calls setenv, so the getenv race flagged by
+    // concurrency-mt-unsafe cannot occur.
+    if (const char* env = std::getenv("CGRAF_GIT_SHA");  // NOLINT(concurrency-mt-unsafe)
         env != nullptr && env[0] != '\0') {
       return std::string(env);
     }

@@ -60,8 +60,11 @@ bool EventLog::open(const std::string& path, std::string* error) {
     file_ = std::fopen(path.c_str(), "w");
     if (file_ == nullptr) {
       if (error != nullptr) {
+        // Error path under sink_mu_, right after the failing fopen; the
+        // racy static buffer is acceptable here and strerror_r is not
+        // portable across libcs.
         *error = "cannot open event log '" + path + "': " +
-                 std::strerror(errno);
+                 std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
       }
       return false;
     }

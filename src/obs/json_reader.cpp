@@ -38,10 +38,15 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::string_view text, std::string* error)
-      : text_(text), error_(error) {}
+  Parser(std::string_view text, std::string* error, const JsonLimits& limits)
+      : text_(text), error_(error), limits_(limits) {}
 
   bool run(JsonValue* out) {
+    if (text_.size() > limits_.max_input_bytes) {
+      return fail("input of " + std::to_string(text_.size()) +
+                  " bytes exceeds the " +
+                  std::to_string(limits_.max_input_bytes) + " byte limit");
+    }
     skip_ws();
     if (!parse_value(out)) return false;
     skip_ws();
@@ -74,7 +79,7 @@ class Parser {
   }
 
   bool parse_value(JsonValue* out) {
-    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    if (++depth_ > limits_.max_depth) return fail("nesting too deep");
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     bool ok = false;
     switch (text_[pos_]) {
@@ -313,19 +318,19 @@ class Parser {
     return true;
   }
 
-  static constexpr int kMaxDepth = 256;
-
   std::string_view text_;
   std::string* error_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
   int depth_ = 0;
 };
 
 }  // namespace
 
-bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
+bool parse_json(std::string_view text, JsonValue* out, std::string* error,
+                const JsonLimits& limits) {
   *out = JsonValue();
-  Parser p(text, error);
+  Parser p(text, error, limits);
   return p.run(out);
 }
 

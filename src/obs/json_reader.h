@@ -43,9 +43,19 @@ struct JsonValue {
   std::string str_or(std::string_view key, const std::string& dflt) const;
 };
 
+// Adversarial-input ceilings: parse_json refuses inputs larger than
+// max_input_bytes up front and aborts descent past max_depth nested
+// containers (so "[[[[..." cannot overflow the stack). Both rejections
+// carry an offset like every other parse error.
+struct JsonLimits {
+  int max_depth = 256;
+  std::size_t max_input_bytes = 64u * 1024u * 1024u;
+};
+
 // Parses exactly one JSON value spanning all of `text` (surrounding
 // whitespace allowed). Returns false and sets *error (with an offset) on
-// malformed input or trailing garbage.
-bool parse_json(std::string_view text, JsonValue* out, std::string* error);
+// malformed input, trailing garbage, or a breached limit.
+bool parse_json(std::string_view text, JsonValue* out, std::string* error,
+                const JsonLimits& limits = {});
 
 }  // namespace cgraf::obs

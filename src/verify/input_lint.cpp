@@ -1,0 +1,317 @@
+#include "verify/input_lint.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cgrra/io.h"
+#include "cgrra/operation.h"
+
+namespace cgraf::verify {
+namespace {
+
+std::string op_label(int index) { return "op " + std::to_string(index); }
+
+bool bad_delay(double v) { return !std::isfinite(v) || v < 0.0; }
+
+}  // namespace
+
+LintReport lint_design(const Design& design, const InputLintOptions& opts) {
+  LintReport rep;
+  const Fabric& f = design.fabric;
+
+  // --- DL001/DL002: the fabric itself. Geometry uses 64-bit arithmetic so
+  // a hostile rows*cols cannot overflow before the comparison.
+  const std::int64_t pes =
+      static_cast<std::int64_t>(f.rows()) * static_cast<std::int64_t>(f.cols());
+  if (f.rows() <= 0 || f.cols() <= 0 || pes > opts.max_fabric_pes) {
+    rep.add("DL001", Severity::kError,
+            "fabric geometry " + std::to_string(f.rows()) + "x" +
+                std::to_string(f.cols()) + " out of range (limit " +
+                std::to_string(opts.max_fabric_pes) + " PEs)");
+  }
+  const PeDelayModel& d = f.delays();
+  bool timing_model_ok = true;
+  if (!std::isfinite(f.clock_period_ns()) || f.clock_period_ns() <= 0.0 ||
+      bad_delay(f.unit_wire_delay_ns()) || bad_delay(d.alu_delay_ns) ||
+      bad_delay(d.dmu_delay_ns) || bad_delay(d.width_offset) ||
+      bad_delay(d.width_slope)) {
+    rep.add("DL002", Severity::kError,
+            "fabric timing model has a non-finite, negative or non-positive"
+            " entry (clock " +
+                std::to_string(f.clock_period_ns()) + " ns)");
+    timing_model_ok = false;
+  }
+
+  // --- DL004: contexts.
+  if (design.num_contexts <= 0 || design.num_contexts > opts.max_contexts) {
+    rep.add("DL004", Severity::kError,
+            "context count " + std::to_string(design.num_contexts) +
+                " out of range [1, " + std::to_string(opts.max_contexts) + "]");
+  }
+
+  // --- DL005/DL006/DL007/DL003: per-op checks (index-based: ids may lie).
+  const int n = design.num_ops();
+  if (n > opts.max_ops) {
+    rep.add("DL005", Severity::kError,
+            "op count " + std::to_string(n) + " exceeds limit " +
+                std::to_string(opts.max_ops));
+  }
+  for (int i = 0; i < n; ++i) {
+    const Operation& op = design.ops[static_cast<std::size_t>(i)];
+    if (op.id != i) {
+      rep.add("DL005", Severity::kError,
+              "op ids must be dense and 0-based: index " + std::to_string(i) +
+                  " carries id " + std::to_string(op.id));
+    }
+    if (op.context < 0 || op.context >= design.num_contexts) {
+      rep.add("DL006", Severity::kError,
+              op_label(i) + " has context " + std::to_string(op.context) +
+                  " outside [0, " + std::to_string(design.num_contexts) + ")");
+    }
+    if (op.bitwidth < 1 || op.bitwidth > 64) {
+      rep.add("DL007", Severity::kError,
+              op_label(i) + " has bitwidth " + std::to_string(op.bitwidth) +
+                  " outside [1, 64]");
+    } else if (timing_model_ok &&
+               op_delay_ns(op, d) > f.clock_period_ns()) {
+      // Only meaningful against a sane timing model (DL002 clean).
+      rep.add("DL003", Severity::kWarn,
+              op_label(i) + " (" + to_string(op.kind) + ", " +
+                  std::to_string(op.bitwidth) + " bit) is slower than the " +
+                  std::to_string(f.clock_period_ns()) + " ns clock period");
+    }
+  }
+
+  // --- DL008/DL009/DL010: edges. Context comparisons need in-range
+  // endpoints, so dangling edges skip the later checks.
+  if (static_cast<std::int64_t>(design.edges.size()) > opts.max_edges) {
+    rep.add("DL008", Severity::kError,
+            "edge count " + std::to_string(design.edges.size()) +
+                " exceeds limit " + std::to_string(opts.max_edges));
+  }
+  std::set<std::pair<int, int>> seen_edges;
+  bool edges_indexable = true;
+  for (std::size_t k = 0; k < design.edges.size(); ++k) {
+    const Edge& e = design.edges[k];
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n || e.from == e.to) {
+      rep.add("DL008", Severity::kError,
+              "edge " + std::to_string(k) + " (" + std::to_string(e.from) +
+                  " -> " + std::to_string(e.to) +
+                  ") is dangling or a self-loop");
+      edges_indexable = false;
+      continue;
+    }
+    if (!seen_edges.insert({e.from, e.to}).second) {
+      rep.add("DL009", Severity::kWarn,
+              "duplicate edge " + std::to_string(e.from) + " -> " +
+                  std::to_string(e.to));
+    }
+    const int cf = design.ops[static_cast<std::size_t>(e.from)].context;
+    const int ct = design.ops[static_cast<std::size_t>(e.to)].context;
+    if (cf > ct) {
+      rep.add("DL010", Severity::kError,
+              "edge " + std::to_string(e.from) + " -> " + std::to_string(e.to) +
+                  " flows backwards across contexts (" + std::to_string(cf) +
+                  " -> " + std::to_string(ct) + ")");
+    }
+  }
+
+  // --- DL011: same-context (combinational) edges must form a DAG. Kahn's
+  // algorithm over the same-context subgraph; needs indexable edges.
+  if (edges_indexable && n > 0) {
+    std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (const Edge& e : design.edges) {
+      if (design.ops[static_cast<std::size_t>(e.from)].context !=
+          design.ops[static_cast<std::size_t>(e.to)].context) {
+        continue;
+      }
+      adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+      ++indeg[static_cast<std::size_t>(e.to)];
+    }
+    std::vector<int> queue;
+    for (int i = 0; i < n; ++i)
+      if (indeg[static_cast<std::size_t>(i)] == 0) queue.push_back(i);
+    int seen = 0;
+    while (!queue.empty()) {
+      const int u = queue.back();
+      queue.pop_back();
+      ++seen;
+      for (const int v : adj[static_cast<std::size_t>(u)])
+        if (--indeg[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+    }
+    if (seen != n) {
+      rep.add("DL011", Severity::kError,
+              "combinational cycle: " + std::to_string(n - seen) +
+                  " op(s) sit on a same-context dependency cycle");
+    }
+  }
+
+  return rep;
+}
+
+LintReport lint_floorplan(const Design& design, const Floorplan& fp,
+                          const InputLintOptions& opts) {
+  (void)opts;
+  LintReport rep;
+  const int n = design.num_ops();
+  if (static_cast<int>(fp.op_to_pe.size()) != n) {
+    rep.add("DL012", Severity::kError,
+            "floorplan maps " + std::to_string(fp.op_to_pe.size()) +
+                " op(s) but the design has " + std::to_string(n));
+    return rep;  // per-op checks below would index out of bounds
+  }
+  const int num_pes = design.fabric.num_pes();
+  bool pes_in_range = true;
+  for (int i = 0; i < n; ++i) {
+    const int pe = fp.op_to_pe[static_cast<std::size_t>(i)];
+    if (pe < 0 || pe >= num_pes) {
+      rep.add("DL013", Severity::kError,
+              op_label(i) + " mapped to nonexistent PE " + std::to_string(pe) +
+                  " (fabric has " + std::to_string(num_pes) + ")");
+      pes_in_range = false;
+    }
+  }
+  if (pes_in_range) {
+    std::set<std::pair<int, int>> used;  // (context, pe)
+    for (int i = 0; i < n; ++i) {
+      const Operation& op = design.ops[static_cast<std::size_t>(i)];
+      if (op.context < 0 || op.context >= design.num_contexts) continue;
+      const int pe = fp.op_to_pe[static_cast<std::size_t>(i)];
+      if (!used.insert({op.context, pe}).second) {
+        rep.add("DL014", Severity::kError,
+                "context " + std::to_string(op.context) +
+                    " maps two ops to PE " + std::to_string(pe) +
+                    " (second is " + op_label(i) + ")");
+      }
+    }
+  }
+  return rep;
+}
+
+LintReport lint_stress_map(const Design& design, const StressMap& stress,
+                           const InputLintOptions& opts) {
+  (void)opts;
+  LintReport rep;
+  const std::size_t num_pes =
+      static_cast<std::size_t>(design.fabric.num_pes());
+  const std::size_t num_ctx = static_cast<std::size_t>(
+      design.num_contexts > 0 ? design.num_contexts : 0);
+  bool shape_ok = true;
+  if (stress.accumulated.size() != num_pes) {
+    rep.add("DL015", Severity::kError,
+            "accumulated stress map has " +
+                std::to_string(stress.accumulated.size()) +
+                " entries for a fabric of " + std::to_string(num_pes) +
+                " PEs");
+    shape_ok = false;
+  }
+  if (stress.per_context.size() != num_ctx) {
+    rep.add("DL015", Severity::kError,
+            "per-context stress map has " +
+                std::to_string(stress.per_context.size()) +
+                " layers for " + std::to_string(num_ctx) + " contexts");
+    shape_ok = false;
+  } else {
+    for (std::size_t c = 0; c < stress.per_context.size(); ++c) {
+      if (stress.per_context[c].size() != num_pes) {
+        rep.add("DL015", Severity::kError,
+                "per-context stress layer " + std::to_string(c) + " has " +
+                    std::to_string(stress.per_context[c].size()) +
+                    " entries for a fabric of " + std::to_string(num_pes) +
+                    " PEs");
+        shape_ok = false;
+      }
+    }
+  }
+  if (shape_ok) {
+    auto check_entries = [&](const std::vector<double>& v,
+                             const std::string& where) {
+      for (std::size_t k = 0; k < v.size(); ++k) {
+        if (std::isnan(v[k]) || v[k] < 0.0) {
+          rep.add("DL015", Severity::kError,
+                  where + " stress of PE " + std::to_string(k) + " is " +
+                      std::to_string(v[k]) + " (NaN or negative)");
+        }
+      }
+    };
+    check_entries(stress.accumulated, "accumulated");
+    for (std::size_t c = 0; c < stress.per_context.size(); ++c)
+      check_entries(stress.per_context[c],
+                    "context " + std::to_string(c));
+  }
+  return rep;
+}
+
+LintReport lint_inputs(const Design& design, const Floorplan* fp,
+                       const StressMap* stress,
+                       const InputLintOptions& opts) {
+  LintReport rep = lint_design(design, opts);
+  if (rep.errors == 0 && fp != nullptr)
+    rep.merge(lint_floorplan(design, *fp, opts));
+  if (rep.errors == 0 && stress != nullptr)
+    rep.merge(lint_stress_map(design, *stress, opts));
+  if (!opts.include_info) {
+    // DL rules currently emit no info findings; filter anyway so the knob
+    // behaves like LintOptions::include_info.
+    std::vector<LintFinding> kept;
+    for (LintFinding& f : rep.findings)
+      if (f.severity != Severity::kInfo) kept.push_back(std::move(f));
+    rep.findings = std::move(kept);
+    rep.infos = 0;
+  }
+  return rep;
+}
+
+namespace {
+
+// Shared back half of the accept_* helpers: reject on any lint error and
+// surface the first finding through *error.
+bool lint_accept(const LintReport& rep, std::string* error) {
+  if (rep.clean()) return true;
+  if (error != nullptr) {
+    for (const LintFinding& f : rep.findings) {
+      if (f.severity == Severity::kError) {
+        *error = "input lint: " + f.rule + ": " + f.message;
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Design> accept_design_text(const std::string& text,
+                                         std::string* error,
+                                         LintReport* report,
+                                         const InputLintOptions& opts) {
+  std::optional<Design> design = design_from_text(text, error);
+  if (!design) return std::nullopt;
+  LintReport rep = lint_design(*design, opts);
+  const bool ok = lint_accept(rep, error);
+  if (report != nullptr) *report = std::move(rep);
+  if (!ok) return std::nullopt;
+  return design;
+}
+
+std::optional<Floorplan> accept_floorplan_text(const Design& design,
+                                               const std::string& text,
+                                               std::string* error,
+                                               LintReport* report,
+                                               const InputLintOptions& opts) {
+  std::optional<Floorplan> fp = floorplan_from_text(text, error);
+  if (!fp) return std::nullopt;
+  // The floorplan rules only make sense against a clean design; a dirty one
+  // is itself an acceptance failure here.
+  LintReport rep = lint_inputs(design, &*fp, nullptr, opts);
+  const bool ok = lint_accept(rep, error);
+  if (report != nullptr) *report = std::move(rep);
+  if (!ok) return std::nullopt;
+  return fp;
+}
+
+}  // namespace cgraf::verify

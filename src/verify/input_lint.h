@@ -1,0 +1,93 @@
+// Static analysis of the cgrra data model itself — the layer *below*
+// verify/model_lint.h. The ML/FL rules assume a sane Design/Floorplan/
+// StressMap; these DL ("data lint") rules are what establishes that sanity,
+// so untrusted bytes arriving at design_from_text / floorplan_from_text (or
+// a future floorplanning service socket) are rejected with a stable rule ID
+// before any formulation-(3) model is built.
+//
+// Findings reuse the LintReport machinery (severity, stable IDs, text/JSON
+// reports) from model_lint.h; indices live in the message text because the
+// row/col fields are model-scoped.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cgrra/design.h"
+#include "cgrra/floorplan.h"
+#include "cgrra/stress.h"
+#include "verify/model_lint.h"
+
+namespace cgraf::verify {
+
+struct InputLintOptions {
+  // Resource ceilings for a single accepted input. They mirror the parser
+  // caps in cgrra/io.cpp: the parser enforces them against the wire format,
+  // the linter re-checks them on the in-memory structs so programmatically
+  // built (or deserialized-elsewhere) inputs get the same wall.
+  int max_fabric_pes = 64 * 1024;
+  int max_contexts = 4096;
+  int max_ops = 1000000;
+  int max_edges = 4000000;
+  bool include_info = true;
+};
+
+// Design rule catalog:
+//   DL001 error  fabric geometry out of range (non-positive rows/cols, or
+//                rows*cols beyond max_fabric_pes)
+//   DL002 error  fabric timing model broken: non-finite or non-positive
+//                clock period, negative/non-finite wire or unit delays
+//   DL003 warn   op whose PE-internal delay exceeds the clock period
+//                (unschedulable in any context)
+//   DL004 error  context count out of range (non-positive, or beyond
+//                max_contexts)
+//   DL005 error  op ids not dense/0-based, or op count beyond max_ops
+//   DL006 error  op context outside [0, num_contexts)
+//   DL007 error  op bitwidth outside [1, 64]
+//   DL008 error  dangling or self-looping DFG edge, or edge count beyond
+//                max_edges
+//   DL009 warn   duplicate DFG edge (same producer -> consumer twice)
+//   DL010 error  cross-context edge flowing backwards in time
+//   DL011 error  combinational cycle among same-context edges
+LintReport lint_design(const Design& design, const InputLintOptions& opts = {});
+
+// Floorplan rule catalog (against its design):
+//   DL012 error  floorplan op count disagrees with the design
+//   DL013 error  op mapped to a nonexistent PE (negative or off-fabric)
+//   DL014 error  two ops of one context mapped to the same PE
+// DL013/DL014 are skipped when DL012 fires (indices would be meaningless),
+// and both assume the design half is clean enough to index (run lint_design
+// first; lint_inputs below does).
+LintReport lint_floorplan(const Design& design, const Floorplan& fp,
+                          const InputLintOptions& opts = {});
+
+// Stress-map rule catalog (against its design):
+//   DL015 error  accumulated / per-context shape disagrees with the fabric
+//                and context count, or an entry is NaN or negative
+LintReport lint_stress_map(const Design& design, const StressMap& stress,
+                           const InputLintOptions& opts = {});
+
+// One-call boundary check: design rules always; floorplan rules when `fp`
+// is non-null and the design rules found no error; stress rules likewise.
+// The short-circuiting keeps the dependent passes from indexing a design
+// that is already known to be garbage.
+LintReport lint_inputs(const Design& design, const Floorplan* fp = nullptr,
+                       const StressMap* stress = nullptr,
+                       const InputLintOptions& opts = {});
+
+// Parse + DL-lint acceptance in one step — the input-boundary entry points
+// the CLI (and any future service front end) load artifacts through.
+// Returns nullopt when the parse fails or the lint finds an error; *error
+// then carries the positional parse message or the first finding ("input
+// lint: DLxxx ..."). The full report lands in *report when non-null.
+std::optional<Design> accept_design_text(const std::string& text,
+                                         std::string* error,
+                                         LintReport* report = nullptr,
+                                         const InputLintOptions& opts = {});
+std::optional<Floorplan> accept_floorplan_text(const Design& design,
+                                               const std::string& text,
+                                               std::string* error,
+                                               LintReport* report = nullptr,
+                                               const InputLintOptions& opts = {});
+
+}  // namespace cgraf::verify

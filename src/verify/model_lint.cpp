@@ -266,7 +266,12 @@ LintReport lint_formulation(const milp::Model& model,
                                   const char* prefix) {
     const std::size_t plen = std::string(prefix).size();
     if (name.rfind(prefix, 0) != 0 || name.back() != ']') return -1;
-    return std::atoi(name.substr(plen, name.size() - plen - 1).c_str());
+    const std::string digits = name.substr(plen, name.size() - plen - 1);
+    char* end = nullptr;
+    const long v = std::strtol(digits.c_str(), &end, 10);
+    if (end == digits.c_str() || *end != '\0' || v < 0 || v > 1000000000L)
+      return -1;
+    return static_cast<int>(v);
   };
   for (int r = 0; r < model.num_constraints(); ++r) {
     const std::string& name = model.constraint(r).name;

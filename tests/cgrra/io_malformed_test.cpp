@@ -1,0 +1,209 @@
+// Error paths of the hardened text parsers: every malformed fixture must be
+// rejected with std::nullopt AND a positional message, never accepted and
+// never crash. The happy path lives in io_test.cpp; this file is the
+// adversarial half, plus a seeded round-trip property over generated
+// designs.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cgrra/io.h"
+#include "workloads/suite.h"
+
+namespace cgraf {
+namespace {
+
+constexpr const char* kValidDesign =
+    "cgraf-design v1\n"
+    "fabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+    "contexts 2\n"
+    "ops 2\n"
+    "op 0 add 32 0\n"
+    "op 1 mul 16 1\n"
+    "edges 1\n"
+    "edge 0 1\n"
+    "end\n";
+
+struct MalformedCase {
+  const char* name;
+  std::string text;
+  const char* expect_in_error;  // substring the message must carry
+};
+
+TEST(DesignFromTextMalformed, TableDriven) {
+  const std::vector<MalformedCase> cases = {
+      {"empty input", "", "cgraf-design"},
+      {"wrong header", "cgraf-floorplan v1\nend\n", "cgraf-design"},
+      {"wrong version", "cgraf-design v2\nend\n", "cgraf-design"},
+      {"truncated after header", "cgraf-design v1\n", "fabric"},
+      {"truncated mid ops",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 2\nop 0 add 32 0\n",
+       "op"},
+      {"fabric arity", "cgraf-design v1\nfabric 2 2 5\n", "fabric"},
+      {"fabric zero rows",
+       "cgraf-design v1\nfabric 0 2 5 0.15 0.87 3.14 0.55 0.45\n",
+       "malformed fabric"},
+      {"fabric nan clock",
+       "cgraf-design v1\nfabric 2 2 nan 0.15 0.87 3.14 0.55 0.45\n",
+       "malformed fabric"},
+      {"fabric negative wire delay",
+       "cgraf-design v1\nfabric 2 2 5 -0.15 0.87 3.14 0.55 0.45\n",
+       "malformed fabric"},
+      {"fabric inf width offset",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 inf 0.45\n",
+       "malformed fabric"},
+      {"fabric overflowing dimensions",
+       "cgraf-design v1\nfabric 100000 100000 5 0.15 0.87 3.14 0.55 0.45\n",
+       "PE limit"},
+      {"contexts over cap",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1000000\n",
+       "limit 4096"},
+      {"ops count negative",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops -1\n",
+       "limit"},
+      {"ops count over cap",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 999999999\n",
+       "limit 1000000"},
+      {"ops count not a number",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops many\n",
+       "limit"},
+      {"op id not dense",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 7 add 32 0\nedges 0\nend\n",
+       "dense"},
+      {"op unknown kind",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 0 frobnicate 32 0\nedges 0\nend\n",
+       "malformed op"},
+      {"op bitwidth out of range",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 0 add 65 0\nedges 0\nend\n",
+       "malformed op"},
+      {"op context out of range",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 0 add 32 1\nedges 0\nend\n",
+       "malformed op"},
+      {"op int overflow",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 0 add 99999999999999999999 0\nedges 0\nend\n",
+       "malformed op"},
+      {"edges count over cap",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 0 add 32 0\nedges 999999999\n",
+       "limit 4000000"},
+      {"edge dangling",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 0 add 32 0\nedges 1\nedge 0 5\nend\n",
+       "malformed edge"},
+      {"edge self-loop",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 1\nop 0 add 32 0\nedges 1\nedge 0 0\nend\n",
+       "malformed edge"},
+      {"missing end",
+       "cgraf-design v1\nfabric 2 2 5 0.15 0.87 3.14 0.55 0.45\n"
+       "contexts 1\nops 0\nedges 0\n",
+       "end"},
+      {"trailing junk", std::string(kValidDesign) + "bonus line\n",
+       "trailing junk"},
+  };
+  for (const MalformedCase& c : cases) {
+    std::string error;
+    const std::optional<Design> design = design_from_text(c.text, &error);
+    EXPECT_FALSE(design.has_value()) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+    EXPECT_NE(error.find(c.expect_in_error), std::string::npos)
+        << c.name << ": got error '" << error << "'";
+  }
+  // Control: the base fixture the mutations derive from is accepted.
+  std::string error;
+  EXPECT_TRUE(design_from_text(kValidDesign, &error).has_value()) << error;
+}
+
+TEST(DesignFromTextMalformed, OversizedInputRejectedBeforeParsing) {
+  std::string huge(17u * 1024u * 1024u, '#');  // 17 MiB of comment
+  std::string error;
+  EXPECT_FALSE(design_from_text(huge, &error).has_value());
+  EXPECT_NE(error.find("byte limit"), std::string::npos);
+  EXPECT_FALSE(floorplan_from_text(huge, &error).has_value());
+  EXPECT_NE(error.find("byte limit"), std::string::npos);
+}
+
+TEST(FloorplanFromTextMalformed, TableDriven) {
+  const std::vector<MalformedCase> cases = {
+      {"empty input", "", "cgraf-floorplan"},
+      {"wrong header", "cgraf-design v1\nend\n", "cgraf-floorplan"},
+      {"truncated", "cgraf-floorplan v1\nops 2\nmap 0 1\n", "map"},
+      {"ops over cap", "cgraf-floorplan v1\nops 999999999\n",
+       "limit 1000000"},
+      {"negative pe", "cgraf-floorplan v1\nops 1\nmap 0 -5\nend\n",
+       "malformed map"},
+      {"op index out of range",
+       "cgraf-floorplan v1\nops 1\nmap 3 0\nend\n", "malformed map"},
+      {"duplicate map line",
+       "cgraf-floorplan v1\nops 2\nmap 0 1\nmap 0 2\nend\n", "duplicate"},
+      {"missing end", "cgraf-floorplan v1\nops 1\nmap 0 1\n", "end"},
+      {"trailing junk",
+       "cgraf-floorplan v1\nops 1\nmap 0 1\nend\nextra\n", "trailing junk"},
+  };
+  for (const MalformedCase& c : cases) {
+    std::string error;
+    const std::optional<Floorplan> fp = floorplan_from_text(c.text, &error);
+    EXPECT_FALSE(fp.has_value()) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+    EXPECT_NE(error.find(c.expect_in_error), std::string::npos)
+        << c.name << ": got error '" << error << "'";
+  }
+}
+
+// Round-trip property: any generated benchmark design/floorplan survives
+// to_text -> from_text bit-exactly at the structural level.
+TEST(IoRoundTripProperty, GeneratedBenchmarksSurviveRoundTrip) {
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    workloads::BenchmarkSpec spec;
+    spec.name = "roundtrip";
+    spec.contexts = 4;
+    spec.fabric_dim = 4;
+    spec.band = workloads::UsageBand::kMedium;
+    spec.usage = 0.5;
+    spec.seed = seed;
+    const workloads::GeneratedBenchmark bench =
+        workloads::generate_benchmark(spec);
+
+    std::string error;
+    const std::optional<Design> design =
+        design_from_text(to_text(bench.design), &error);
+    ASSERT_TRUE(design.has_value()) << "seed " << seed << ": " << error;
+    EXPECT_EQ(design->num_ops(), bench.design.num_ops());
+    EXPECT_EQ(design->num_contexts, bench.design.num_contexts);
+    EXPECT_EQ(design->edges.size(), bench.design.edges.size());
+    EXPECT_EQ(design->fabric.rows(), bench.design.fabric.rows());
+    EXPECT_EQ(design->fabric.cols(), bench.design.fabric.cols());
+    EXPECT_DOUBLE_EQ(design->fabric.clock_period_ns(),
+                     bench.design.fabric.clock_period_ns());
+    for (int i = 0; i < design->num_ops(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      EXPECT_EQ(design->ops[idx].kind, bench.design.ops[idx].kind);
+      EXPECT_EQ(design->ops[idx].bitwidth, bench.design.ops[idx].bitwidth);
+      EXPECT_EQ(design->ops[idx].context, bench.design.ops[idx].context);
+    }
+    for (std::size_t k = 0; k < design->edges.size(); ++k) {
+      EXPECT_EQ(design->edges[k].from, bench.design.edges[k].from);
+      EXPECT_EQ(design->edges[k].to, bench.design.edges[k].to);
+    }
+
+    const std::optional<Floorplan> fp =
+        floorplan_from_text(to_text(bench.baseline), &error);
+    ASSERT_TRUE(fp.has_value()) << "seed " << seed << ": " << error;
+    EXPECT_EQ(fp->op_to_pe, bench.baseline.op_to_pe);
+  }
+}
+
+}  // namespace
+}  // namespace cgraf

@@ -1,0 +1,79 @@
+// Adversarial-input limits of obs::parse_json: nesting depth and input
+// size, both configurable via JsonLimits and both reported with the byte
+// offset the parser stopped at.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json_reader.h"
+
+namespace cgraf::obs {
+namespace {
+
+std::string nested_arrays(int depth) {
+  std::string s;
+  for (int i = 0; i < depth; ++i) s += '[';
+  s += '1';
+  for (int i = 0; i < depth; ++i) s += ']';
+  return s;
+}
+
+TEST(JsonLimits, DefaultDepthLimitRejectsPathologicalNesting) {
+  JsonValue v;
+  std::string error;
+  // 255 levels fit under the default 256; 100k levels must be rejected by
+  // the limit, not by running out of stack.
+  EXPECT_TRUE(parse_json(nested_arrays(255), &v, &error)) << error;
+  EXPECT_FALSE(parse_json(nested_arrays(100000), &v, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+  EXPECT_NE(error.find("at offset"), std::string::npos);
+}
+
+TEST(JsonLimits, CustomDepthLimit) {
+  JsonLimits limits;
+  limits.max_depth = 4;
+  JsonValue v;
+  std::string error;
+  // Every value counts as a level, the innermost scalar included: three
+  // arrays plus the scalar fit in 4 levels, four arrays do not.
+  EXPECT_TRUE(parse_json(nested_arrays(3), &v, &error, limits)) << error;
+  EXPECT_FALSE(parse_json(nested_arrays(4), &v, &error, limits));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+  // The offset pins the failure to the value that crossed the limit.
+  EXPECT_NE(error.find("at offset 4"), std::string::npos);
+}
+
+TEST(JsonLimits, DepthCountsObjectsToo) {
+  JsonLimits limits;
+  limits.max_depth = 2;
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(parse_json(R"({"a":1})", &v, &error, limits)) << error;
+  EXPECT_FALSE(parse_json(R"({"a":{"b":1}})", &v, &error, limits));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonLimits, InputSizeLimit) {
+  JsonLimits limits;
+  limits.max_input_bytes = 64;
+  JsonValue v;
+  std::string error;
+  const std::string small = R"({"k":")" + std::string(10, 'x') + "\"}";
+  EXPECT_TRUE(parse_json(small, &v, &error, limits)) << error;
+  const std::string big = R"({"k":")" + std::string(100, 'x') + "\"}";
+  EXPECT_FALSE(parse_json(big, &v, &error, limits));
+  EXPECT_NE(error.find("byte limit"), std::string::npos);
+}
+
+TEST(JsonLimits, DepthResetsBetweenSiblings) {
+  // Sibling values must not accumulate depth: 3 parallel two-level arrays
+  // are fine under max_depth 3 (array + array + the outer list).
+  JsonLimits limits;
+  limits.max_depth = 3;
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(parse_json("[[1],[2],[3]]", &v, &error, limits)) << error;
+}
+
+}  // namespace
+}  // namespace cgraf::obs

@@ -1,0 +1,315 @@
+#include "verify/input_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "cgrra/io.h"
+#include "cgrra/stress.h"
+
+namespace cgraf::verify {
+namespace {
+
+bool has(const LintReport& rep, const char* rule, Severity severity) {
+  for (const LintFinding& f : rep.findings)
+    if (f.rule == rule && f.severity == severity) return true;
+  return false;
+}
+
+bool has_rule(const LintReport& rep, const char* rule) {
+  for (const LintFinding& f : rep.findings)
+    if (f.rule == rule) return true;
+  return false;
+}
+
+// 2x2 fabric, 2 contexts, 4 ops (two per context), one combinational and
+// one cross-context edge. Passes every DL rule.
+Design small_design() {
+  Design design{Fabric(2, 2), 2, {}, {}};
+  for (int id = 0; id < 4; ++id) {
+    Operation op;
+    op.id = id;
+    op.kind = id == 3 ? OpKind::kMux : OpKind::kAdd;
+    op.bitwidth = 32;
+    op.context = id / 2;
+    design.ops.push_back(op);
+  }
+  design.edges.push_back({0, 1});  // combinational, context 0
+  design.edges.push_back({1, 2});  // crosses 0 -> 1
+  return design;
+}
+
+Floorplan small_floorplan() {
+  Floorplan fp;
+  fp.op_to_pe = {0, 1, 0, 1};
+  return fp;
+}
+
+TEST(LintDesign, CleanDesignIsClean) {
+  const LintReport rep = lint_design(small_design());
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.errors, 0);
+  EXPECT_EQ(rep.warnings, 0);
+}
+
+TEST(LintDesign, DL001FabricBeyondPeCap) {
+  InputLintOptions opts;
+  opts.max_fabric_pes = 3;  // the 2x2 fabric has 4
+  const LintReport rep = lint_design(small_design(), opts);
+  EXPECT_TRUE(has(rep, "DL001", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL001"));
+}
+
+TEST(LintDesign, DL002NonFiniteWidthScaling) {
+  Design design = small_design();
+  PeDelayModel delays;
+  delays.width_offset = std::numeric_limits<double>::quiet_NaN();
+  design.fabric = Fabric(2, 2, 5.0, 0.15, delays);
+  const LintReport rep = lint_design(design);
+  EXPECT_TRUE(has(rep, "DL002", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL002"));
+}
+
+TEST(LintDesign, DL002NegativeWidthSlope) {
+  Design design = small_design();
+  PeDelayModel delays;
+  delays.width_slope = -1.0;
+  design.fabric = Fabric(2, 2, 5.0, 0.15, delays);
+  EXPECT_TRUE(has(lint_design(design), "DL002", Severity::kError));
+}
+
+TEST(LintDesign, DL003OpSlowerThanClock) {
+  Design design = small_design();
+  design.fabric = Fabric(2, 2, 0.5);  // dmu op 3 cannot fit in 0.5 ns
+  const LintReport rep = lint_design(design);
+  EXPECT_TRUE(has(rep, "DL003", Severity::kWarn));
+  EXPECT_EQ(rep.errors, 0);  // a warning: the input is still accepted
+  EXPECT_TRUE(rep.clean());
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL003"));
+}
+
+TEST(LintDesign, DL003SuppressedWhenTimingModelBroken) {
+  Design design = small_design();
+  PeDelayModel delays;
+  delays.width_offset = std::numeric_limits<double>::quiet_NaN();
+  design.fabric = Fabric(2, 2, 0.5, 0.15, delays);
+  const LintReport rep = lint_design(design);
+  EXPECT_TRUE(has_rule(rep, "DL002"));
+  EXPECT_FALSE(has_rule(rep, "DL003"));  // NaN delay comparisons say nothing
+}
+
+TEST(LintDesign, DL004ContextCountOutOfRange) {
+  Design design = small_design();
+  design.num_contexts = 0;
+  EXPECT_TRUE(has(lint_design(design), "DL004", Severity::kError));
+  InputLintOptions opts;
+  opts.max_contexts = 1;
+  EXPECT_TRUE(has(lint_design(small_design(), opts), "DL004", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL004"));
+}
+
+TEST(LintDesign, DL005NonDenseOpIds) {
+  Design design = small_design();
+  design.ops[1].id = 5;
+  EXPECT_TRUE(has(lint_design(design), "DL005", Severity::kError));
+  InputLintOptions opts;
+  opts.max_ops = 2;
+  EXPECT_TRUE(has(lint_design(small_design(), opts), "DL005", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL005"));
+}
+
+TEST(LintDesign, DL006ContextOutOfRange) {
+  Design design = small_design();
+  design.ops[2].context = 2;  // num_contexts == 2
+  EXPECT_TRUE(has(lint_design(design), "DL006", Severity::kError));
+  design.ops[2].context = -1;
+  EXPECT_TRUE(has(lint_design(design), "DL006", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL006"));
+}
+
+TEST(LintDesign, DL007BitwidthOutOfRange) {
+  Design design = small_design();
+  design.ops[0].bitwidth = 0;
+  EXPECT_TRUE(has(lint_design(design), "DL007", Severity::kError));
+  design.ops[0].bitwidth = 65;
+  EXPECT_TRUE(has(lint_design(design), "DL007", Severity::kError));
+  design.ops[0].bitwidth = 64;
+  EXPECT_FALSE(has_rule(lint_design(design), "DL007"));
+}
+
+TEST(LintDesign, DL008DanglingAndSelfLoopEdges) {
+  Design design = small_design();
+  design.edges.push_back({0, 99});
+  EXPECT_TRUE(has(lint_design(design), "DL008", Severity::kError));
+  design.edges.back() = {2, 2};
+  EXPECT_TRUE(has(lint_design(design), "DL008", Severity::kError));
+  InputLintOptions opts;
+  opts.max_edges = 1;
+  EXPECT_TRUE(has(lint_design(small_design(), opts), "DL008", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL008"));
+}
+
+TEST(LintDesign, DL009DuplicateEdgeIsAWarning) {
+  Design design = small_design();
+  design.edges.push_back({0, 1});  // already present
+  const LintReport rep = lint_design(design);
+  EXPECT_TRUE(has(rep, "DL009", Severity::kWarn));
+  EXPECT_TRUE(rep.clean());
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL009"));
+}
+
+TEST(LintDesign, DL010BackwardCrossContextEdge) {
+  Design design = small_design();
+  design.edges.push_back({2, 0});  // context 1 -> context 0
+  EXPECT_TRUE(has(lint_design(design), "DL010", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL010"));
+}
+
+TEST(LintDesign, DL011CombinationalCycle) {
+  Design design = small_design();
+  design.edges.push_back({1, 0});  // closes 0 -> 1 -> 0 inside context 0
+  EXPECT_TRUE(has(lint_design(design), "DL011", Severity::kError));
+  EXPECT_FALSE(has_rule(lint_design(small_design()), "DL011"));
+}
+
+TEST(LintDesign, DL011SkippedWhenEdgesDangle) {
+  Design design = small_design();
+  design.edges.push_back({0, 99});  // not indexable: cycle pass must not run
+  const LintReport rep = lint_design(design);
+  EXPECT_TRUE(has_rule(rep, "DL008"));
+  EXPECT_FALSE(has_rule(rep, "DL011"));
+}
+
+TEST(LintFloorplan, DL012SizeMismatch) {
+  Floorplan fp = small_floorplan();
+  fp.op_to_pe.pop_back();
+  const LintReport rep = lint_floorplan(small_design(), fp);
+  EXPECT_TRUE(has(rep, "DL012", Severity::kError));
+  EXPECT_FALSE(has_rule(rep, "DL013"));  // per-op checks short-circuit
+  EXPECT_FALSE(has_rule(lint_floorplan(small_design(), small_floorplan()),
+                        "DL012"));
+}
+
+TEST(LintFloorplan, DL013NonexistentPe) {
+  Floorplan fp = small_floorplan();
+  fp.op_to_pe[0] = -1;
+  EXPECT_TRUE(has(lint_floorplan(small_design(), fp), "DL013",
+                  Severity::kError));
+  fp.op_to_pe[0] = 4;  // fabric has PEs 0..3
+  EXPECT_TRUE(has(lint_floorplan(small_design(), fp), "DL013",
+                  Severity::kError));
+  EXPECT_TRUE(lint_floorplan(small_design(), small_floorplan()).clean());
+}
+
+TEST(LintFloorplan, DL014SamePeTwiceInOneContext) {
+  Floorplan fp = small_floorplan();
+  fp.op_to_pe = {0, 0, 0, 1};  // ops 0 and 1 share context 0 and PE 0
+  EXPECT_TRUE(has(lint_floorplan(small_design(), fp), "DL014",
+                  Severity::kError));
+  // Same PE in *different* contexts is the whole point of multi-context.
+  fp.op_to_pe = {0, 1, 0, 1};
+  EXPECT_FALSE(has_rule(lint_floorplan(small_design(), fp), "DL014"));
+}
+
+TEST(LintStressMap, DL015ShapeAndValueChecks) {
+  const Design design = small_design();
+  StressMap stress = compute_stress(design, small_floorplan());
+  EXPECT_TRUE(lint_stress_map(design, stress).clean());
+
+  StressMap short_acc = stress;
+  short_acc.accumulated.pop_back();
+  EXPECT_TRUE(has(lint_stress_map(design, short_acc), "DL015",
+                  Severity::kError));
+
+  StressMap bad_layer = stress;
+  bad_layer.per_context.pop_back();
+  EXPECT_TRUE(has(lint_stress_map(design, bad_layer), "DL015",
+                  Severity::kError));
+
+  StressMap nan_entry = stress;
+  nan_entry.accumulated[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(has(lint_stress_map(design, nan_entry), "DL015",
+                  Severity::kError));
+
+  StressMap negative = stress;
+  negative.per_context[0][0] = -0.25;
+  EXPECT_TRUE(has(lint_stress_map(design, negative), "DL015",
+                  Severity::kError));
+}
+
+TEST(LintInputs, DirtyDesignShortCircuitsFloorplanAndStress) {
+  Design design = small_design();
+  design.ops[0].bitwidth = 1000;  // DL007
+  Floorplan fp = small_floorplan();
+  fp.op_to_pe[0] = -1;  // would be DL013
+  StressMap stress;     // would be DL015 (all shapes wrong)
+  const LintReport rep = lint_inputs(design, &fp, &stress);
+  EXPECT_TRUE(has_rule(rep, "DL007"));
+  EXPECT_FALSE(has_rule(rep, "DL013"));
+  EXPECT_FALSE(has_rule(rep, "DL015"));
+}
+
+TEST(LintInputs, CleanInputsAreClean) {
+  const Design design = small_design();
+  const Floorplan fp = small_floorplan();
+  const StressMap stress = compute_stress(design, fp);
+  const LintReport rep = lint_inputs(design, &fp, &stress);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.findings.size(), 0u);
+}
+
+TEST(LintInputs, ReportsSerializeToTextAndJson) {
+  Design design = small_design();
+  design.ops[0].bitwidth = 0;
+  const LintReport rep = lint_inputs(design);
+  EXPECT_NE(rep.to_text().find("DL007"), std::string::npos);
+  EXPECT_NE(rep.to_json().find("DL007"), std::string::npos);
+}
+
+TEST(AcceptDesignText, RoundTripsCleanDesigns) {
+  const Design design = small_design();
+  std::string error;
+  LintReport report;
+  const auto accepted = accept_design_text(to_text(design), &error, &report);
+  ASSERT_TRUE(accepted.has_value()) << error;
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(accepted->num_ops(), design.num_ops());
+}
+
+TEST(AcceptDesignText, ParseFailureCarriesPositionalError) {
+  std::string error;
+  EXPECT_FALSE(accept_design_text("cgraf-design v1\nfabric nope\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(AcceptDesignText, ParseableButDirtyDesignIsRejectedWithRuleId) {
+  // The parser does not check cycles; the DL linter must catch it here.
+  Design design = small_design();
+  design.edges.push_back({1, 0});
+  std::string error;
+  LintReport report;
+  EXPECT_FALSE(
+      accept_design_text(to_text(design), &error, &report).has_value());
+  EXPECT_NE(error.find("input lint: DL011"), std::string::npos);
+  EXPECT_TRUE(has_rule(report, "DL011"));
+}
+
+TEST(AcceptFloorplanText, AcceptsCleanRejectsExclusivityViolation) {
+  const Design design = small_design();
+  std::string error;
+  EXPECT_TRUE(accept_floorplan_text(design, to_text(small_floorplan()),
+                                    &error)
+                  .has_value())
+      << error;
+  Floorplan bad;
+  bad.op_to_pe = {0, 0, 0, 1};
+  EXPECT_FALSE(
+      accept_floorplan_text(design, to_text(bad), &error).has_value());
+  EXPECT_NE(error.find("DL014"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgraf::verify

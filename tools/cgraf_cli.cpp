@@ -30,6 +30,7 @@
 #include "core/report.h"
 #include "hls/placer.h"
 #include "verify/certify.h"
+#include "verify/input_lint.h"
 #include "verify/model_lint.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -62,6 +63,10 @@ int usage(int code = 2) {
                " [--margin F] [--json] [--no-info]\n"
                "         static analysis of the formulation-(3) model built"
                " for this design/floorplan\n"
+               "  lint   --inputs --design FILE [--floorplan FILE] [--json]"
+               " [--no-info]\n"
+               "         data-model lint (DL rules) of the raw inputs;"
+               " no model is built\n"
                "  certify --design FILE --baseline FILE --floorplan FILE\n"
                "         [--st-target X] [--margin F] [--mode freeze|rotate]"
                " [--json]\n"
@@ -86,7 +91,8 @@ int usage(int code = 2) {
 // Boolean switches (no value); everything else consumes the next argv.
 bool is_switch(const std::string& key) {
   return key == "paper-scale" || key == "verbose" || key == "progress" ||
-         key == "help" || key == "json" || key == "no-info";
+         key == "help" || key == "json" || key == "no-info" ||
+         key == "inputs";
 }
 
 // Minimal flag parser: every option takes a value except boolean switches.
@@ -143,6 +149,26 @@ struct Args {
   bool has(const std::string& key) const { return values.count(key) > 0; }
 };
 
+// Strict numeric flag parsing (atoi/atof read a typo like "0.2x" as 0.2 or
+// garbage as 0; cert-err34-c). nullopt on anything but a complete number.
+std::optional<long> parse_long_arg(const std::string& s) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double_arg(const std::string& s) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+// Both loaders run the DL input-lint acceptance (verify/input_lint.h), so
+// garbage is rejected with a stable rule ID before any model is built.
 std::optional<Design> load_design(const Args& args, std::string* error) {
   const auto path = args.get("design");
   if (!path) {
@@ -151,10 +177,10 @@ std::optional<Design> load_design(const Args& args, std::string* error) {
   }
   const auto text = read_file(*path, error);
   if (!text) return std::nullopt;
-  return design_from_text(*text, error);
+  return verify::accept_design_text(*text, error);
 }
 
-std::optional<Floorplan> load_floorplan(const Args& args,
+std::optional<Floorplan> load_floorplan(const Args& args, const Design& design,
                                         const std::string& key,
                                         std::string* error) {
   const auto path = args.get(key);
@@ -164,7 +190,7 @@ std::optional<Floorplan> load_floorplan(const Args& args,
   }
   const auto text = read_file(*path, error);
   if (!text) return std::nullopt;
-  return floorplan_from_text(*text, error);
+  return verify::accept_floorplan_text(design, *text, error);
 }
 
 int cmd_gen(const Args& args) {
@@ -188,9 +214,16 @@ int cmd_gen(const Args& args) {
     }
   } else {
     spec.name = "custom";
-    spec.contexts = std::atoi(args.get_or("contexts", "4").c_str());
-    spec.fabric_dim = std::atoi(args.get_or("dim", "4").c_str());
-    spec.usage = std::atof(args.get_or("usage", "0.5").c_str());
+    const auto contexts = parse_long_arg(args.get_or("contexts", "4"));
+    const auto dim = parse_long_arg(args.get_or("dim", "4"));
+    const auto usage_frac = parse_double_arg(args.get_or("usage", "0.5"));
+    if (!contexts || !dim || !usage_frac) {
+      std::fprintf(stderr, "invalid generation parameters\n");
+      return 1;
+    }
+    spec.contexts = static_cast<int>(*contexts);
+    spec.fabric_dim = static_cast<int>(*dim);
+    spec.usage = *usage_frac;
   }
   if (const auto seed = args.get("seed"))
     spec.seed = std::strtoull(seed->c_str(), nullptr, 10);
@@ -242,7 +275,7 @@ int cmd_remap(const Args& args) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  const auto baseline = load_floorplan(args, "floorplan", &error);
+  const auto baseline = load_floorplan(args, *design, "floorplan", &error);
   const auto out = args.get("out");
   if (!baseline || !out) {
     std::fprintf(stderr, "%s\n", error.empty() ? "--out is required"
@@ -262,7 +295,13 @@ int cmd_remap(const Args& args) {
     std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
     return 1;
   }
-  opts.path_margin = std::atof(args.get_or("margin", "0.2").c_str());
+  const auto margin = parse_double_arg(args.get_or("margin", "0.2"));
+  if (!margin) {
+    std::fprintf(stderr, "invalid --margin '%s'\n",
+                 args.get_or("margin", "0.2").c_str());
+    return 1;
+  }
+  opts.path_margin = *margin;
   opts.seed = std::strtoull(args.get_or("seed", "1").c_str(), nullptr, 10);
   opts.verbose = args.has("verbose");
   // Solver controls, mostly useful together with --trace: `--strategy ilp
@@ -361,7 +400,7 @@ int cmd_report(const Args& args) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  const auto fp = load_floorplan(args, "floorplan", &error);
+  const auto fp = load_floorplan(args, *design, "floorplan", &error);
   if (!fp) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
@@ -397,7 +436,7 @@ int cmd_report(const Args& args) {
 
   const double base_years = describe(*fp, "floorplan");
   if (args.has("compare")) {
-    const auto other = load_floorplan(args, "compare", &error);
+    const auto other = load_floorplan(args, *design, "compare", &error);
     if (!other) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
@@ -440,14 +479,68 @@ PipelineView derive_pipeline_view(const Design& design, const Floorplan& ref,
   return view;
 }
 
+// `lint --inputs`: the DL data-model rules over the raw artifacts. Loads
+// bypass the acceptance wiring on purpose — the whole point is to *report*
+// on dirty inputs, so only outright parse failures stop the run. The stress
+// map is derived (and DL015-checked) only once design + floorplan are
+// clean, because compute_stress indexes the design freely.
+int cmd_lint_inputs(const Args& args) {
+  std::string error;
+  const auto path = args.get("design");
+  if (!path) {
+    std::fprintf(stderr, "--design is required\n");
+    return 1;
+  }
+  const auto text = read_file(*path, &error);
+  if (!text) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto design = design_from_text(*text, &error);
+  if (!design) {
+    std::fprintf(stderr, "design parse failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::optional<Floorplan> fp;
+  if (args.has("floorplan")) {
+    const auto fp_text = read_file(args.get_or("floorplan", ""), &error);
+    if (!fp_text) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    fp = floorplan_from_text(*fp_text, &error);
+    if (!fp) {
+      std::fprintf(stderr, "floorplan parse failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  verify::InputLintOptions lopts;
+  lopts.include_info = !args.has("no-info");
+  verify::LintReport report =
+      verify::lint_inputs(*design, fp ? &*fp : nullptr, nullptr, lopts);
+  if (report.clean() && fp) {
+    const StressMap stress = compute_stress(*design, *fp);
+    report.merge(verify::lint_stress_map(*design, stress, lopts));
+  }
+  if (args.has("json")) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.to_text().c_str());
+    std::printf("input lint: %d error(s), %d warning(s), %d info\n",
+                report.errors, report.warnings, report.infos);
+  }
+  return report.clean() ? 0 : 1;
+}
+
 int cmd_lint(const Args& args) {
+  if (args.has("inputs")) return cmd_lint_inputs(args);
   std::string error;
   const auto design = load_design(args, &error);
   if (!design) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  const auto fp = load_floorplan(args, "floorplan", &error);
+  const auto fp = load_floorplan(args, *design, "floorplan", &error);
   if (!fp) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
@@ -457,13 +550,16 @@ int cmd_lint(const Args& args) {
     std::fprintf(stderr, "floorplan invalid: %s\n", why.c_str());
     return 1;
   }
-  const double margin = std::atof(args.get_or("margin", "0.2").c_str());
-  const PipelineView view = derive_pipeline_view(*design, *fp, margin);
+  const auto margin = parse_double_arg(args.get_or("margin", "0.2"));
+  const auto st_flag = parse_double_arg(args.get_or("st-target", "0"));
+  if (!margin || !st_flag) {
+    std::fprintf(stderr, "invalid --margin or --st-target value\n");
+    return 1;
+  }
+  const PipelineView view = derive_pipeline_view(*design, *fp, *margin);
   const StressMap stress = compute_stress(*design, *fp);
   const double st_target =
-      args.has("st-target")
-          ? std::atof(args.get_or("st-target", "0").c_str())
-          : stress.max_accumulated();
+      args.has("st-target") ? *st_flag : stress.max_accumulated();
 
   core::RemapModelSpec spec;
   spec.design = &*design;
@@ -508,12 +604,12 @@ int cmd_certify(const Args& args) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  const auto baseline = load_floorplan(args, "baseline", &error);
+  const auto baseline = load_floorplan(args, *design, "baseline", &error);
   if (!baseline) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  const auto fp = load_floorplan(args, "floorplan", &error);
+  const auto fp = load_floorplan(args, *design, "floorplan", &error);
   if (!fp) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
@@ -523,7 +619,12 @@ int cmd_certify(const Args& args) {
     std::fprintf(stderr, "baseline floorplan invalid: %s\n", why.c_str());
     return 1;
   }
-  const double margin = std::atof(args.get_or("margin", "0.2").c_str());
+  const auto margin = parse_double_arg(args.get_or("margin", "0.2"));
+  const auto st_flag = parse_double_arg(args.get_or("st-target", "0"));
+  if (!margin || !st_flag) {
+    std::fprintf(stderr, "invalid --margin or --st-target value\n");
+    return 1;
+  }
   // Default matches the remap subcommand's default mode so that
   // `remap` -> `certify` composes without extra flags.
   const std::string mode = args.get_or("mode", "rotate");
@@ -531,13 +632,11 @@ int cmd_certify(const Args& args) {
     std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
     return 1;
   }
-  const PipelineView view = derive_pipeline_view(*design, *baseline, margin);
+  const PipelineView view = derive_pipeline_view(*design, *baseline, *margin);
   const StressMap base_stress = compute_stress(*design, *baseline);
   // Default bound: the pipeline's contract that the balance never regresses.
   const double st_target =
-      args.has("st-target")
-          ? std::atof(args.get_or("st-target", "0").c_str())
-          : base_stress.max_accumulated();
+      args.has("st-target") ? *st_flag : base_stress.max_accumulated();
 
   verify::FloorplanSpec spec;
   spec.design = &*design;
@@ -639,8 +738,8 @@ int main(int argc, char** argv) {
     } else if (cmd == "report") {
       args.check_allowed({"design", "floorplan", "compare"});
     } else if (cmd == "lint") {
-      args.check_allowed(
-          {"design", "floorplan", "st-target", "margin", "json", "no-info"});
+      args.check_allowed({"design", "floorplan", "st-target", "margin",
+                          "json", "no-info", "inputs"});
     } else if (cmd == "certify") {
       args.check_allowed({"design", "baseline", "floorplan", "st-target",
                           "margin", "mode", "json"});

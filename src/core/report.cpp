@@ -116,6 +116,15 @@ std::string format_solver_stats(const TwoStepStats& stats) {
   }
   table.add_row({"nodes per thread",
                  per_thread.empty() ? std::string("-") : per_thread});
+  table.add_row({"dive rounds", std::to_string(stats.dive_rounds)});
+  table.add_row({"vars fixed", std::to_string(stats.vars_fixed) + "/" +
+                                   std::to_string(stats.vars_total)});
+  table.add_row({"LP status", milp::to_string(stats.lp_status)});
+  table.add_row({"MIP status", milp::to_string(stats.mip_status)});
+  table.add_row({"LP time", fmt_double(stats.lp_seconds, 4) + "s"});
+  table.add_row({"MIP time", fmt_double(stats.mip_seconds, 4) + "s"});
+  table.add_row({"fallback (unfixed dive)",
+                 stats.fallback_unfixed ? "yes" : "no"});
   table.add_row({"LP algorithm", milp::to_string(stats.lp_algorithm)});
   table.add_row({"dual iterations", std::to_string(s.dual_iterations)});
   table.add_row({"bound flips", std::to_string(s.bound_flips)});
@@ -148,6 +157,14 @@ std::string solver_stats_json(const TwoStepStats& stats) {
       .field("phase1_iterations", s.phase1_iterations)
       .field("nodes", stats.mip_nodes)
       .field("threads", stats.mip_threads)
+      .field("dive_rounds", stats.dive_rounds)
+      .field("vars_fixed", stats.vars_fixed)
+      .field("vars_total", stats.vars_total)
+      .field("lp_seconds", stats.lp_seconds)
+      .field("mip_seconds", stats.mip_seconds)
+      .field("lp_status", milp::to_string(stats.lp_status))
+      .field("mip_status", milp::to_string(stats.mip_status))
+      .field("fallback_unfixed", stats.fallback_unfixed)
       .field("algorithm", milp::to_string(stats.lp_algorithm))
       .field("dual_iterations", s.dual_iterations)
       .field("bound_flips", s.bound_flips)

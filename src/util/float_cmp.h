@@ -1,0 +1,55 @@
+// Floating-point comparison helpers with explicit intent.
+//
+// Raw `==`/`!=` on floating values is banned in the solver/physics kernels
+// (code-lint rule CL003, tools/cgraf_lint): a threshold check written as
+// `x == 1.0` silently breaks the first time `x` arrives through a different
+// arithmetic path. Every comparison must say what it means:
+//
+//   - approx_eq / approx_ne: tolerance comparison, the default for any value
+//     produced by arithmetic (absolute floor for values near zero plus a
+//     relative term for large magnitudes).
+//   - near_zero: |x| <= tol, for cancellation / residual checks.
+//   - exact_eq / exact_ne: bit-exact comparison as a *contract*. Use only
+//     when the value was stored, never computed — e.g. a model coefficient
+//     the builder wrote as a literal 1.0, or an infinity sentinel. CL003
+//     recognizes these calls as sanctioned, so no suppression comment is
+//     needed at the call site.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgraf::util {
+
+inline constexpr double kDefaultAbsTol = 1e-9;
+inline constexpr double kDefaultRelTol = 1e-9;
+
+// |x| <= tol. NaN yields false.
+inline bool near_zero(double x, double tol = kDefaultAbsTol) {
+  return std::fabs(x) <= tol;
+}
+
+// |a - b| <= abs_tol + rel_tol * max(|a|, |b|). Equal infinities of the
+// same sign compare equal; any NaN yields false.
+inline bool approx_eq(double a, double b, double abs_tol = kDefaultAbsTol,
+                      double rel_tol = kDefaultRelTol) {
+  if (a == b) return true;  // covers same-sign inf and exact hits
+  // Unequal non-finite operands never compare equal: inf vs -inf would
+  // otherwise satisfy `inf <= inf` against an infinite relative window,
+  // and inf vs any finite value likewise.
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  const double diff = std::fabs(a - b);
+  return diff <= abs_tol + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+inline bool approx_ne(double a, double b, double abs_tol = kDefaultAbsTol,
+                      double rel_tol = kDefaultRelTol) {
+  return !approx_eq(a, b, abs_tol, rel_tol);
+}
+
+// Deliberate bit-exact equality: the caller asserts the operands were
+// assigned, not computed, so exact comparison is the contract.
+inline bool exact_eq(double a, double b) { return a == b; }
+inline bool exact_ne(double a, double b) { return a != b; }
+
+}  // namespace cgraf::util

@@ -1,0 +1,43 @@
+#include "verify/code_rules.h"
+
+namespace cgraf::verify {
+
+const std::vector<CodeRuleInfo>& code_rules() {
+  static const std::vector<CodeRuleInfo> kRules = {
+      {"CL001", Severity::kError,
+       "raw std sync primitive outside src/util/sync.*; use cgraf::Mutex / "
+       "MutexLock / CondVar"},
+      {"CL002", Severity::kError,
+       "Mutex member without CGRAF_GUARDED_BY annotation or lock_rank "
+       "registration"},
+      {"CL003", Severity::kError,
+       "floating-point ==/!= against a nonzero literal in a solver/physics "
+       "kernel; use util/float_cmp.h"},
+      {"CL004", Severity::kError,
+       "stdout output in library code; route through obs/report"},
+      {"CL005", Severity::kError,
+       "unguarded dereference of an optional events/tracer/metrics/progress "
+       "pointer"},
+      {"CL006", Severity::kError,
+       "non-strict C parsing (atoi/atol/atoll/atof/strtok); use strtol/"
+       "strtod with range checks"},
+      {"CL007", Severity::kError,
+       "stats struct field missing from its operator+= / add() body"},
+      {"CL008", Severity::kError,
+       "stats struct field missing from every JSON-emission site"},
+      {"CL009", Severity::kError,
+       "declared rule ID (ML/FL/DL/CL) appears in no test file"},
+      {"CL010", Severity::kError,
+       "malformed or unused CGRAF_LINT_ALLOW suppression"},
+  };
+  return kRules;
+}
+
+const CodeRuleInfo* find_code_rule(std::string_view id) {
+  for (const CodeRuleInfo& r : code_rules()) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace cgraf::verify

@@ -1,0 +1,56 @@
+// Catalog of the code-level (CL) lint rules enforced by tools/cgraf_lint.
+//
+// The rule IDs live here — next to the ML/FL (model_lint.h) and DL
+// (input_lint.h) families — so the whole rule namespace is declared in one
+// subsystem and the CL009 cross-check ("every declared rule ID appears in a
+// test fixture") can enumerate all four families from src/verify alone.
+// The analyzer itself is tools/cgraf_lint; it consumes this table for rule
+// metadata, `--rules` filtering and suppression validation.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "verify/model_lint.h"
+
+namespace cgraf::verify {
+
+struct CodeRuleInfo {
+  const char* id;       // stable ID, e.g. "CL003"
+  Severity severity;    // default severity of the rule's findings
+  const char* summary;  // one-line description for --list-rules / docs
+};
+
+// CL001 error  raw std sync primitive (std::mutex, std::lock_guard,
+//              std::unique_lock, std::scoped_lock, std::condition_variable,
+//              std::atomic_flag, ...) outside src/util/sync.* — all locking
+//              goes through the annotated cgraf::Mutex layer
+// CL002 error  cgraf::Mutex data member with no CGRAF_GUARDED_BY(member)
+//              annotation in its file, or no lock_rank:: registration in
+//              its file or the sibling .h/.cpp of the same stem
+// CL003 error  floating-point ==/!= against a nonzero literal in the solver
+//              and physics kernels (src/milp, src/aging, src/thermal,
+//              src/timing, src/verify); use util/float_cmp.h. Comparisons
+//              against 0-valued literals and the kInf sentinels are exempt
+//              (exact-zero sparsity tests and infinity flags are contracts).
+// CL004 error  stdout output (printf, fprintf(stdout, ...), std::cout,
+//              puts, putchar) in library code (src/** outside src/obs);
+//              route through obs/report. stderr diagnostics are fine.
+// CL005 error  dereference of an optional observability pointer (events,
+//              tracer, metrics, progress) with no null guard in sight
+// CL006 error  locale/UB-prone C parsing: atoi/atol/atoll/atof/strtok;
+//              use the strict strtol/strtod wrappers
+// CL007 error  stats struct whose operator+= / add() body does not mention
+//              every data member (a counter that never aggregates)
+// CL008 error  stats struct field never referenced in any JSON-emission
+//              site (a counter that never reaches the report)
+// CL009 error  rule ID declared in src/verify (ML/FL/DL/CL) that appears in
+//              no test file — every rule needs a fixture that fires it
+// CL010 error  malformed CGRAF_LINT_ALLOW suppression: unknown rule ID,
+//              missing ": reason", or a suppression that matched nothing
+const std::vector<CodeRuleInfo>& code_rules();
+
+// Lookup by ID; nullptr when unknown.
+const CodeRuleInfo* find_code_rule(std::string_view id);
+
+}  // namespace cgraf::verify

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/json_writer.h"
+#include "util/float_cmp.h"
 
 namespace cgraf::verify {
 
@@ -27,7 +28,20 @@ void LintReport::add(std::string rule, Severity severity, std::string message,
     case Severity::kInfo: ++infos; break;
   }
   findings.push_back(
-      LintFinding{std::move(rule), severity, std::move(message), row, col});
+      LintFinding{std::move(rule), severity, std::move(message), row, col,
+                  /*file=*/{}, /*line=*/-1});
+}
+
+void LintReport::add_at(std::string rule, Severity severity,
+                        std::string message, std::string file, int line) {
+  switch (severity) {
+    case Severity::kError: ++errors; break;
+    case Severity::kWarn: ++warnings; break;
+    case Severity::kInfo: ++infos; break;
+  }
+  findings.push_back(LintFinding{std::move(rule), severity,
+                                 std::move(message), /*row=*/-1, /*col=*/-1,
+                                 std::move(file), line});
 }
 
 void LintReport::merge(const LintReport& other) {
@@ -53,6 +67,8 @@ std::string LintReport::to_json() const {
         .field("message", f.message);
     if (f.row >= 0) w.field("row", f.row);
     if (f.col >= 0) w.field("col", f.col);
+    if (!f.file.empty()) w.field("file", f.file);
+    if (f.line >= 0) w.field("line", f.line);
     w.end_object();
   }
   w.end_array().end_object();
@@ -62,6 +78,11 @@ std::string LintReport::to_json() const {
 std::string LintReport::to_text() const {
   std::string out;
   for (const LintFinding& f : findings) {
+    if (!f.file.empty()) {
+      out += f.file;
+      if (f.line >= 0) out += ':' + std::to_string(f.line);
+      out += ": ";
+    }
     out += to_string(f.severity);
     out += ' ';
     out += f.rule;
@@ -312,12 +333,16 @@ LintReport lint_formulation(const milp::Model& model,
     std::sort(expected.begin(), expected.end());
     std::vector<int> got;
     got.reserve(c.terms.size());
+    // Bit-exact on purpose: the builder writes these coefficients and bounds
+    // as literal 1.0, so any deviation — even 1 ulp — means a different code
+    // path produced the row and FL002 must fire.
     bool unit_coeffs = true;
     for (const auto& [idx, coeff] : c.terms) {
       got.push_back(idx);
-      unit_coeffs &= coeff == 1.0;
+      unit_coeffs &= util::exact_eq(coeff, 1.0);
     }
-    if (c.lb != 1.0 || c.ub != 1.0 || !unit_coeffs || got != expected) {
+    if (util::exact_ne(c.lb, 1.0) || util::exact_ne(c.ub, 1.0) ||
+        !unit_coeffs || got != expected) {
       rep.add("FL002", Severity::kError,
               "assignment row of op " + std::to_string(op) +
                   " is not sum(assign vars) == 1",

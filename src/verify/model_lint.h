@@ -24,6 +24,11 @@ struct LintFinding {
   std::string message;
   int row = -1;  // constraint index; -1 when not row-scoped
   int col = -1;  // variable index; -1 when not column-scoped
+  // Source location, used by the code-level rules (CL*, tools/cgraf_lint)
+  // where findings point at files rather than model rows. Empty/-1 for the
+  // model/input rule families.
+  std::string file;
+  int line = -1;
 };
 
 struct LintOptions {
@@ -44,6 +49,9 @@ struct LintReport {
   bool clean() const { return errors == 0; }
   void add(std::string rule, Severity severity, std::string message,
            int row = -1, int col = -1);
+  // Source-located variant used by the code-level (CL) rules.
+  void add_at(std::string rule, Severity severity, std::string message,
+              std::string file, int line);
   void merge(const LintReport& other);
   // {"errors":N,"warnings":N,"infos":N,"findings":[{...},...]}
   std::string to_json() const;

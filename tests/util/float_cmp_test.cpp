@@ -1,0 +1,72 @@
+#include "util/float_cmp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cgraf::util {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(FloatCmp, NearZero) {
+  EXPECT_TRUE(near_zero(0.0));
+  EXPECT_TRUE(near_zero(-0.0));
+  EXPECT_TRUE(near_zero(5e-10));
+  EXPECT_TRUE(near_zero(-5e-10));
+  EXPECT_FALSE(near_zero(2e-9));
+  EXPECT_FALSE(near_zero(1.0));
+  EXPECT_TRUE(near_zero(0.5, 0.5));
+  EXPECT_FALSE(near_zero(kNan));
+  EXPECT_FALSE(near_zero(kInf));
+}
+
+TEST(FloatCmp, ApproxEqAbsoluteWindow) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0));
+  EXPECT_TRUE(approx_eq(0.0, 5e-10));
+  EXPECT_FALSE(approx_eq(0.0, 1e-6));
+  EXPECT_TRUE(approx_eq(0.0, 1e-6, 1e-5));
+}
+
+TEST(FloatCmp, ApproxEqRelativeWindow) {
+  // 1e12 vs 1e12 + 1: far outside the absolute floor, inside the relative
+  // term (rel_tol * 1e12 = 1e3).
+  EXPECT_TRUE(approx_eq(1e12, 1e12 + 1.0));
+  EXPECT_FALSE(approx_eq(1e12, 1e12 + 1e5));
+  // Accumulated rounding on a sum that is exactly 1 in real arithmetic.
+  double sum = 0.0;
+  for (int i = 0; i < 10; ++i) sum += 0.1;
+  EXPECT_TRUE(approx_eq(sum, 1.0));
+  EXPECT_TRUE(sum != 1.0);  // ...which raw == gets wrong
+}
+
+TEST(FloatCmp, ApproxEqSpecials) {
+  EXPECT_TRUE(approx_eq(kInf, kInf));
+  EXPECT_TRUE(approx_eq(-kInf, -kInf));
+  EXPECT_FALSE(approx_eq(kInf, -kInf));
+  EXPECT_FALSE(approx_eq(kInf, 1e308));
+  EXPECT_FALSE(approx_eq(kNan, kNan));
+  EXPECT_FALSE(approx_eq(kNan, 0.0));
+  // Huge-magnitude operands must not overflow the relative term into a
+  // spurious match.
+  EXPECT_FALSE(approx_eq(1e308, -1e308));
+}
+
+TEST(FloatCmp, ApproxNeMirrorsApproxEq) {
+  EXPECT_FALSE(approx_ne(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_ne(1.0, 1.001));
+  EXPECT_TRUE(approx_ne(kNan, kNan));
+}
+
+TEST(FloatCmp, ExactCompareIsBitExact) {
+  EXPECT_TRUE(exact_eq(1.0, 1.0));
+  EXPECT_FALSE(exact_eq(1.0, 1.0 + 1e-15));
+  EXPECT_TRUE(exact_ne(1.0, std::nextafter(1.0, 2.0)));
+  EXPECT_TRUE(exact_eq(kInf, kInf));
+  EXPECT_FALSE(exact_eq(kNan, kNan));
+}
+
+}  // namespace
+}  // namespace cgraf::util

@@ -1,0 +1,17 @@
+// CL001 fixture (bad): raw standard-library synchronization primitives in
+// library code. Never compiled; linted under a virtual src/ path.
+#include <mutex>
+
+namespace cgraf {
+
+void hand_rolled_locking() {
+  std::mutex m;
+  std::lock_guard<std::mutex> g(m);
+  std::condition_variable cv;
+  std::atomic_flag spin = ATOMIC_FLAG_INIT;
+  (void)g;
+  (void)cv;
+  (void)spin;
+}
+
+}  // namespace cgraf

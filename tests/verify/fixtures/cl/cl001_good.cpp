@@ -1,0 +1,11 @@
+// CL001 fixture (good): synchronization through the annotated cgraf layer.
+#include "util/sync.h"
+
+namespace cgraf {
+
+void annotated_locking(Mutex& m) {
+  MutexLock lock(&m);
+  // std::atomic<int> stays legal; only the banned primitives count.
+}
+
+}  // namespace cgraf

@@ -1,0 +1,14 @@
+// CL002 fixture (bad): a Mutex member that guards nothing and is not
+// registered in the lock-rank hierarchy.
+#pragma once
+
+#include "util/sync.h"
+
+namespace cgraf {
+
+struct Widget {
+  Mutex mu_;
+  int value = 0;
+};
+
+}  // namespace cgraf

@@ -1,0 +1,9 @@
+// CL003 fixture (bad): floating-point ==/!= against nonzero literals in a
+// numerics directory (linted under a virtual src/milp path).
+namespace cgraf::milp {
+
+bool at_step(double x) { return x == 1.5; }
+bool not_half(float x) { return x != 0.5f; }
+bool reversed(double x) { return 2.25 == x; }
+
+}  // namespace cgraf::milp

@@ -1,0 +1,14 @@
+// CL003 fixture (good): tolerance comparisons through util/float_cmp.h,
+// plus the two sanctioned exact patterns — comparisons against the 0.0
+// sparsity contract and against infinity sentinels.
+#include "util/float_cmp.h"
+
+namespace cgraf::milp {
+
+inline constexpr double kInf = 1.0 / 0.0;
+
+bool at_step(double x) { return util::approx_eq(x, 1.5); }
+bool is_structural_zero(double a) { return a == 0.0; }
+bool is_free_bound(double lb) { return lb == -kInf; }
+
+}  // namespace cgraf::milp

@@ -1,0 +1,13 @@
+// CL004 fixture (bad): stdout noise from library code (virtual src/ path).
+#include <cstdio>
+#include <iostream>
+
+namespace cgraf {
+
+void chatty(int n) {
+  printf("n=%d\n", n);
+  fprintf(stdout, "n=%d\n", n);
+  std::cout << "n=" << n << "\n";
+}
+
+}  // namespace cgraf

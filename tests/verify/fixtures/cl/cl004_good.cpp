@@ -1,0 +1,12 @@
+// CL004 fixture (good): diagnostics to stderr and string formatting are
+// both fine; only stdout writes from library code are banned.
+#include <cstdio>
+
+namespace cgraf {
+
+void quiet(int n, char* buf, unsigned long cap) {
+  fprintf(stderr, "warning: n=%d\n", n);
+  snprintf(buf, cap, "n=%d", n);
+}
+
+}  // namespace cgraf

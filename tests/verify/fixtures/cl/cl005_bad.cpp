@@ -1,0 +1,17 @@
+// CL005 fixture (bad): optional observability pointers dereferenced with no
+// null guard in the enclosing scope.
+namespace cgraf {
+
+struct Tracer;
+struct EventSink;
+
+struct Hooks {
+  EventSink* events = nullptr;
+};
+
+void solve(Tracer* tracer, const Hooks& hooks) {
+  tracer->begin("solve");
+  hooks.events->emit("start");
+}
+
+}  // namespace cgraf

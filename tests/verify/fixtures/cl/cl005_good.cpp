@@ -1,0 +1,22 @@
+// CL005 fixture (good): every optional-pointer deref sits behind a null
+// guard the rule recognizes.
+namespace cgraf {
+
+struct Tracer;
+struct EventSink;
+
+struct Hooks {
+  EventSink* events = nullptr;
+};
+
+void solve(Tracer* tracer, const Hooks& hooks) {
+  if (tracer) {
+    tracer->begin("solve");
+  }
+  if (hooks.events != nullptr) {
+    hooks.events->emit("start");
+  }
+  tracer && tracer->flush();
+}
+
+}  // namespace cgraf

@@ -1,0 +1,16 @@
+// CL006 fixture (bad): non-strict C parsers that cannot report errors.
+#include <cstdlib>
+#include <cstring>
+
+namespace cgraf {
+
+int lax_int(const char* s) { return atoi(s); }
+double lax_double(const char* s) { return atof(s); }
+
+void lax_split(char* s) {
+  for (char* tok = strtok(s, ","); tok; tok = strtok(nullptr, ",")) {
+    (void)tok;
+  }
+}
+
+}  // namespace cgraf

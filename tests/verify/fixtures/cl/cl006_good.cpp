@@ -1,0 +1,25 @@
+// CL006 fixture (good): strict parsing with endptr + range checks.
+#include <cerrno>
+#include <cstdlib>
+
+namespace cgraf {
+
+bool strict_long(const char* s, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool strict_double(const char* s, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace cgraf

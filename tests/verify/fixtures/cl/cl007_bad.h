@@ -1,0 +1,19 @@
+// CL007 fixture (bad): FixtureStats::nodes is dropped by the aggregation
+// functions — merged runs silently lose the counter.
+#pragma once
+
+namespace cgraf {
+
+struct FixtureStats {
+  long iters = 0;
+  long nodes = 0;
+  double seconds = 0.0;
+
+  FixtureStats& operator+=(const FixtureStats& o) {
+    iters += o.iters;
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
+}  // namespace cgraf

@@ -1,0 +1,23 @@
+// CL007 fixture (good): operator+= delegates to add(), and the union of the
+// two bodies covers every field — exactly the LpStageStats idiom.
+#pragma once
+
+namespace cgraf {
+
+struct FixtureStats {
+  long iters = 0;
+  long nodes = 0;
+  double seconds = 0.0;
+
+  void add(const FixtureStats& o) {
+    iters += o.iters;
+    nodes += o.nodes;
+    seconds += o.seconds;
+  }
+  FixtureStats& operator+=(const FixtureStats& o) {
+    add(o);
+    return *this;
+  }
+};
+
+}  // namespace cgraf

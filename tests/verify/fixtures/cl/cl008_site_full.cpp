@@ -1,0 +1,12 @@
+// CL008 fixture (good half): the emission site covers every field.
+#include "obs/json_writer.h"
+
+namespace cgraf {
+
+void emit_stats(obs::JsonWriter& w, const FixtureStats& s) {
+  w.field("iters", s.iters);
+  w.field("nodes", s.nodes);
+  w.field("seconds", s.seconds);
+}
+
+}  // namespace cgraf

@@ -1,0 +1,12 @@
+// CL008 fixture (bad half): a JSON-emission site that forgets
+// FixtureStats::nodes — the field never reaches any report.
+#include "obs/json_writer.h"
+
+namespace cgraf {
+
+void emit_stats(obs::JsonWriter& w, const FixtureStats& s) {
+  w.field("iters", s.iters);
+  w.field("seconds", s.seconds);
+}
+
+}  // namespace cgraf

@@ -1,0 +1,20 @@
+// CL008 fixture: the struct under the JSON-coverage contract. Whether the
+// rule fires depends on which site file joins the corpus
+// (cl008_site_partial.cpp vs cl008_site_full.cpp).
+#pragma once
+
+namespace cgraf {
+
+struct FixtureStats {
+  long iters = 0;
+  long nodes = 0;
+  double seconds = 0.0;
+
+  void add(const FixtureStats& o) {
+    iters += o.iters;
+    nodes += o.nodes;
+    seconds += o.seconds;
+  }
+};
+
+}  // namespace cgraf

@@ -1,0 +1,8 @@
+// CL009 fixture: a rule-declaring file (linted under a virtual src/verify
+// path). Declares one rule ID; whether CL009 fires depends on which test
+// fixture joins the corpus.
+namespace cgraf::verify {
+
+const char* kFixtureRuleId = "ML901";
+
+}  // namespace cgraf::verify

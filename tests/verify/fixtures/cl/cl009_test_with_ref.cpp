@@ -1,0 +1,7 @@
+// CL009 fixture (good half): a test file that exercises rule ML901, so the
+// declared ID is referenced from the tests/ corpus.
+namespace {
+
+const char* kExpectedRule = "ML901";
+
+}  // namespace

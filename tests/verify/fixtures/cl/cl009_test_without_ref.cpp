@@ -1,0 +1,7 @@
+// CL009 fixture (bad half): a test corpus with no reference to the declared
+// rule ID — the rule has no fixture proving it can fire.
+namespace {
+
+const char* kUnrelated = "nothing to see";
+
+}  // namespace

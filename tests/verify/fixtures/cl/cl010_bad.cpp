@@ -1,0 +1,14 @@
+// CL010 fixture (bad): the three suppression-hygiene failures — unknown
+// rule ID, missing reason, and a suppression that matches nothing.
+namespace cgraf {
+
+// CGRAF_LINT_ALLOW(CL999): no such rule exists
+int a = 0;
+
+// CGRAF_LINT_ALLOW(CL006)
+int b = 0;
+
+// CGRAF_LINT_ALLOW(CL006): nothing on the next line calls a lax parser
+int c = 0;
+
+}  // namespace cgraf

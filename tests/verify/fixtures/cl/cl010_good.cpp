@@ -1,0 +1,13 @@
+// CL010 fixture (good): a well-formed, *used* suppression — CL006 would
+// fire on the atof call, the ALLOW absorbs it, and no hygiene finding
+// results.
+#include <cstdlib>
+
+namespace cgraf {
+
+double lenient_parse(const char* s) {
+  // CGRAF_LINT_ALLOW(CL006): fixture exercises the suppression path
+  return atof(s);
+}
+
+}  // namespace cgraf

@@ -1,0 +1,179 @@
+#include "clang_ast.h"
+
+#ifdef CGRAF_LINT_HAVE_LIBCLANG
+
+#include <clang-c/Index.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace cgraf::lint {
+
+namespace {
+
+std::string cx_to_string(CXString s) {
+  const char* c = clang_getCString(s);
+  std::string out = c != nullptr ? c : "";
+  clang_disposeString(s);
+  return out;
+}
+
+bool cl003_scope(const std::string& path) {
+  return in_dir(path, "src/milp") || in_dir(path, "src/aging") ||
+         in_dir(path, "src/thermal") || in_dir(path, "src/timing") ||
+         in_dir(path, "src/verify");
+}
+
+bool is_float_type(CXType t) {
+  const CXTypeKind k = clang_getCanonicalType(t).kind;
+  return k == CXType_Float || k == CXType_Double || k == CXType_LongDouble;
+}
+
+// Exact-zero and infinity sentinels keep the lexical rule's exemptions:
+// `x == 0.0` is a sparsity contract, `lb == -kInf` a bound sentinel.
+bool is_exempt_operand(CXCursor c) {
+  CXEvalResult ev = clang_Cursor_Evaluate(c);
+  if (ev == nullptr) return false;
+  bool exempt = false;
+  if (clang_EvalResult_getKind(ev) == CXEval_Float) {
+    const double v = clang_EvalResult_getAsDouble(ev);
+    exempt = v == 0.0 || std::isinf(v);
+  }
+  clang_EvalResult_dispose(ev);
+  return exempt;
+}
+
+struct Visit {
+  CXTranslationUnit tu;
+  std::vector<RawFinding>* out;
+};
+
+struct Children {
+  CXCursor c[2];
+  int n = 0;
+};
+
+CXChildVisitResult collect_children(CXCursor c, CXCursor, CXClientData d) {
+  auto* ch = static_cast<Children*>(d);
+  if (ch->n < 2) ch->c[ch->n] = c;
+  ch->n++;
+  return CXChildVisit_Continue;
+}
+
+// Spelling of the operator between the two operand extents ("==", "!=", or
+// "" when neither). libclang 14 has no clang_getCursorBinaryOperatorKind,
+// so the token between the children is the portable answer.
+std::string operator_between(CXTranslationUnit tu, CXCursor parent,
+                             CXCursor lhs, CXCursor rhs) {
+  unsigned lhs_end = 0, rhs_start = 0;
+  clang_getSpellingLocation(
+      clang_getRangeEnd(clang_getCursorExtent(lhs)), nullptr, nullptr,
+      nullptr, &lhs_end);
+  clang_getSpellingLocation(
+      clang_getRangeStart(clang_getCursorExtent(rhs)), nullptr, nullptr,
+      nullptr, &rhs_start);
+
+  CXToken* tokens = nullptr;
+  unsigned count = 0;
+  clang_tokenize(tu, clang_getCursorExtent(parent), &tokens, &count);
+  std::string op;
+  for (unsigned i = 0; i < count; ++i) {
+    unsigned off = 0;
+    clang_getSpellingLocation(clang_getTokenLocation(tu, tokens[i]), nullptr,
+                              nullptr, nullptr, &off);
+    if (off < lhs_end || off >= rhs_start) continue;
+    const std::string sp = cx_to_string(clang_getTokenSpelling(tu, tokens[i]));
+    if (sp == "==" || sp == "!=") {
+      op = sp;
+      break;
+    }
+  }
+  clang_disposeTokens(tu, tokens, count);
+  return op;
+}
+
+CXChildVisitResult visit(CXCursor c, CXCursor, CXClientData data) {
+  auto* v = static_cast<Visit*>(data);
+  if (clang_getCursorKind(c) == CXCursor_BinaryOperator) {
+    const CXSourceLocation loc =
+        clang_getRangeStart(clang_getCursorExtent(c));
+    if (clang_Location_isFromMainFile(loc) != 0) {
+      Children ch;
+      clang_visitChildren(c, collect_children, &ch);
+      if (ch.n == 2 && (is_float_type(clang_getCursorType(ch.c[0])) ||
+                        is_float_type(clang_getCursorType(ch.c[1])))) {
+        const std::string op = operator_between(v->tu, c, ch.c[0], ch.c[1]);
+        if (!op.empty() && !is_exempt_operand(ch.c[0]) &&
+            !is_exempt_operand(ch.c[1])) {
+          CXFile file;
+          unsigned line = 0;
+          clang_getSpellingLocation(loc, &file, &line, nullptr, nullptr);
+          v->out->push_back(RawFinding{
+              "CL003", cx_to_string(clang_getFileName(file)),
+              static_cast<int>(line),
+              "floating-point " + op +
+                  " (typed operands, AST frontend); use util/float_cmp.h "
+                  "(approx_eq / exact_eq with a comment)"});
+        }
+      }
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+}  // namespace
+
+bool clang_ast_available() { return true; }
+
+bool clang_cl003(const CompileCommand& cc, std::vector<RawFinding>* out,
+                 std::string* error) {
+  if (!cl003_scope(cc.file)) return true;  // nothing to refine in this TU
+
+  std::vector<const char*> argv;
+  for (std::size_t i = 1; i < cc.args.size(); ++i) {  // drop compiler argv[0]
+    const std::string& a = cc.args[i];
+    if (a == "-c" || a == cc.file) continue;
+    if (a == "-o") {
+      ++i;
+      continue;
+    }
+    argv.push_back(a.c_str());
+  }
+
+  CXIndex index = clang_createIndex(/*excludeDeclsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+  CXTranslationUnit tu = nullptr;
+  const CXErrorCode rc = clang_parseTranslationUnit2(
+      index, cc.file.c_str(), argv.data(), static_cast<int>(argv.size()),
+      nullptr, 0, CXTranslationUnit_None, &tu);
+  if (rc != CXError_Success || tu == nullptr) {
+    *error = cc.file + ": libclang parse failed (code " +
+             std::to_string(static_cast<int>(rc)) + ")";
+    clang_disposeIndex(index);
+    return false;
+  }
+
+  Visit v{tu, out};
+  clang_visitChildren(clang_getTranslationUnitCursor(tu), visit, &v);
+  clang_disposeTranslationUnit(tu);
+  clang_disposeIndex(index);
+  return true;
+}
+
+}  // namespace cgraf::lint
+
+#else  // !CGRAF_LINT_HAVE_LIBCLANG
+
+namespace cgraf::lint {
+
+bool clang_ast_available() { return false; }
+
+bool clang_cl003(const CompileCommand&, std::vector<RawFinding>*,
+                 std::string* error) {
+  *error = "libclang frontend not compiled in";
+  return false;
+}
+
+}  // namespace cgraf::lint
+
+#endif  // CGRAF_LINT_HAVE_LIBCLANG

@@ -1,0 +1,33 @@
+// Optional libclang (clang-c/Index.h) frontend for cgraf_lint.
+//
+// Compiled only when the build finds the libclang C API headers + library
+// (CGRAF_LINT_HAVE_LIBCLANG); otherwise every entry point degrades to a
+// stub so the token engine still runs everywhere, including containers
+// without clang. The AST pass refines exactly one rule today: CL003, where
+// real operand types beat the lexical literal heuristic — `x == y` between
+// two doubles fires even though no float literal appears.
+//
+// Findings come back as RawFinding extras, so lint_sources applies the same
+// suppression handling; TUs the pass analyzed are reported so the lexical
+// CL003 variant can skip them (no doubled findings).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "code_lint.h"
+#include "compile_db.h"
+
+namespace cgraf::lint {
+
+// True when the libclang frontend was compiled in.
+bool clang_ast_available();
+
+// Parses `cc` as a TU and appends type-accurate CL003 findings for code in
+// the TU's main file. Returns false (with *error set) when the TU fails to
+// parse; the caller then falls back to the lexical rule for that file.
+// Always returns false in the stub build.
+bool clang_cl003(const CompileCommand& cc, std::vector<RawFinding>* out,
+                 std::string* error);
+
+}  // namespace cgraf::lint

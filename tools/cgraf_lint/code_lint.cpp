@@ -1,0 +1,889 @@
+#include "code_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "lexer.h"
+#include "verify/code_rules.h"
+
+namespace cgraf::lint {
+
+namespace {
+
+using verify::Severity;
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+std::string loc(const std::string& path, int line) {
+  return path + ":" + std::to_string(line);
+}
+
+}  // namespace
+
+bool in_dir(const std::string& path, const std::string& dir) {
+  const std::string needle = dir.back() == '/' ? dir : dir + "/";
+  const std::size_t pos = path.find(needle);
+  if (pos == std::string::npos) return false;
+  return pos == 0 || path[pos - 1] == '/';
+}
+
+namespace {
+
+bool path_ends_with(const std::string& path, std::string_view tail) {
+  if (path.size() < tail.size()) return false;
+  if (path.compare(path.size() - tail.size(), tail.size(), tail) != 0)
+    return false;
+  return path.size() == tail.size() ||
+         path[path.size() - tail.size() - 1] == '/';
+}
+
+// Stem for .h/.cpp sibling lookup: path without its extension.
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+// ---- suppressions --------------------------------------------------------
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  bool has_reason = false;
+  int line = 0;      // first line the suppression covers
+  int end_line = 0;  // last covered line (own-line comments cover +1 more)
+  bool own_line = false;
+  int comment_line = 0;  // where the comment itself lives (for CL010)
+  bool used = false;
+};
+
+std::vector<Suppression> parse_suppressions(const LexedFile& f) {
+  std::vector<Suppression> out;
+  constexpr std::string_view kMarker = "CGRAF_LINT_ALLOW";
+  for (const Comment& c : f.comments) {
+    std::size_t pos = 0;
+    while ((pos = c.text.find(kMarker, pos)) != std::string::npos) {
+      pos += kMarker.size();
+      Suppression s;
+      s.comment_line = c.line;
+      s.line = c.line;
+      s.end_line = c.end_line;
+      s.own_line = c.own_line;
+      std::size_t i = pos;
+      while (i < c.text.size() &&
+             std::isspace(static_cast<unsigned char>(c.text[i]))) {
+        ++i;
+      }
+      // Prose mentions of the marker (docs, this file) have no '(' after
+      // it; only a parenthesized form is a suppression attempt.
+      if (i >= c.text.size() || c.text[i] != '(') continue;
+      ++i;
+      while (i < c.text.size() && c.text[i] != ')') s.rule += c.text[i++];
+      while (!s.rule.empty() && s.rule.back() == ' ') s.rule.pop_back();
+      std::size_t b = 0;
+      while (b < s.rule.size() && s.rule[b] == ' ') ++b;
+      s.rule = s.rule.substr(b);
+      if (s.rule == "CLxxx") continue;  // documentation placeholder
+      if (i < c.text.size()) ++i;  // ')'
+      while (i < c.text.size() &&
+             std::isspace(static_cast<unsigned char>(c.text[i]))) {
+        ++i;
+      }
+      if (i < c.text.size() && c.text[i] == ':') {
+        ++i;
+        std::string reason = c.text.substr(i);
+        const std::size_t first = reason.find_first_not_of(" \t");
+        s.has_reason = first != std::string::npos;
+        if (s.has_reason) s.reason = reason.substr(first);
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+bool suppression_covers(const Suppression& s, int line) {
+  if (line >= s.line && line <= s.end_line) return true;
+  return s.own_line && line == s.end_line + 1;
+}
+
+// ---- structural sketch (class scopes, fields, mutex members) -------------
+
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+};
+
+struct StructDecl {
+  std::string name;
+  int line = 0;
+  std::vector<FieldDecl> fields;
+  // Union of idents inside in-class operator+= / add(const S&) bodies.
+  std::set<std::string> sum_idents;
+  bool has_sum_fn = false;
+};
+
+struct MutexMember {
+  std::string name;
+  int line = 0;
+};
+
+struct FileStructure {
+  std::vector<StructDecl> structs;  // only the stats_structs we track
+  std::vector<MutexMember> mutexes;
+};
+
+// Idents that disqualify a class-scope statement from being a data member.
+bool is_member_skip_ident(const std::string& s) {
+  return s == "static" || s == "using" || s == "typedef" ||
+         s == "friend" || s == "template" || s == "operator" ||
+         s == "explicit" || s == "virtual" || s == "constexpr";
+}
+
+const std::set<std::string>& annotation_macros() {
+  static const std::set<std::string> kMacros = {
+      "CGRAF_GUARDED_BY",  "CGRAF_PT_GUARDED_BY", "CGRAF_ACQUIRE",
+      "CGRAF_RELEASE",     "CGRAF_REQUIRES",      "CGRAF_EXCLUDES",
+      "CGRAF_TRY_ACQUIRE", "CGRAF_RETURN_CAPABILITY",
+  };
+  return kMacros;
+}
+
+// Copies span [b, e) dropping annotation-macro calls (ident + balanced
+// parens), so `int x CGRAF_GUARDED_BY(mu) = 0;` parses like `int x = 0;`.
+std::vector<Token> strip_annotations(const std::vector<Token>& T,
+                                     std::size_t b, std::size_t e) {
+  std::vector<Token> out;
+  for (std::size_t i = b; i < e; ++i) {
+    if (T[i].kind == TokKind::kIdent &&
+        annotation_macros().count(T[i].text) != 0 && i + 1 < e &&
+        is_punct(T[i + 1], "(")) {
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < e; ++j) {
+        if (is_punct(T[j], "(")) ++depth;
+        if (is_punct(T[j], ")") && --depth == 0) break;
+      }
+      i = j;
+      continue;
+    }
+    out.push_back(T[i]);
+  }
+  return out;
+}
+
+// Extracts the declared name from a member-statement token span, or "" when
+// the span is not a data-member declaration.
+std::string member_field_name(const std::vector<Token>& span) {
+  if (span.empty()) return "";
+  std::size_t b = 0;
+  // Leading access specifier: "public : double x"
+  if (b + 1 < span.size() &&
+      (is_ident(span[b], "public") || is_ident(span[b], "private") ||
+       is_ident(span[b], "protected")) &&
+      is_punct(span[b + 1], ":")) {
+    b += 2;
+  }
+  std::string name;
+  for (std::size_t i = b; i < span.size(); ++i) {
+    const Token& t = span[i];
+    if (t.kind == TokKind::kIdent && is_member_skip_ident(t.text)) return "";
+    if (is_punct(t, "(") || is_punct(t, "{")) return "";
+    if (is_punct(t, "=") || is_punct(t, ":")) break;
+    if (t.kind == TokKind::kIdent) name = t.text;
+  }
+  return name;
+}
+
+// True when the span declares a (non-pointer) cgraf Mutex member; sets
+// *name to the member identifier.
+bool mutex_member_name(const std::vector<Token>& span, std::string* name) {
+  for (std::size_t i = 0; i + 1 < span.size(); ++i) {
+    if (!is_ident(span[i], "Mutex")) continue;
+    const Token& next = span[i + 1];
+    if (next.kind != TokKind::kIdent) return false;  // Mutex* / Mutex& / ...
+    *name = next.text;
+    return true;
+  }
+  return false;
+}
+
+// Struct/class name from a heading span: first plain ident after the class
+// keyword, skipping attribute-macro calls like CGRAF_CAPABILITY("mutex").
+std::string class_name_from_span(const std::vector<Token>& T, std::size_t b,
+                                 std::size_t e) {
+  std::size_t k = b;
+  while (k < e && !(T[k].kind == TokKind::kIdent &&
+                    (T[k].text == "class" || T[k].text == "struct" ||
+                     T[k].text == "union"))) {
+    ++k;
+  }
+  for (std::size_t i = k + 1; i < e; ++i) {
+    if (is_punct(T[i], ":")) break;
+    if (T[i].kind != TokKind::kIdent) continue;
+    if (T[i].text == "final" || T[i].text == "alignas") continue;
+    if (i + 1 < e && is_punct(T[i + 1], "(")) {  // macro call: skip args
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < e; ++j) {
+        if (is_punct(T[j], "(")) ++depth;
+        if (is_punct(T[j], ")") && --depth == 0) break;
+      }
+      i = j;
+      continue;
+    }
+    return T[i].text;
+  }
+  return "";
+}
+
+// Collects idents within the balanced {...} starting at open_brace.
+std::set<std::string> body_idents(const std::vector<Token>& T,
+                                  std::size_t open_brace) {
+  std::set<std::string> out;
+  int depth = 0;
+  for (std::size_t i = open_brace; i < T.size(); ++i) {
+    if (is_punct(T[i], "{")) ++depth;
+    if (is_punct(T[i], "}") && --depth == 0) break;
+    if (T[i].kind == TokKind::kIdent) out.insert(T[i].text);
+  }
+  return out;
+}
+
+FileStructure analyze_structure(const LexedFile& f,
+                                const std::vector<std::string>& stats) {
+  FileStructure out;
+  const std::vector<Token>& T = f.tokens;
+
+  enum class Kind { kOther, kClass, kEnum, kInit };
+  struct Scope {
+    Kind kind = Kind::kOther;
+    int struct_idx = -1;  // into out.structs when a tracked stats struct
+  };
+  std::vector<Scope> stack;
+  std::size_t stmt_start = 0;
+
+  auto in_class = [&]() {
+    return !stack.empty() && stack.back().kind == Kind::kClass;
+  };
+
+  auto record_member = [&](std::size_t b, std::size_t e) {
+    const std::vector<Token> span = strip_annotations(T, b, e);
+    std::string mu;
+    if (mutex_member_name(span, &mu)) {
+      out.mutexes.push_back(MutexMember{mu, span.empty() ? 0 : span[0].line});
+      return;
+    }
+    const int idx = stack.back().struct_idx;
+    if (idx < 0) return;
+    const std::string name = member_field_name(span);
+    if (name.empty()) return;
+    out.structs[static_cast<std::size_t>(idx)].fields.push_back(
+        FieldDecl{name, span[0].line});
+  };
+
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    const Token& t = T[i];
+    if (is_punct(t, "{")) {
+      const std::size_t b = stmt_start;
+      const std::size_t e = i;
+      bool has_class = false, has_enum = false, has_paren = false,
+           has_eq = false;
+      for (std::size_t k = b; k < e; ++k) {
+        if (T[k].kind == TokKind::kIdent) {
+          if (T[k].text == "class" || T[k].text == "struct" ||
+              T[k].text == "union") {
+            has_class = true;
+          }
+          if (T[k].text == "enum") has_enum = true;
+        }
+        if (is_punct(T[k], "(")) has_paren = true;
+        if (is_punct(T[k], "=")) has_eq = true;
+      }
+      Scope s;
+      if (has_enum) {
+        s.kind = Kind::kEnum;
+      } else if (has_class) {
+        s.kind = Kind::kClass;
+        const std::string name = class_name_from_span(T, b, e);
+        bool tracked =
+            std::find(stats.begin(), stats.end(), name) != stats.end();
+        if (tracked) {
+          out.structs.push_back(StructDecl{name, t.line, {}, {}, false});
+          s.struct_idx = static_cast<int>(out.structs.size()) - 1;
+        }
+      } else if (in_class() && (has_eq || (!has_paren && e > b))) {
+        // Member with a brace initializer: `Mutex mu_{...};` or
+        // `int a[2] = {...};`. Record the member, skip the init list.
+        record_member(b, e);
+        s.kind = Kind::kInit;
+      } else {
+        s.kind = Kind::kOther;
+        // In-class operator+= / add(const S&) body: capture its idents for
+        // the CL007 aggregation check before descending past it.
+        if (in_class() && stack.back().struct_idx >= 0) {
+          bool is_sum = false;
+          for (std::size_t k = b; k + 1 < e; ++k) {
+            if (is_ident(T[k], "operator") && is_punct(T[k + 1], "+=")) {
+              is_sum = true;
+            }
+            if (is_ident(T[k], "add") && is_punct(T[k + 1], "(")) {
+              is_sum = true;
+            }
+          }
+          if (is_sum) {
+            StructDecl& sd = out.structs[static_cast<std::size_t>(
+                stack.back().struct_idx)];
+            const std::set<std::string> ids = body_idents(T, i);
+            sd.sum_idents.insert(ids.begin(), ids.end());
+            sd.has_sum_fn = true;
+          }
+        }
+      }
+      stack.push_back(s);
+      stmt_start = i + 1;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!stack.empty()) stack.pop_back();
+      stmt_start = i + 1;
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      if (in_class() && i > stmt_start) record_member(stmt_start, i);
+      stmt_start = i + 1;
+      continue;
+    }
+  }
+  return out;
+}
+
+// ---- per-file token rules ------------------------------------------------
+
+struct Corpus {
+  std::vector<SourceFile> files;
+  std::vector<LexedFile> lexed;
+  std::vector<FileStructure> structure;
+  std::vector<std::vector<Suppression>> sups;
+  std::map<std::string, std::vector<std::size_t>> by_stem;
+};
+
+void rule_cl001(const LexedFile& f, std::vector<RawFinding>* out) {
+  if (path_ends_with(f.path, "util/sync.h") ||
+      path_ends_with(f.path, "util/sync.cpp")) {
+    return;
+  }
+  static const std::set<std::string> kBanned = {
+      "mutex",          "timed_mutex",
+      "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+      "condition_variable", "condition_variable_any",
+      "atomic_flag",
+  };
+  const auto& T = f.tokens;
+  for (std::size_t i = 0; i + 2 < T.size(); ++i) {
+    if (!is_ident(T[i], "std") || !is_punct(T[i + 1], "::")) continue;
+    const Token& name = T[i + 2];
+    if (name.kind != TokKind::kIdent || kBanned.count(name.text) == 0)
+      continue;
+    out->push_back(RawFinding{
+        "CL001", f.path, T[i].line,
+        "raw std::" + name.text +
+            " outside src/util/sync.*; use the annotated cgraf::Mutex / "
+            "MutexLock / CondVar layer"});
+  }
+}
+
+void rule_cl002(const Corpus& c, std::size_t fi,
+                std::vector<RawFinding>* out) {
+  const LexedFile& f = c.lexed[fi];
+  const FileStructure& fs = c.structure[fi];
+  if (fs.mutexes.empty()) return;
+
+  auto has_guarded_by = [&](const std::string& name) {
+    const auto& T = f.tokens;
+    for (std::size_t i = 0; i + 3 < T.size(); ++i) {
+      if (T[i].kind != TokKind::kIdent) continue;
+      if (T[i].text != "CGRAF_GUARDED_BY" &&
+          T[i].text != "CGRAF_PT_GUARDED_BY") {
+        continue;
+      }
+      if (is_punct(T[i + 1], "(") && is_ident(T[i + 2], name) &&
+          is_punct(T[i + 3], ")")) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // `name` constructed with a lock_rank:: constant in file `li`: the member
+  // ident followed by a balanced (…) or {…} argument list naming lock_rank.
+  auto has_rank_in = [&](std::size_t li, const std::string& name) {
+    const auto& T = c.lexed[li].tokens;
+    for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+      if (!is_ident(T[i], name)) continue;
+      const bool paren = is_punct(T[i + 1], "(");
+      const bool brace = is_punct(T[i + 1], "{");
+      if (!paren && !brace) continue;
+      const std::string open = paren ? "(" : "{";
+      const std::string close = paren ? ")" : "}";
+      int depth = 0;
+      for (std::size_t j = i + 1; j < T.size(); ++j) {
+        if (is_punct(T[j], open)) ++depth;
+        if (is_punct(T[j], close) && --depth == 0) break;
+        if (is_ident(T[j], "lock_rank")) return true;
+      }
+    }
+    return false;
+  };
+
+  for (const MutexMember& m : fs.mutexes) {
+    if (!has_guarded_by(m.name)) {
+      out->push_back(RawFinding{
+          "CL002", f.path, m.line,
+          "Mutex member '" + m.name +
+              "' guards no data: no CGRAF_GUARDED_BY(" + m.name +
+              ") / CGRAF_PT_GUARDED_BY(" + m.name + ") in this file"});
+    }
+    bool has_rank = has_rank_in(fi, m.name);
+    if (!has_rank) {
+      const auto it = c.by_stem.find(stem_of(f.path));
+      if (it != c.by_stem.end()) {
+        for (std::size_t li : it->second) {
+          if (li != fi && has_rank_in(li, m.name)) has_rank = true;
+        }
+      }
+    }
+    if (!has_rank) {
+      out->push_back(RawFinding{
+          "CL002", f.path, m.line,
+          "Mutex member '" + m.name +
+              "' is not registered in the lock hierarchy: no lock_rank:: "
+              "constant in its constructor arguments (here or in the "
+              "sibling .h/.cpp)"});
+    }
+  }
+}
+
+bool cl003_in_scope(const std::string& path) {
+  return in_dir(path, "src/milp") || in_dir(path, "src/aging") ||
+         in_dir(path, "src/thermal") || in_dir(path, "src/timing") ||
+         in_dir(path, "src/verify");
+}
+
+void rule_cl003(const LexedFile& f, std::vector<RawFinding>* out) {
+  if (!cl003_in_scope(f.path)) return;
+  const auto& T = f.tokens;
+  for (std::size_t i = 1; i + 1 < T.size(); ++i) {
+    if (!is_punct(T[i], "==") && !is_punct(T[i], "!=")) continue;
+    const Token* lit = nullptr;
+    if (T[i - 1].kind == TokKind::kNumber && T[i - 1].is_float) {
+      lit = &T[i - 1];
+    } else {
+      std::size_t j = i + 1;
+      if (j < T.size() && (is_punct(T[j], "-") || is_punct(T[j], "+"))) ++j;
+      if (j < T.size() && T[j].kind == TokKind::kNumber && T[j].is_float) {
+        lit = &T[j];
+      }
+    }
+    if (lit == nullptr) continue;
+    if (lit->value == 0.0) continue;  // exact-zero contract is sanctioned
+    out->push_back(RawFinding{
+        "CL003", f.path, T[i].line,
+        "floating-point " + T[i].text + " against literal " + lit->text +
+            "; use util/float_cmp.h (approx_eq / exact_eq with a comment)"});
+  }
+}
+
+void rule_cl004(const LexedFile& f, std::vector<RawFinding>* out) {
+  if (!in_dir(f.path, "src") || in_dir(f.path, "src/obs")) return;
+  const auto& T = f.tokens;
+  for (std::size_t i = 0; i < T.size(); ++i) {
+    if (T[i].kind != TokKind::kIdent) continue;
+    const std::string& s = T[i].text;
+    const bool call = i + 1 < T.size() && is_punct(T[i + 1], "(");
+    if ((s == "printf" || s == "puts" || s == "putchar") && call) {
+      out->push_back(RawFinding{
+          "CL004", f.path, T[i].line,
+          s + "() writes to stdout from library code; route through "
+              "obs/report (stderr diagnostics via fprintf(stderr, ...) are "
+              "fine)"});
+      continue;
+    }
+    if ((s == "fprintf" || s == "vfprintf") && call && i + 2 < T.size() &&
+        is_ident(T[i + 2], "stdout")) {
+      out->push_back(RawFinding{
+          "CL004", f.path, T[i].line,
+          s + "(stdout, ...) in library code; route through obs/report"});
+      continue;
+    }
+    if (s == "cout" && i >= 2 && is_ident(T[i - 2], "std") &&
+        is_punct(T[i - 1], "::")) {
+      out->push_back(RawFinding{
+          "CL004", f.path, T[i].line,
+          "std::cout in library code; route through obs/report"});
+    }
+  }
+}
+
+void rule_cl005(const LexedFile& f, std::vector<RawFinding>* out) {
+  if (in_dir(f.path, "src/obs")) return;  // the layer that owns the pointers
+  static const std::set<std::string> kOptional = {"events", "tracer",
+                                                  "metrics", "progress"};
+  const auto& T = f.tokens;
+
+  // Token texts concatenated (no spaces) for windowed guard matching.
+  auto window_text = [&](std::size_t b, std::size_t e) {
+    std::string s;
+    for (std::size_t k = b; k < e; ++k) {
+      s += T[k].kind == TokKind::kString ? std::string("\"\"") : T[k].text;
+    }
+    return s;
+  };
+
+  for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+    if (T[i].kind != TokKind::kIdent || kOptional.count(T[i].text) == 0)
+      continue;
+    if (!is_punct(T[i + 1], "->")) continue;
+
+    // Full postfix chain: walk back over `a.b->c::` links.
+    std::size_t start = i;
+    while (start >= 2 && T[start - 1].kind == TokKind::kPunct &&
+           (T[start - 1].text == "." || T[start - 1].text == "->" ||
+            T[start - 1].text == "::") &&
+           T[start - 2].kind == TokKind::kIdent) {
+      start -= 2;
+    }
+    std::string chain;
+    for (std::size_t k = start; k <= i; ++k) chain += T[k].text;
+
+    // Guard window: back to (roughly) the start of the enclosing function —
+    // two unmatched opening braces up — capped at 500 tokens.
+    std::size_t wb = start;
+    int depth = 0;
+    for (std::size_t back = 0; wb > 0 && back < 500; ++back) {
+      const Token& p = T[wb - 1];
+      if (is_punct(p, "}")) ++depth;
+      if (is_punct(p, "{")) {
+        --depth;
+        if (depth < -1) break;
+      }
+      --wb;
+    }
+    const std::string w = window_text(wb, start);
+
+    auto guarded = [&]() {
+      const std::string pats[] = {
+          "if(" + chain,      "while(" + chain,    "!" + chain,
+          chain + "!=nullptr", chain + "==nullptr", chain + "&&",
+          "&&" + chain,        chain + "?",         "CGRAF_ASSERT(" + chain,
+          "CGRAF_CHECK(" + chain,
+      };
+      for (const std::string& p : pats) {
+        std::size_t pos = 0;
+        while ((pos = w.find(p, pos)) != std::string::npos) {
+          const char before = pos == 0 ? '\0' : w[pos - 1];
+          const bool head_is_ident =
+              std::isalnum(static_cast<unsigned char>(p[0])) || p[0] == '_';
+          if (!head_is_ident ||
+              (!std::isalnum(static_cast<unsigned char>(before)) &&
+               before != '_' && before != '.' && before != '>')) {
+            return true;
+          }
+          ++pos;
+        }
+      }
+      return false;
+    };
+    if (guarded()) continue;
+    out->push_back(RawFinding{
+        "CL005", f.path, T[i].line,
+        "'" + chain +
+            "->' dereferences an optional observability pointer with no "
+            "null guard in the enclosing scope; guard it or go through the "
+            "null-safe obs::Event builder"});
+  }
+}
+
+void rule_cl006(const LexedFile& f, std::vector<RawFinding>* out) {
+  static const std::set<std::string> kBanned = {"atoi", "atol", "atoll",
+                                                "atof", "strtok"};
+  const auto& T = f.tokens;
+  for (std::size_t i = 0; i + 1 < T.size(); ++i) {
+    if (T[i].kind != TokKind::kIdent || kBanned.count(T[i].text) == 0)
+      continue;
+    if (!is_punct(T[i + 1], "(")) continue;
+    out->push_back(RawFinding{
+        "CL006", f.path, T[i].line,
+        T[i].text +
+            "() parses without error detection; use strtol/strtod with "
+            "endptr + range checks (see cgraf_cli's strict parsers)"});
+  }
+}
+
+// CL007/CL008 need the struct's fields plus corpus-wide lookups.
+void rules_cl007_cl008(const Corpus& c, std::vector<RawFinding>* out,
+                       bool run7, bool run8) {
+  // JSON-emission sites: any file mentioning JsonWriter (excluding the
+  // writer's own implementation).
+  std::vector<std::size_t> json_sites;
+  for (std::size_t i = 0; i < c.lexed.size(); ++i) {
+    if (path_ends_with(c.files[i].path, "obs/json_writer.h") ||
+        path_ends_with(c.files[i].path, "obs/json_writer.cpp")) {
+      continue;
+    }
+    for (const Token& t : c.lexed[i].tokens) {
+      if (is_ident(t, "JsonWriter")) {
+        json_sites.push_back(i);
+        break;
+      }
+    }
+  }
+
+  auto member_access_in = [&](std::size_t fi, const std::string& field) {
+    const auto& T = c.lexed[fi].tokens;
+    for (std::size_t i = 1; i < T.size(); ++i) {
+      if (!is_ident(T[i], field)) continue;
+      if (is_punct(T[i - 1], ".") || is_punct(T[i - 1], "->")) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t fi = 0; fi < c.structure.size(); ++fi) {
+    for (const StructDecl& sd : c.structure[fi].structs) {
+      if (sd.fields.empty()) continue;
+
+      // Out-of-line `S::operator+=` / `S::add` bodies anywhere in the
+      // corpus join the in-class ones.
+      std::set<std::string> sum = sd.sum_idents;
+      bool has_sum = sd.has_sum_fn;
+      for (std::size_t li = 0; li < c.lexed.size(); ++li) {
+        const auto& T = c.lexed[li].tokens;
+        for (std::size_t i = 0; i + 3 < T.size(); ++i) {
+          if (!is_ident(T[i], sd.name) || !is_punct(T[i + 1], "::")) continue;
+          const bool op = is_ident(T[i + 2], "operator") &&
+                          is_punct(T[i + 3], "+=");
+          const bool add = is_ident(T[i + 2], "add");
+          if (!op && !add) continue;
+          std::size_t j = i + 2;
+          while (j < T.size() && !is_punct(T[j], "{") && !is_punct(T[j], ";"))
+            ++j;
+          if (j >= T.size() || !is_punct(T[j], "{")) continue;
+          const std::set<std::string> ids = body_idents(c.lexed[li].tokens, j);
+          sum.insert(ids.begin(), ids.end());
+          has_sum = true;
+        }
+      }
+
+      if (run7 && has_sum) {
+        for (const FieldDecl& fd : sd.fields) {
+          if (sum.count(fd.name) != 0) continue;
+          out->push_back(RawFinding{
+              "CL007", c.files[fi].path, fd.line,
+              sd.name + "::" + fd.name +
+                  " is never touched by operator+=/add(); the counter "
+                  "silently drops on aggregation"});
+        }
+      }
+
+      if (run8 && !json_sites.empty()) {
+        for (const FieldDecl& fd : sd.fields) {
+          bool emitted = false;
+          for (std::size_t si : json_sites) {
+            if (member_access_in(si, fd.name)) {
+              emitted = true;
+              break;
+            }
+          }
+          if (!emitted) {
+            out->push_back(RawFinding{
+                "CL008", c.files[fi].path, fd.line,
+                sd.name + "::" + fd.name +
+                    " never reaches a JSON-emission site (no member access "
+                    "in any JsonWriter-using file); wire it into the "
+                    "report/bench emitters"});
+          }
+        }
+      }
+    }
+  }
+}
+
+void rule_cl009(const Corpus& c, std::vector<RawFinding>* out) {
+  struct Declared {
+    std::size_t file;
+    int line;
+  };
+  std::map<std::string, Declared> declared;
+  bool any_declaring = false;
+  std::vector<std::size_t> test_files;
+
+  auto is_rule_id = [](const std::string& s) {
+    if (s.size() != 5) return false;
+    const std::string fam = s.substr(0, 2);
+    if (fam != "ML" && fam != "FL" && fam != "DL" && fam != "CL")
+      return false;
+    for (int i = 2; i < 5; ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < c.files.size(); ++i) {
+    const std::string& p = c.files[i].path;
+    if (in_dir(p, "tests")) test_files.push_back(i);
+    if (!in_dir(p, "src/verify")) continue;
+    any_declaring = true;
+    for (const Token& t : c.lexed[i].tokens) {
+      if (t.kind != TokKind::kString || !is_rule_id(t.text)) continue;
+      declared.emplace(t.text, Declared{i, t.line});
+    }
+  }
+  if (!any_declaring || test_files.empty()) return;
+
+  for (const auto& [id, at] : declared) {
+    bool referenced = false;
+    for (std::size_t ti : test_files) {
+      if (c.files[ti].text.find(id) != std::string::npos) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      out->push_back(RawFinding{
+          "CL009", c.files[at.file].path, at.line,
+          "rule " + id +
+              " is declared in src/verify but appears in no file under "
+              "tests/; add a fixture that fires it"});
+    }
+  }
+}
+
+}  // namespace
+
+verify::LintReport lint_sources(const std::vector<SourceFile>& sources,
+                                const CodeLintOptions& opts,
+                                std::vector<RawFinding> extra) {
+  Corpus c;
+  c.files = sources;
+  c.lexed.reserve(sources.size());
+  for (const SourceFile& s : sources) {
+    c.lexed.push_back(lex_file(s.path, s.text));
+    c.structure.push_back(
+        analyze_structure(c.lexed.back(), opts.stats_structs));
+    c.sups.push_back(parse_suppressions(c.lexed.back()));
+    c.by_stem[stem_of(s.path)].push_back(c.lexed.size() - 1);
+  }
+
+  auto enabled = [&](const char* id) {
+    if (opts.rules.empty()) return true;
+    return std::find(opts.rules.begin(), opts.rules.end(), id) !=
+           opts.rules.end();
+  };
+
+  std::vector<RawFinding> raw = std::move(extra);
+  const std::set<std::string> ast_cl003(opts.ast_cl003_files.begin(),
+                                        opts.ast_cl003_files.end());
+  for (std::size_t i = 0; i < c.lexed.size(); ++i) {
+    if (enabled("CL001")) rule_cl001(c.lexed[i], &raw);
+    if (enabled("CL002")) rule_cl002(c, i, &raw);
+    if (enabled("CL003") && ast_cl003.count(c.files[i].path) == 0) {
+      rule_cl003(c.lexed[i], &raw);
+    }
+    if (enabled("CL004")) rule_cl004(c.lexed[i], &raw);
+    if (enabled("CL005")) rule_cl005(c.lexed[i], &raw);
+    if (enabled("CL006")) rule_cl006(c.lexed[i], &raw);
+  }
+  if (enabled("CL007") || enabled("CL008")) {
+    rules_cl007_cl008(c, &raw, enabled("CL007"), enabled("CL008"));
+  }
+  if (enabled("CL009")) rule_cl009(c, &raw);
+
+  // Suppression pass: drop findings covered by a same-file, same-rule
+  // CGRAF_LINT_ALLOW, marking the suppression used.
+  std::map<std::string, std::size_t> file_index;
+  for (std::size_t i = 0; i < c.files.size(); ++i)
+    file_index[c.files[i].path] = i;
+  std::vector<RawFinding> kept;
+  for (RawFinding& rf : raw) {
+    bool suppressed = false;
+    const auto it = file_index.find(rf.file);
+    if (it != file_index.end()) {
+      for (Suppression& s : c.sups[it->second]) {
+        if (s.rule == rf.rule && s.has_reason &&
+            suppression_covers(s, rf.line)) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(rf));
+  }
+
+  // CL010: suppression hygiene. Not itself suppressible.
+  if (enabled("CL010")) {
+    for (std::size_t i = 0; i < c.sups.size(); ++i) {
+      for (const Suppression& s : c.sups[i]) {
+        const std::string& path = c.files[i].path;
+        if (s.rule.empty() || verify::find_code_rule(s.rule) == nullptr) {
+          kept.push_back(RawFinding{
+              "CL010", path, s.comment_line,
+              "CGRAF_LINT_ALLOW names unknown rule '" + s.rule +
+                  "'; expected one of CL001-CL0" +
+                  std::to_string(verify::code_rules().size()) +
+                  " as CGRAF_LINT_ALLOW(CLxxx): reason"});
+          continue;
+        }
+        if (!s.has_reason) {
+          kept.push_back(RawFinding{
+              "CL010", path, s.comment_line,
+              "CGRAF_LINT_ALLOW(" + s.rule +
+                  ") carries no reason; write CGRAF_LINT_ALLOW(" + s.rule +
+                  "): why this exact case is safe"});
+          continue;
+        }
+        if (!s.used && opts.rules.empty()) {
+          kept.push_back(RawFinding{
+              "CL010", path, s.comment_line,
+              "CGRAF_LINT_ALLOW(" + s.rule +
+                  ") suppresses nothing on " + loc(path, s.line) +
+                  "; stale suppressions hide real findings — delete it"});
+        }
+      }
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const RawFinding& a, const RawFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  verify::LintReport report;
+  for (RawFinding& rf : kept) {
+    const verify::CodeRuleInfo* info = verify::find_code_rule(rf.rule);
+    const Severity sev = info != nullptr ? info->severity : Severity::kError;
+    report.add_at(std::move(rf.rule), sev, std::move(rf.message),
+                  std::move(rf.file), rf.line);
+  }
+  return report;
+}
+
+}  // namespace cgraf::lint

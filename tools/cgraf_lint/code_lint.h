@@ -1,0 +1,64 @@
+// cgraf_lint engine: project-specific AST/token analysis (rules CL001-CL010)
+// over the repo's own sources, reporting on the shared verify::LintReport
+// machinery so `cgraf_cli lint`, cgraf_lint and CI speak one format.
+//
+// The rule catalog (IDs, default severities, one-line summaries) lives in
+// src/verify/code_rules.h next to the ML/FL/DL families. Scoping is by
+// path substring (e.g. CL003 only fires under src/milp, src/aging,
+// src/thermal, src/timing, src/verify), so callers can lint fixture
+// snippets under virtual paths and exercise every branch.
+//
+// Suppressions: `// CGRAF_LINT_ALLOW(CLxxx): reason` on the offending line
+// or on its own line directly above. A suppression with no reason, an
+// unknown rule ID, or one that matches no finding is itself a finding
+// (CL010), so the escape hatch cannot rot silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/model_lint.h"
+
+namespace cgraf::lint {
+
+struct SourceFile {
+  std::string path;  // real or virtual; drives per-rule scoping
+  std::string text;
+};
+
+// A location-tagged finding produced outside the token engine (the libclang
+// frontend); merged by lint_sources under the same suppression handling.
+struct RawFinding {
+  std::string rule;
+  std::string file;
+  int line = -1;
+  std::string message;
+};
+
+struct CodeLintOptions {
+  // Run only these rule IDs; empty = the whole CL catalog. Unused-
+  // suppression detection (part of CL010) is disabled under a filter,
+  // since a skipped rule trivially matches nothing.
+  std::vector<std::string> rules;
+  // Structs held to the CL007/CL008 consistency contract (operator+= and
+  // JSON emission must cover every field).
+  std::vector<std::string> stats_structs = {"LpStageStats", "TwoStepStats"};
+  // Files whose CL003 was already produced by the AST frontend; the lexical
+  // CL003 variant skips them so findings are not doubled.
+  std::vector<std::string> ast_cl003_files;
+};
+
+// Lints the corpus and returns one merged report. Corpus-level rules
+// (CL007-CL009) look across files: sibling .h/.cpp stems resolve CL002
+// rank registrations, files under tests/ form the CL009 fixture corpus,
+// and files under src/verify/ declare the rule-ID namespace.
+verify::LintReport lint_sources(const std::vector<SourceFile>& sources,
+                                const CodeLintOptions& opts = {},
+                                std::vector<RawFinding> extra = {});
+
+// True when `path` lies under the (slash-delimited) directory `dir`, at any
+// depth: in_dir("a/src/milp/lu.cpp", "src/milp") == true. Exposed for the
+// frontends, which scope their passes the same way.
+bool in_dir(const std::string& path, const std::string& dir);
+
+}  // namespace cgraf::lint

@@ -1,0 +1,105 @@
+#include "compile_db.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_reader.h"
+
+namespace cgraf::lint {
+
+namespace {
+
+// Shell-style split for the legacy "command" form. Handles double and
+// single quotes and backslash escapes; compile commands emitted by CMake
+// never need more than that.
+std::vector<std::string> split_command(const std::string& cmd) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_word = false;
+  char quote = '\0';
+  for (std::size_t i = 0; i < cmd.size(); ++i) {
+    const char c = cmd[i];
+    if (quote != '\0') {
+      if (c == quote) {
+        quote = '\0';
+      } else if (c == '\\' && quote == '"' && i + 1 < cmd.size()) {
+        cur += cmd[++i];
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      in_word = true;
+      continue;
+    }
+    if (c == '\\' && i + 1 < cmd.size()) {
+      cur += cmd[++i];
+      in_word = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      if (in_word) out.push_back(std::move(cur));
+      cur.clear();
+      in_word = false;
+      continue;
+    }
+    cur += c;
+    in_word = true;
+  }
+  if (in_word) out.push_back(std::move(cur));
+  return out;
+}
+
+std::string join_path(const std::string& dir, const std::string& rel) {
+  if (rel.empty() || rel[0] == '/') return rel;
+  if (dir.empty()) return rel;
+  return dir.back() == '/' ? dir + rel : dir + "/" + rel;
+}
+
+}  // namespace
+
+bool load_compile_db(const std::string& path,
+                     std::vector<CompileCommand>* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  obs::JsonValue root;
+  std::string json_error;
+  if (!obs::parse_json(text, &root, &json_error)) {
+    *error = path + ": " + json_error;
+    return false;
+  }
+  if (!root.is_array()) {
+    *error = path + ": expected a top-level array";
+    return false;
+  }
+
+  for (const obs::JsonValue& entry : root.arr) {
+    if (!entry.is_object()) continue;
+    CompileCommand cc;
+    cc.directory = entry.str_or("directory", "");
+    const std::string file = entry.str_or("file", "");
+    if (file.empty()) continue;
+    cc.file = join_path(cc.directory, file);
+    if (const obs::JsonValue* args = entry.find("arguments");
+        args != nullptr && args->is_array()) {
+      for (const obs::JsonValue& a : args->arr) {
+        if (a.is_string()) cc.args.push_back(a.str);
+      }
+    } else {
+      cc.args = split_command(entry.str_or("command", ""));
+    }
+    out->push_back(std::move(cc));
+  }
+  return true;
+}
+
+}  // namespace cgraf::lint

@@ -1,0 +1,26 @@
+// compile_commands.json loader for cgraf_lint.
+//
+// The build exports the database unconditionally (top-level CMakeLists sets
+// CMAKE_EXPORT_COMPILE_COMMANDS), so the tool can enumerate exactly the TUs
+// the build compiles — with their real include paths and defines — instead
+// of guessing. Parsed with obs::parse_json; both the "arguments" array and
+// the legacy "command" string forms are accepted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgraf::lint {
+
+struct CompileCommand {
+  std::string file;       // absolute path to the TU
+  std::string directory;  // working directory the args are relative to
+  std::vector<std::string> args;  // compiler argv, including argv[0]
+};
+
+// Loads `path` into *out. Returns false with a human-readable *error on IO
+// or JSON failure. Entries without a usable "file" member are skipped.
+bool load_compile_db(const std::string& path,
+                     std::vector<CompileCommand>* out, std::string* error);
+
+}  // namespace cgraf::lint

@@ -1,0 +1,257 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cgraf::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+// Multi-character punctuators, longest first within each leading character
+// so maximal munch falls out of first-match.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",  "##",
+};
+
+}  // namespace
+
+LexedFile lex_file(std::string path, std::string_view text) {
+  LexedFile out;
+  out.path = std::move(path);
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  int line = 1;
+  std::size_t line_start = 0;
+  bool line_has_code = false;  // non-whitespace seen before current position
+
+  auto col_of = [&](std::size_t pos) {
+    return static_cast<int>(pos - line_start) + 1;
+  };
+  auto newline_at = [&](std::size_t pos) {
+    line++;
+    line_start = pos + 1;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      newline_at(i);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line continuation inside a preprocessor directive or anywhere else.
+    if (c == '\\' && i + 1 < n && (text[i + 1] == '\n' || text[i + 1] == '\r')) {
+      if (text[i + 1] == '\n') newline_at(i + 1);
+      i += 2;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = !line_has_code;
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      cm.text = std::string(text.substr(i + 2, j - (i + 2)));
+      cm.end_line = line;
+      out.comments.push_back(std::move(cm));
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = !line_has_code;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') newline_at(j);
+        ++j;
+      }
+      cm.text = std::string(text.substr(i + 2, j - (i + 2)));
+      cm.end_line = line;
+      out.comments.push_back(std::move(cm));
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    line_has_code = true;
+
+    // Raw strings: R"delim( ... )delim" (with optional encoding prefix
+    // already consumed as part of an identifier-lookahead below).
+    auto lex_raw_string = [&](std::size_t start) -> std::size_t {
+      // start points at the R. start+1 is the quote.
+      std::size_t j = start + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t body = j + 1;
+      std::size_t end = text.find(close, body);
+      if (end == std::string_view::npos) end = n;
+      Token t;
+      t.kind = TokKind::kString;
+      t.line = line;
+      t.col = col_of(start);
+      t.text = std::string(
+          text.substr(body, end == n ? n - body : end - body));
+      // Account newlines inside the raw body.
+      for (std::size_t k = start; k < std::min(n, end + close.size()); ++k) {
+        if (text[k] == '\n') newline_at(k);
+      }
+      out.tokens.push_back(std::move(t));
+      return end == n ? n : end + close.size();
+    };
+
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      i = lex_raw_string(i);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(text[j])) ++j;
+      // Encoding prefixes of raw strings: u8R"( L R"( etc.
+      if (j < n && text[j] == '"' && text[j - 1] == 'R' && j - i <= 3) {
+        i = lex_raw_string(j - 1);
+        continue;
+      }
+      // Ordinary-string encoding prefixes (u8"", L"") fall through to the
+      // string case by re-lexing from the quote.
+      if (j < n && (text[j] == '"' || text[j] == '\'') && j - i <= 2) {
+        i = j;
+        continue;
+      }
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.line = line;
+      t.col = col_of(i);
+      t.text = std::string(text.substr(i, j - i));
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') newline_at(j);  // unterminated; keep line count
+        body += text[j++];
+      }
+      Token t;
+      t.kind = quote == '"' ? TokKind::kString : TokKind::kChar;
+      t.line = line;
+      t.col = col_of(i);
+      t.text = std::move(body);
+      out.tokens.push_back(std::move(t));
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    const bool leading_digit =
+        std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])));
+    if (leading_digit) {
+      // pp-number: digits, idents, quotes-as-separators, and exponent signs.
+      std::size_t j = i;
+      bool hex = (c == '0' && i + 1 < n && (text[i + 1] == 'x' ||
+                                            text[i + 1] == 'X'));
+      while (j < n) {
+        const char d = text[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = text[j - 1];
+          const bool dec_exp = !hex && (prev == 'e' || prev == 'E');
+          const bool hex_exp = hex && (prev == 'p' || prev == 'P');
+          if (dec_exp || hex_exp) {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.line = line;
+      t.col = col_of(i);
+      t.text = std::string(text.substr(i, j - i));
+      std::string clean;
+      for (char d : t.text) {
+        if (d != '\'') clean += d;
+      }
+      bool has_dot = clean.find('.') != std::string::npos;
+      bool has_exp = false;
+      if (!hex) {
+        for (std::size_t k = 1; k < clean.size(); ++k) {
+          if ((clean[k] == 'e' || clean[k] == 'E') &&
+              std::isdigit(static_cast<unsigned char>(clean[k - 1]))) {
+            has_exp = true;
+          }
+        }
+      } else {
+        has_exp = clean.find('p') != std::string::npos ||
+                  clean.find('P') != std::string::npos;
+      }
+      const char suffix = clean.empty() ? '\0' : clean.back();
+      const bool f_suffix = !hex && (suffix == 'f' || suffix == 'F');
+      t.is_float = has_dot || has_exp || f_suffix;
+      if (t.is_float) t.value = std::strtod(clean.c_str(), nullptr);
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // Punctuation: maximal munch over the multi-char table.
+    std::string_view rest = text.substr(i);
+    std::string_view matched;
+    for (std::string_view p : kPuncts) {
+      if (rest.substr(0, p.size()) == p) {
+        matched = p;
+        break;
+      }
+    }
+    Token t;
+    t.kind = TokKind::kPunct;
+    t.line = line;
+    t.col = col_of(i);
+    if (!matched.empty()) {
+      t.text = std::string(matched);
+      i += matched.size();
+    } else {
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.tokens.push_back(std::move(t));
+  }
+
+  return out;
+}
+
+}  // namespace cgraf::lint

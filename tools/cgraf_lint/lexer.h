@@ -1,0 +1,51 @@
+// Token-level C++ frontend for cgraf_lint.
+//
+// Deliberately not a parser: the CL rules need token patterns, a class-scope
+// sketch and comment text, all of which a lexer provides without dragging in
+// a compiler. When the build finds libclang (clang-c/Index.h), the AST
+// frontend (clang_ast.h) refines the type-sensitive rules on top of this.
+//
+// Handles: // and /* */ comments (captured for suppression parsing), string
+// and character literals with escapes, raw strings R"delim(...)delim",
+// digit-separated and hex/exponent numeric literals, preprocessor lines
+// (lexed as ordinary tokens so macro bodies are still scanned), and maximal-
+// munch punctuation so `==` / `<=` / `->` arrive as single tokens.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgraf::lint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+  int col = 1;
+  // Numeric-literal classification (kNumber only): floating if the literal
+  // has a fraction, a decimal exponent, or an f/F suffix. `value` is the
+  // parsed magnitude (0.0 for hex/binary integers; only consulted for
+  // floats, where "is it zero" decides the CL003 exemption).
+  bool is_float = false;
+  double value = 0.0;
+};
+
+struct Comment {
+  int line = 1;      // line the comment starts on
+  int end_line = 1;  // last line (block comments can span several)
+  bool own_line = false;  // nothing but whitespace before it on its line
+  std::string text;       // body without the // or /* */ markers
+};
+
+struct LexedFile {
+  std::string path;  // as given; used for rule scoping and messages
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+LexedFile lex_file(std::string path, std::string_view text);
+
+}  // namespace cgraf::lint

@@ -1,0 +1,260 @@
+// cgraf_lint: project-specific static analysis (CL001-CL010) over the
+// repo's own sources. See DESIGN.md §14 for the rule catalog and the
+// suppression syntax.
+//
+// Exit codes: 0 clean (or warnings only), 1 at least one error-severity
+// finding, 2 usage or IO failure.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clang_ast.h"
+#include "code_lint.h"
+#include "compile_db.h"
+#include "verify/code_rules.h"
+
+namespace fs = std::filesystem;
+using cgraf::lint::CodeLintOptions;
+using cgraf::lint::CompileCommand;
+using cgraf::lint::RawFinding;
+using cgraf::lint::SourceFile;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] [file...]\n"
+               "  --root DIR              repo root to lint (default: .)\n"
+               "  --compile-commands PATH compile_commands.json (default:\n"
+               "                          ROOT/build/compile_commands.json"
+               " when present)\n"
+               "  --rules CL001,CL003     run only these rules\n"
+               "  --stats-struct NAME     add a struct to the CL007/CL008\n"
+               "                          contract (default: LpStageStats,"
+               " TwoStepStats)\n"
+               "  --json                  emit the report as JSON\n"
+               "  --no-clang              skip the libclang AST frontend\n"
+               "  --list-rules            print the rule catalog and exit\n"
+               "With positional files, only those files are linted (paths\n"
+               "kept verbatim, so fixture snippets can claim virtual paths).\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool lintable_extension(const fs::path& p) {
+  static const std::set<std::string> kExt = {".h",  ".hpp", ".cpp",
+                                             ".cc", ".cxx", ".inl"};
+  return kExt.count(p.extension().string()) != 0;
+}
+
+// Directories whose contents are not part of the lint corpus: build trees,
+// VCS metadata, and fixture/corpus inputs (which contain findings on
+// purpose — the tests feed those to the engine explicitly).
+bool skip_dir(const std::string& name) {
+  return name.rfind("build", 0) == 0 || name == ".git" ||
+         name == "fixtures" || name == "corpus" || name == "third_party" ||
+         name == "external";
+}
+
+std::vector<std::string> collect_tree(const fs::path& root) {
+  std::vector<std::string> out;
+  for (const char* top : {"src", "tests", "tools", "bench"}) {
+    const fs::path dir = root / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    fs::recursive_directory_iterator it(
+        dir, fs::directory_options::skip_permission_denied, ec);
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory(ec)) {
+        if (skip_dir(it->path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (it->is_regular_file(ec) && lintable_extension(it->path())) {
+        out.push_back(
+            fs::relative(it->path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Maps an absolute path under root back to the corpus-relative form; paths
+// outside root come back unchanged.
+std::string relativize(const std::string& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) return path;
+  const std::string s = rel.generic_string();
+  return s.rfind("..", 0) == 0 ? path : s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string compile_db_path;
+  bool json = false;
+  bool no_clang = false;
+  CodeLintOptions opts;
+  std::vector<std::string> stats_structs;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cgraf_lint: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = next("--root");
+      if (v == nullptr) return 2;
+      root = v;
+    } else if (arg == "--compile-commands") {
+      const char* v = next("--compile-commands");
+      if (v == nullptr) return 2;
+      compile_db_path = v;
+    } else if (arg == "--rules") {
+      const char* v = next("--rules");
+      if (v == nullptr) return 2;
+      std::string cur;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!cur.empty()) opts.rules.push_back(cur);
+          cur.clear();
+          if (*p == '\0') break;
+        } else {
+          cur += *p;
+        }
+      }
+    } else if (arg == "--stats-struct") {
+      const char* v = next("--stats-struct");
+      if (v == nullptr) return 2;
+      stats_structs.push_back(v);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-clang") {
+      no_clang = true;
+    } else if (arg == "--list-rules") {
+      for (const cgraf::verify::CodeRuleInfo& r :
+           cgraf::verify::code_rules()) {
+        std::printf("%s  %-5s  %s\n", r.id,
+                    cgraf::verify::to_string(r.severity), r.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cgraf_lint: unknown flag %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!stats_structs.empty()) opts.stats_structs = std::move(stats_structs);
+
+  // Corpus: explicit files verbatim, else the tree walk under --root.
+  std::vector<SourceFile> sources;
+  if (!positional.empty()) {
+    for (const std::string& p : positional) {
+      SourceFile sf;
+      sf.path = p;
+      if (!read_file(p, &sf.text)) {
+        std::fprintf(stderr, "cgraf_lint: cannot read %s\n", p.c_str());
+        return 2;
+      }
+      sources.push_back(std::move(sf));
+    }
+  } else {
+    for (const std::string& rel : collect_tree(root)) {
+      SourceFile sf;
+      sf.path = rel;
+      if (!read_file(root / rel, &sf.text)) {
+        std::fprintf(stderr, "cgraf_lint: cannot read %s\n", rel.c_str());
+        return 2;
+      }
+      sources.push_back(std::move(sf));
+    }
+    if (sources.empty()) {
+      std::fprintf(stderr, "cgraf_lint: no sources under %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+
+  // Optional AST refinement over the TUs the build actually compiles.
+  std::vector<RawFinding> extra;
+  if (positional.empty() && !no_clang && cgraf::lint::clang_ast_available()) {
+    if (compile_db_path.empty()) {
+      const fs::path dflt = root / "build" / "compile_commands.json";
+      std::error_code ec;
+      if (fs::exists(dflt, ec)) compile_db_path = dflt.string();
+    }
+    if (!compile_db_path.empty()) {
+      std::vector<CompileCommand> db;
+      std::string error;
+      if (!cgraf::lint::load_compile_db(compile_db_path, &db, &error)) {
+        std::fprintf(stderr, "cgraf_lint: %s\n", error.c_str());
+        return 2;
+      }
+      std::set<std::string> corpus;
+      for (const SourceFile& s : sources) corpus.insert(s.path);
+      for (const CompileCommand& cc : db) {
+        const std::string rel = relativize(cc.file, root);
+        if (corpus.count(rel) == 0) continue;
+        std::vector<RawFinding> found;
+        std::string error2;
+        if (cgraf::lint::clang_cl003(cc, &found, &error2)) {
+          for (RawFinding& f : found) {
+            f.file = relativize(f.file, root);
+            extra.push_back(std::move(f));
+          }
+          opts.ast_cl003_files.push_back(rel);
+        } else {
+          std::fprintf(stderr, "cgraf_lint: warning: %s; using the lexical "
+                       "CL003 for this TU\n", error2.c_str());
+        }
+      }
+    }
+  }
+
+  const cgraf::verify::LintReport report =
+      cgraf::lint::lint_sources(sources, opts, std::move(extra));
+
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    const std::string text = report.to_text();
+    if (!text.empty()) std::fputs(text.c_str(), stdout);
+    std::fprintf(stderr,
+                 "cgraf_lint: %zu file(s), %d error(s), %d warning(s)%s\n",
+                 sources.size(), report.errors, report.warnings,
+                 cgraf::lint::clang_ast_available() && !no_clang
+                     ? " [libclang frontend]"
+                     : " [token engine]");
+  }
+  return report.clean() ? 0 : 1;
+}

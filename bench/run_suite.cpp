@@ -60,6 +60,7 @@ const SuiteEntry kSuite[] = {
      /*in_quick=*/true},
     {"micro_solver_full", "micro_solver", "", /*in_quick=*/false},
     {"scaling_small", "scaling_ilp_vs_milp", "2 2", /*in_quick=*/false},
+    {"ls_vs_exact", "ls_vs_exact", "", /*in_quick=*/true},
 };
 
 std::string shell_quote(const std::string& s) {

@@ -1,0 +1,68 @@
+// First-finisher-wins exact-vs-heuristic portfolio (RemapOptions strategy
+// `portfolio`).
+//
+// One attempt races the exact two-step MILP pipeline (on the caller's
+// ProbeSession, keeping its warm-start chain) against the shift/swap local
+// search on a second thread. Before the race an optional short LS sprint
+// runs synchronously; a certified sprint result is encoded against the
+// exact model (RemapModel::encode) and seeds the branch & bound's cutoff
+// (MipOptions::initial_incumbent), so the exact side starts pruning
+// against a known-feasible objective instead of +inf.
+//
+// Race protocol: both racers publish into their own result slot, then set
+// their done flag — and the winner slot, first-come — under the portfolio
+// mutex (lock_rank::kPortfolio; never held while a solver runs). The
+// coordinator waits on the condition variable until a racer succeeds or
+// both finish, raises the shared cancel flag to stop the loser
+// (SolveStatus::kCancelled), and joins both threads before returning, so
+// no solver outlives the call.
+#pragma once
+
+#include <atomic>
+
+#include "core/local_search.h"
+#include "core/probe_session.h"
+
+namespace cgraf::core {
+
+enum class PortfolioWinner {
+  kNone,         // neither side produced a feasible floorplan
+  kExact,        // the MILP pipeline finished first (or alone) with kOptimal
+  kLocalSearch,  // the local search finished first with a certified binding
+};
+const char* to_string(PortfolioWinner w);
+
+struct PortfolioOptions {
+  // Options for the racing local search (its `cancel` is overridden by the
+  // race's own flag).
+  LocalSearchOptions ls;
+  // Run the seeding sprint and feed its incumbent to the exact side.
+  bool seed_incumbent = true;
+  // Sprint budget: a fraction of the race's LS budget, spent synchronously
+  // before the race starts.
+  int sprint_iters = 256;
+};
+
+struct PortfolioResult {
+  PortfolioWinner winner = PortfolioWinner::kNone;
+  // Verdicts of both sides: the loser reports kCancelled when the race
+  // actually stopped it (it may also have finished regularly just after
+  // the winner — first finisher still wins).
+  TwoStepResult exact;
+  LocalSearchResult ls;
+  // The sprint produced a certified binding that was encoded into the
+  // exact model and seeded its B&B cutoff.
+  bool incumbent_seeded = false;
+  double seconds = 0.0;
+};
+
+// Races `session.solve(st_target)` against local_search_remap on
+// `ls_spec` (same design/base/frozen/candidates as the session's spec;
+// `ls_spec.st_target` is overwritten with `st_target`). The session's
+// cancel hook and incumbent seed are set for the duration of the call and
+// cleared before returning.
+PortfolioResult race_portfolio(ProbeSession& session, RemapModelSpec ls_spec,
+                               double st_target,
+                               const PortfolioOptions& opts);
+
+}  // namespace cgraf::core

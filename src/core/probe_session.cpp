@@ -52,6 +52,11 @@ bool ProbeSession::ensure_model(double target) {
   return true;
 }
 
+const RemapModel* ProbeSession::model_at(double target) {
+  if (!ensure_model(target)) return nullptr;
+  return &rm_;
+}
+
 TwoStepResult ProbeSession::solve_lp_probe() {
   obs::Span span("probe_session.lp");
   TwoStepResult res;

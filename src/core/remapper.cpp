@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cgrra/stress.h"
+#include "core/portfolio.h"
 #include "core/probe_session.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -275,6 +276,12 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
     }
 
     TwoStepOptions solver_opts = opts.solver;
+    // Exact strategies drive the rounding mode from the strategy table
+    // (--strategy beats any ad-hoc solver.strategy setting); the portfolio
+    // keeps the configured rounding for its exact side.
+    const StrategyInfo& sinfo = strategy_info(opts.strategy);
+    if (sinfo.exact && !sinfo.heuristic)
+      solver_opts.strategy = sinfo.rounding;
     // Unfrozen critical paths (fault mode) need coordinated rigid moves
     // that the greedy dive cannot discover; let branch & bound finish
     // the job when the dive dead-ends.
@@ -294,6 +301,9 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
     attempt_spec.monitored = &monitored;
     attempt_spec.cpd_ns = res.cpd_before_ns;
     attempt_spec.objective = opts.objective;
+    // The heuristic strategies need the same spec (st_target patched per
+    // attempt) after attempt_spec is moved into the session.
+    RemapModelSpec heur_spec = attempt_spec;
     ProbeSession attempt_session(std::move(attempt_spec), solver_opts,
                                  opts.warm_probes);
 
@@ -309,13 +319,71 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
       attempt_span.arg("st_target", target).arg("iter", res.outer_iterations);
       obs::Metrics::global().counter("remap.attempts").add(1);
       const double t_iter = now_seconds();
-      const TwoStepResult solved = attempt_session.solve(target);
-      const RemapModel& rm = attempt_session.model();
-      res.last_solve = solved.stats;
+
+      // Strategy dispatch: exact MILP, local search, or the race of both.
+      // Each branch fills the same verdict slots so the STA re-check and
+      // reporting below stay strategy-agnostic.
+      bool solved_ok = false;
+      // Heuristic results already carry a green certify_floorplan
+      // certificate from the in-search oracle (same spec as the gate
+      // below); re-certifying them would be a no-op.
+      bool oracle_certified = false;
+      Floorplan solved_fp;
+      std::string status_str;
+      int vars = 0;
+      // The per-attempt LS stream: reproducible, distinct per Delta-loop
+      // iteration.
+      LocalSearchOptions ls_opts = opts.ls;
+      ls_opts.seed = opts.ls.seed ^
+                     (0x9e3779b97f4a7c15ULL *
+                      static_cast<std::uint64_t>(res.outer_iterations));
+      if (ls_opts.events == nullptr) ls_opts.events = events;
+      if (opts.verify.enabled) ls_opts.tol = opts.verify.tol;
+
+      if (opts.strategy == SolveStrategy::kLocalSearch) {
+        heur_spec.st_target = target;
+        const LocalSearchResult lsr = local_search_remap(heur_spec, ls_opts);
+        res.ls_stats.add(lsr.stats);
+        solved_ok = lsr.feasible;
+        oracle_certified = lsr.certified;
+        if (solved_ok) solved_fp = lsr.floorplan;
+        status_str = solved_ok ? "feasible" : "infeasible";
+      } else if (opts.strategy == SolveStrategy::kPortfolio) {
+        PortfolioOptions popts;
+        popts.ls = ls_opts;
+        const PortfolioResult pr =
+            race_portfolio(attempt_session, heur_spec, target, popts);
+        ++res.portfolio_races;
+        res.ls_stats.add(pr.ls.stats);
+        res.last_solve = pr.exact.stats;
+        if (pr.incumbent_seeded) ++res.portfolio_seeded;
+        if (pr.winner == PortfolioWinner::kExact) {
+          ++res.portfolio_exact_wins;
+          solved_ok = true;
+          solved_fp = pr.exact.floorplan;
+          vars = attempt_session.model().num_binary_vars;
+        } else if (pr.winner == PortfolioWinner::kLocalSearch) {
+          ++res.portfolio_ls_wins;
+          solved_ok = true;
+          oracle_certified = true;
+          solved_fp = pr.ls.floorplan;
+        }
+        status_str = std::string("portfolio_") + to_string(pr.winner);
+      } else {
+        const TwoStepResult solved = attempt_session.solve(target);
+        res.last_solve = solved.stats;
+        vars = attempt_session.model().num_binary_vars;
+        status_str = milp::to_string(solved.status);
+        if (solved.status == milp::SolveStatus::kOptimal) {
+          solved_ok = true;
+          solved_fp = solved.floorplan;
+        }
+      }
+
       bool cpd_ok = false;
-      if (solved.status == milp::SolveStatus::kOptimal) {
-        CGRAF_ASSERT(is_valid(design, solved.floorplan, &why));
-        if (opts.verify.enabled) {
+      if (solved_ok) {
+        CGRAF_ASSERT(is_valid(design, solved_fp, &why));
+        if (opts.verify.enabled && !oracle_certified) {
           verify::FloorplanSpec fspec;
           fspec.design = &design;
           fspec.reference = &base;
@@ -324,7 +392,7 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
           fspec.monitored = &monitored;
           fspec.cpd_ns = res.cpd_before_ns;
           const verify::Certificate cert = verify::certify_floorplan(
-              fspec, solved.floorplan, opts.verify.tol);
+              fspec, solved_fp, opts.verify.tol);
           if (!cert.ok) {
             ++res.certify_rejections;
             obs::Metrics::global()
@@ -336,31 +404,32 @@ RemapResult aging_aware_remap(const Design& design, const Floorplan& baseline,
             return false;
           }
         }
-        const timing::StaResult sta1 = run_sta(graph, solved.floorplan);
+        const timing::StaResult sta1 = run_sta(graph, solved_fp);
         cpd_ok = sta1.cpd_ns <= res.cpd_before_ns + 1e-9;
         if (cpd_ok) {
-          out = solved.floorplan;
+          out = std::move(solved_fp);
           out_cpd = sta1.cpd_ns;
         }
       }
-      attempt_span.arg("status", milp::to_string(solved.status))
+      attempt_span.arg("status", status_str)
           .arg("cpd_ok", cpd_ok)
-          .arg("vars", rm.num_binary_vars);
+          .arg("vars", vars);
       obs::Event(events, "remap.attempt")
           .arg("iter", res.outer_iterations)
           .arg("st_target", target)
-          .arg("status", milp::to_string(solved.status))
+          .arg("status", status_str)
+          .arg("strategy", to_string(opts.strategy))
           .arg("cpd_ok", cpd_ok)
-          .arg("vars", rm.num_binary_vars)
+          .arg("vars", vars)
           .arg("seconds", now_seconds() - t_iter);
       obs::Progress::global().logf(
           opts.verbose,
-          "  [remap] iter=%d st_target=%.4f vars=%d paths=%d status=%s "
+          "  [remap] iter=%d st_target=%.4f vars=%d status=%s "
           "cpd_ok=%d rounds=%d fixed=%d nodes=%ld %.2fs",
-          res.outer_iterations, target, rm.num_binary_vars, rm.num_path_rows,
-          milp::to_string(solved.status), cpd_ok ? 1 : 0,
-          solved.stats.dive_rounds, solved.stats.vars_fixed,
-          solved.stats.mip_nodes, now_seconds() - t_iter);
+          res.outer_iterations, target, vars, status_str.c_str(),
+          cpd_ok ? 1 : 0, res.last_solve.dive_rounds,
+          res.last_solve.vars_fixed, res.last_solve.mip_nodes,
+          now_seconds() - t_iter);
       return cpd_ok;
     };
 

@@ -10,8 +10,10 @@
 
 #include "aging/mttf.h"
 #include "core/candidates.h"
+#include "core/local_search.h"
 #include "core/rotation.h"
 #include "core/st_target.h"
+#include "core/strategy.h"
 #include "core/two_step.h"
 #include "timing/paths.h"
 
@@ -79,6 +81,16 @@ struct RemapOptions {
   TwoStepOptions solver = default_remap_solver_options();
   ObjectiveMode objective = ObjectiveMode::kMinPerturbation;
 
+  // How each Delta-loop attempt is solved (core/strategy.h): the exact
+  // MILP pipeline (dive / fix-once / ilp rounding), the shift/swap local
+  // search alone, or the first-finisher-wins portfolio of both. Exact
+  // strategies override solver.strategy from the table.
+  SolveStrategy strategy = SolveStrategy::kExactDive;
+  // Local-search knobs for kLocalSearch and kPortfolio. The per-attempt
+  // stream mixes ls.seed with the outer iteration so Delta-loop retries
+  // explore differently but reproducibly.
+  LocalSearchOptions ls{};
+
   // Fault recovery: PEs that must not host any operation (worn out or
   // failed fabric cells). Ops currently bound there — critical or not —
   // become free and are re-bound elsewhere; the CPD guarantee still holds
@@ -125,6 +137,14 @@ struct RemapResult {
   int probe_basis_fallbacks = 0;
   int probe_model_rebuilds = 0;
   TwoStepStats last_solve;
+  // Local-search accounting, aggregated over every attempt that ran the
+  // heuristic (kLocalSearch and the portfolio's LS side + sprints).
+  LocalSearchStats ls_stats;
+  // Portfolio race outcomes across the Delta loop.
+  int portfolio_races = 0;
+  int portfolio_exact_wins = 0;
+  int portfolio_ls_wins = 0;
+  int portfolio_seeded = 0;  // races whose exact side got an LS incumbent
   double seconds = 0.0;
   std::string note;  // human-readable outcome summary
 

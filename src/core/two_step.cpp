@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/strategy.h"
 #include "milp/simplex.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -143,6 +144,14 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
       finish_span(!opts.bnb_fallback);
       return !opts.bnb_fallback;
     }
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed)) {
+      // Cancelled solves are definitive: the caller is tearing the race
+      // down, so the B&B fallback must not start a fresh search.
+      res.status = milp::SolveStatus::kCancelled;
+      finish_span(true);
+      return true;
+    }
     lp = engine.solve(lb, ub, good_basis.empty() ? nullptr : &good_basis);
     if (res.stats.dive_rounds == 0)
       res.stats.warm_start_used = opts.warm_basis != nullptr && lp.warm_used;
@@ -249,16 +258,6 @@ bool iterative_dive(const RemapModel& rm, const TwoStepOptions& opts,
   return true;
 }
 
-const char* strategy_name(RoundingStrategy s) {
-  switch (s) {
-    case RoundingStrategy::kIterativeDive: return "iterative_dive";
-    case RoundingStrategy::kThresholdFixOnce: return "threshold_fix_once";
-    case RoundingStrategy::kRandomizedRound: return "randomized_round";
-    case RoundingStrategy::kNone: return "none";
-  }
-  return "?";
-}
-
 }  // namespace
 
 TwoStepResult solve_two_step(const RemapModel& rm,
@@ -270,9 +269,12 @@ TwoStepResult solve_two_step(const RemapModel& rm,
   if (opts.lp.events == nullptr) opts.lp.events = opts.events;
   if (opts.mip.events == nullptr) opts.mip.events = opts.events;
   if (opts.mip.lp.events == nullptr) opts.mip.lp.events = opts.events;
+  if (opts.lp.cancel == nullptr) opts.lp.cancel = opts.cancel;
+  if (opts.mip.cancel == nullptr) opts.mip.cancel = opts.cancel;
+  if (opts.mip.lp.cancel == nullptr) opts.mip.lp.cancel = opts.cancel;
 
   obs::Span solve_span("two_step.solve");
-  solve_span.arg("strategy", strategy_name(opts.strategy))
+  solve_span.arg("strategy", to_string(opts.strategy))
       .arg("lp_only", opts.lp_only)
       .arg("vars", rm.num_binary_vars);
   obs::Metrics::global().counter("two_step.solves").add(1);
@@ -285,7 +287,7 @@ TwoStepResult solve_two_step(const RemapModel& rm,
       obs::Metrics::global().counter("two_step.unfixed_fallbacks").add(1);
     obs::Event ev(opts.events, "twostep.solve");
     if (ev.active()) {
-      ev.arg("strategy", strategy_name(opts.strategy))
+      ev.arg("strategy", to_string(opts.strategy))
           .arg("lp_only", opts.lp_only)
           .arg("status", milp::to_string(res.status))
           .arg("lp_iterations", res.stats.lp_iterations)

@@ -9,6 +9,7 @@
 // and rounding ablation benches.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/model_builder.h"
@@ -63,6 +64,11 @@ struct TwoStepOptions {
   // here covers every LP and B&B solve underneath, plus a "twostep.solve"
   // summary record per call.
   obs::EventLog* events = nullptr;
+  // Cooperative cancellation, propagated the same way into lp.cancel,
+  // mip.cancel and mip.lp.cancel and checked between dive rounds. A
+  // cancelled solve reports SolveStatus::kCancelled (the portfolio race
+  // raises it to stop the losing side).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct TwoStepStats {

@@ -96,6 +96,29 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     }
     MipOptions inner = opts;
     inner.presolve = false;
+    // Map the incumbent seed into the reduced variable space. A seed that
+    // disagrees with a presolve-fixed value cannot be feasible for the
+    // reduced model, so it is dropped rather than lifted incorrectly.
+    std::vector<double> reduced_seed;
+    inner.initial_incumbent = nullptr;
+    if (opts.initial_incumbent != nullptr &&
+        static_cast<int>(opts.initial_incumbent->size()) == model.num_vars()) {
+      const std::vector<double>& seed = *opts.initial_incumbent;
+      reduced_seed.assign(static_cast<size_t>(pre.reduced.num_vars()), 0.0);
+      bool ok = true;
+      for (int j = 0; j < model.num_vars(); ++j) {
+        const int rj = pre.var_map[static_cast<size_t>(j)];
+        if (rj >= 0) {
+          reduced_seed[static_cast<size_t>(rj)] = seed[static_cast<size_t>(j)];
+        } else if (std::abs(seed[static_cast<size_t>(j)] -
+                            pre.fixed_value[static_cast<size_t>(j)]) >
+                   10 * opts.lp.tol_feas) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) inner.initial_incumbent = &reduced_seed;
+    }
     MipResult r = solve_milp(pre.reduced, inner);
     // Lift the incumbent and re-account the objective/bound for the
     // eliminated variables' constant contribution.
@@ -162,10 +185,58 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
     }
   }
 
+  // Validate the heuristic incumbent seed before the tree opens: integral
+  // within int_tol, inside the (rounded-inward) root bounds, and feasible
+  // under the same 10x tol_feas gate round_candidate applies to its own
+  // candidates. A valid seed becomes the opening incumbent, so best-bound
+  // pruning cuts against its objective from the first node; it never
+  // satisfies stop_at_first_incumbent by itself.
+  std::vector<double> seed_x;
+  double seed_internal = kInf;
+  if (opts.initial_incumbent != nullptr &&
+      static_cast<int>(opts.initial_incumbent->size()) == n) {
+    seed_x = *opts.initial_incumbent;
+    bool ok = true;
+    for (const int j : int_vars) {
+      double& v = seed_x[static_cast<size_t>(j)];
+      const double r = std::round(v);
+      if (std::abs(v - r) > opts.int_tol) {
+        ok = false;
+        break;
+      }
+      v = r;
+    }
+    for (int j = 0; ok && j < n; ++j) {
+      if (seed_x[static_cast<size_t>(j)] <
+              root_lb[static_cast<size_t>(j)] - 10 * opts.lp.tol_feas ||
+          seed_x[static_cast<size_t>(j)] >
+              root_ub[static_cast<size_t>(j)] + 10 * opts.lp.tol_feas) {
+        ok = false;
+      }
+    }
+    if (ok && model.max_violation(seed_x) <= 10 * opts.lp.tol_feas) {
+      seed_internal = sign * model.objective_value(seed_x);
+      res.incumbent_seeded = true;
+    } else {
+      seed_x.clear();
+    }
+  }
+
   Shared sh;
   {
     MutexLock lk(&sh.mu);
     sh.open.push(Node{nullptr, nullptr, -kInf, 0, 0});
+    if (res.incumbent_seeded) {
+      sh.incumbent_internal = seed_internal;
+      sh.incumbent_x = std::move(seed_x);
+    }
+  }
+  if (res.incumbent_seeded) {
+    obs::Metrics::global().counter("bnb.seeded_incumbents").add(1);
+    obs::Event(events, "bnb.incumbent")
+        .arg("seq", 0L)
+        .arg("obj", sign * seed_internal)
+        .arg("seeded", true);
   }
 
   // Rounds integer variables of an LP point; returns the internal objective
@@ -225,6 +296,13 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
         sh.cv.notify_all();
         break;
       }
+      if (opts.cancel != nullptr &&
+          opts.cancel->load(std::memory_order_relaxed)) {
+        sh.limit_hit = SolveStatus::kCancelled;
+        sh.stop = true;
+        sh.cv.notify_all();
+        break;
+      }
 
       Node node = sh.open.top();
       sh.open.pop();
@@ -256,6 +334,7 @@ MipResult solve_milp(const Model& model, const MipOptions& opts) {
       lp_opts.time_limit_s =
           std::min(lp_opts.time_limit_s, std::max(0.0, remaining));
       lp_opts.events = events;  // node LPs feed the same solve-event log
+      if (lp_opts.cancel == nullptr) lp_opts.cancel = opts.cancel;
       engine.set_options(lp_opts);
       LpResult lp = engine.solve(lb, ub, node.warm.get());
 

@@ -41,6 +41,19 @@ struct MipOptions {
   // and propagates the sink into every node LP (unless lp.events was
   // already set explicitly).
   obs::EventLog* events = nullptr;
+  // Heuristic incumbent seed (full-length structural vector, model space).
+  // When it validates — integral within int_tol, max constraint violation
+  // within 10x lp.tol_feas — the search opens with it as the incumbent, so
+  // best-bound pruning cuts against its objective from the first node. The
+  // seed never satisfies stop_at_first_incumbent by itself: the tree still
+  // runs until a worker finds its own incumbent or proves none beats the
+  // seed (in which case the seed is returned as kOptimal). An invalid seed
+  // is dropped silently (MipResult::incumbent_seeded stays false).
+  const std::vector<double>* initial_incumbent = nullptr;
+  // Cooperative cancellation, checked by every worker between nodes and
+  // forwarded into node LPs. A cancelled run reports kCancelled unless an
+  // incumbent was already found (then kFeasible, like a limit hit).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct MipResult {
@@ -54,6 +67,9 @@ struct MipResult {
   int threads_used = 1;
   std::vector<long> nodes_per_thread;  // size threads_used
   LpStageStats lp_stats;               // aggregated over all node LPs
+  // The initial_incumbent seed validated and entered the search as the
+  // opening incumbent (regardless of whether a worker later beat it).
+  bool incumbent_seeded = false;
 
   bool has_solution() const { return !x.empty(); }
 };

@@ -24,6 +24,7 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::kTimeLimit: return "time-limit";
     case SolveStatus::kNodeLimit: return "node-limit";
     case SolveStatus::kNumericalError: return "numerical-error";
+    case SolveStatus::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -471,8 +472,10 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
 
       while (iter < opts_.max_iters) {
         if ((iter & 127) == 0 &&
-            now_seconds() - t_start > opts_.time_limit_s) {
-          break;  // the primal loop reports the limit status
+            (now_seconds() - t_start > opts_.time_limit_s ||
+             (opts_.cancel != nullptr &&
+              opts_.cancel->load(std::memory_order_relaxed)))) {
+          break;  // the primal loop reports the limit/cancel status
         }
         if (!d_valid ||
             updates_since_refresh >= opts_.pricing_refresh_interval) {
@@ -783,6 +786,10 @@ LpResult SimplexEngine::solve(const std::vector<double>& lb,
     if (iter >= opts_.max_iters) return finish(SolveStatus::kIterLimit);
     if ((iter & 127) == 0 && now_seconds() - t_start > opts_.time_limit_s)
       return finish(SolveStatus::kTimeLimit);
+    if ((iter & 127) == 0 && opts_.cancel != nullptr &&
+        opts_.cancel->load(std::memory_order_relaxed)) {
+      return finish(SolveStatus::kCancelled);
+    }
     res.iterations = iter;
 
     // --- Phase detection: any basic outside its bounds forces phase 1.

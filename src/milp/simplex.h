@@ -6,6 +6,7 @@
 // matrix is standardized only once.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "milp/model.h"
@@ -26,6 +27,7 @@ enum class SolveStatus {
   kTimeLimit,   // time limit without a feasible point
   kNodeLimit,   // node limit without a feasible point (MIP)
   kNumericalError,
+  kCancelled,   // external cancel flag raised (portfolio race loser)
 };
 
 const char* to_string(SolveStatus s);
@@ -100,6 +102,11 @@ struct LpOptions {
   // so the pointer is plumbed to EVERY engine (B&B children, dive LPs,
   // probe chains) or the totals would undercount.
   obs::EventLog* events = nullptr;
+  // Cooperative cancellation: when non-null and set, the iteration loops
+  // stop at the next limit check and the solve returns kCancelled. The
+  // pointed-to flag must outlive every solve that sees it (the portfolio
+  // race owns one per attempt and raises it to stop the losing side).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Nonbasic/basic status of one column, used for warm starts.

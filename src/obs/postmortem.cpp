@@ -102,6 +102,21 @@ void fold_record(const JsonValue& rec, PostmortemReport& r) {
     if (rec.bool_or("cpd_ok", false)) ++r.remap_attempts_cpd_ok;
     return;
   }
+  if (type == "ls.search") {
+    ++r.ls_searches;
+    r.ls_moves_examined += rec.int_or("examined", 0);
+    r.ls_moves_accepted += rec.int_or("accepted", 0);
+    r.ls_oracle_rejections += rec.int_or("oracle_rejections", 0);
+    return;
+  }
+  if (type == "portfolio.result") {
+    ++r.portfolio_races;
+    const std::string winner = rec.str_or("winner", "");
+    if (winner == "exact") ++r.portfolio_exact_wins;
+    if (winner == "ls") ++r.portfolio_ls_wins;
+    if (rec.bool_or("seeded", false)) ++r.portfolio_seeded;
+    return;
+  }
   // st.search_begin / st.probe / remap.begin / bnb.end and unknown types:
   // counted in records_by_type only.
 }
@@ -275,7 +290,8 @@ std::string PostmortemReport::to_text() const {
     out += "\n";
   }
 
-  if (remap_runs > 0 || remap_attempts > 0 || st_searches > 0) {
+  if (remap_runs > 0 || remap_attempts > 0 || st_searches > 0 ||
+      ls_searches > 0 || portfolio_races > 0) {
     out += "--- pipeline ---\n";
     AsciiTable t({"metric", "count"});
     t.add_row({"st_target searches", fmt_long(st_searches)});
@@ -284,6 +300,20 @@ std::string PostmortemReport::to_text() const {
     t.add_row({"remap attempts",
                fmt_long(remap_attempts) + " (" +
                    fmt_long(remap_attempts_cpd_ok) + " cpd-ok)"});
+    if (ls_searches > 0) {
+      t.add_row({"ls searches",
+                 fmt_long(ls_searches) + " (" +
+                     fmt_long(ls_moves_accepted) + "/" +
+                     fmt_long(ls_moves_examined) + " moves, " +
+                     fmt_long(ls_oracle_rejections) + " oracle-rejected)"});
+    }
+    if (portfolio_races > 0) {
+      t.add_row({"portfolio races",
+                 fmt_long(portfolio_races) + " (" +
+                     fmt_long(portfolio_exact_wins) + " exact, " +
+                     fmt_long(portfolio_ls_wins) + " ls, " +
+                     fmt_long(portfolio_seeded) + " seeded)"});
+    }
     out += t.render();
   }
   return out;
@@ -376,6 +406,14 @@ std::string PostmortemReport::to_json() const {
   w.field("remap_runs", remap_runs);
   w.field("remap_attempts", remap_attempts);
   w.field("remap_attempts_cpd_ok", remap_attempts_cpd_ok);
+  w.field("ls_searches", ls_searches);
+  w.field("ls_moves_examined", ls_moves_examined);
+  w.field("ls_moves_accepted", ls_moves_accepted);
+  w.field("ls_oracle_rejections", ls_oracle_rejections);
+  w.field("portfolio_races", portfolio_races);
+  w.field("portfolio_exact_wins", portfolio_exact_wins);
+  w.field("portfolio_ls_wins", portfolio_ls_wins);
+  w.field("portfolio_seeded", portfolio_seeded);
   w.end_object();
 
   w.end_object();

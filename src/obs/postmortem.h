@@ -87,6 +87,16 @@ struct PostmortemReport {
   long remap_attempts = 0;
   long remap_attempts_cpd_ok = 0;
 
+  // --- ls.search / portfolio.result ---------------------------------------
+  long ls_searches = 0;           // ls.search records
+  long ls_moves_examined = 0;
+  long ls_moves_accepted = 0;
+  long ls_oracle_rejections = 0;
+  long portfolio_races = 0;       // portfolio.result records
+  long portfolio_exact_wins = 0;
+  long portfolio_ls_wins = 0;
+  long portfolio_seeded = 0;
+
   // Lines that failed to parse (offset = 1-based line number).
   std::vector<std::pair<long, std::string>> parse_errors;
 

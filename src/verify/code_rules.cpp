@@ -29,6 +29,8 @@ const std::vector<CodeRuleInfo>& code_rules() {
        "declared rule ID (ML/FL/DL/CL) appears in no test file"},
       {"CL010", Severity::kError,
        "malformed or unused CGRAF_LINT_ALLOW suppression"},
+      {"CL011", Severity::kError,
+       "ad-hoc strategy-name string comparisons outside core/strategy.*"},
   };
   return kRules;
 }

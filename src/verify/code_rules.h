@@ -48,6 +48,11 @@ struct CodeRuleInfo {
 //              no test file — every rule needs a fixture that fires it
 // CL010 error  malformed CGRAF_LINT_ALLOW suppression: unknown rule ID,
 //              missing ": reason", or a suppression that matched nothing
+// CL011 error  two or more distinct canonical strategy names ("dive",
+//              "fix-once", "ilp", "local-search", "portfolio") compared
+//              with ==/!= against strings outside src/core/strategy.* —
+//              a hand-rolled strategy parser/printer that will miss the
+//              next table entry; use parse_strategy()/to_string()
 const std::vector<CodeRuleInfo>& code_rules();
 
 // Lookup by ID; nullptr when unknown.

@@ -1,0 +1,203 @@
+// Exact-vs-local-search portfolio race (core/portfolio.h): the race always
+// returns a certified floorplan when either side can produce one, the
+// exact side wins outright when the heuristic is starved, the LS sprint
+// seeds the branch & bound's opening incumbent, and the race's invariants
+// hold for every worker thread count (the TSan lane runs this suite).
+#include "core/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cgrra/stress.h"
+#include "milp/branch_and_bound.h"
+#include "core/local_search.h"
+
+namespace cgraf::core {
+namespace {
+
+constexpr double kDmuStress = 3.14 / 5.0;
+
+// One fixture shape shared by every test: n kMux ops over 2 contexts on a
+// dim x dim fabric, packed onto the low PEs so balancing requires moves.
+struct Fixture {
+  Design design;
+  Floorplan base;
+  RemapModelSpec spec;
+
+  Fixture(int n, int dim) : design{Fabric(dim, dim), 2, {}, {}} {
+    for (int i = 0; i < n; ++i) {
+      Operation op;
+      op.id = i;
+      op.kind = OpKind::kMux;
+      op.context = i % 2;
+      design.ops.push_back(op);
+      base.op_to_pe.push_back(i / 2);
+    }
+    spec.design = &design;
+    spec.base = &base;
+    spec.frozen.assign(design.ops.size(), 0);
+    spec.candidates.assign(design.ops.size(), {});
+    for (auto& c : spec.candidates)
+      for (int pe = 0; pe < design.fabric.num_pes(); ++pe) c.push_back(pe);
+  }
+};
+
+Floorplan winning_floorplan(const PortfolioResult& pr) {
+  return pr.winner == PortfolioWinner::kExact ? pr.exact.floorplan
+                                              : pr.ls.floorplan;
+}
+
+TEST(Portfolio, RaceProducesAStressFeasibleFloorplan) {
+  Fixture f(8, 4);
+  const double target = kDmuStress + 1e-6;
+  ProbeSession session(f.spec, {});
+  PortfolioOptions popts;
+  popts.ls.seed = 5;
+  const PortfolioResult pr = race_portfolio(session, f.spec, target, popts);
+  ASSERT_NE(pr.winner, PortfolioWinner::kNone);
+  const Floorplan fp = winning_floorplan(pr);
+  std::string why;
+  ASSERT_TRUE(is_valid(f.design, fp, &why)) << why;
+  const StressMap stress = compute_stress(f.design, fp);
+  EXPECT_LE(stress.max_accumulated(), target + 1e-9);
+  EXPECT_GT(pr.seconds, 0.0);
+}
+
+TEST(Portfolio, ExactWinsOutrightWhenHeuristicIsStarved) {
+  Fixture f(8, 4);
+  const double target = kDmuStress + 1e-6;
+  ProbeSession session(f.spec, {});
+  PortfolioOptions popts;
+  popts.seed_incumbent = false;  // no sprint help either
+  popts.ls.max_iters = 1;        // one examined move cannot rebalance 8 ops
+  popts.ls.restarts = 1;
+  const PortfolioResult pr = race_portfolio(session, f.spec, target, popts);
+  ASSERT_EQ(pr.winner, PortfolioWinner::kExact);
+  EXPECT_FALSE(pr.incumbent_seeded);
+  EXPECT_EQ(pr.exact.status, milp::SolveStatus::kOptimal);
+  EXPECT_FALSE(pr.ls.feasible);
+  std::string why;
+  ASSERT_TRUE(is_valid(f.design, pr.exact.floorplan, &why)) << why;
+  const StressMap stress = compute_stress(f.design, pr.exact.floorplan);
+  EXPECT_LE(stress.max_accumulated(), target + 1e-9);
+}
+
+TEST(Portfolio, SprintSeedsTheExactSidesIncumbent) {
+  Fixture f(8, 4);
+  const double target = kDmuStress + 1e-6;
+  ProbeSession session(f.spec, {});
+  PortfolioOptions popts;
+  popts.ls.seed = 11;
+  popts.sprint_iters = 2000;  // ample budget: the sprint must succeed
+  const PortfolioResult pr = race_portfolio(session, f.spec, target, popts);
+  EXPECT_TRUE(pr.incumbent_seeded);
+  ASSERT_NE(pr.winner, PortfolioWinner::kNone);
+  std::string why;
+  ASSERT_TRUE(is_valid(f.design, winning_floorplan(pr), &why)) << why;
+}
+
+TEST(Portfolio, SeededIncumbentShrinksTheBnbTree) {
+  // The portfolio's seeding mechanism, isolated: a certified LS floorplan
+  // encoded into the exact model enters the search as the opening incumbent
+  // and supplies the gap cutoff from node one. With a best-first pool the
+  // nodes below the optimum must be processed either way, so the measurable
+  // saving is the incumbent-hunting prefix: under an absolute gap the
+  // unseeded tree branches until it finds its own incumbent while the
+  // seeded tree stops as soon as the bound is within gap of the seed.
+  //
+  // Heterogeneous stresses (DMU 0.628 vs ALU 0.174) packed onto a 3x3
+  // fabric: the only balanced layouts pair muxes with adds, so the root LP
+  // is fractional and the unseeded incumbent hunt takes real branching.
+  Fixture f(16, 3);
+  for (int i = 0; i < 16; ++i) {
+    f.design.ops[static_cast<std::size_t>(i)].kind =
+        (i % 4) < 2 ? OpKind::kMux : OpKind::kAdd;
+  }
+  constexpr double kAluStress = 0.87 / 5.0;
+  f.spec.st_target = kDmuStress + kAluStress + 1e-6;
+  const RemapModel rm = build_remap_model(f.spec);
+  ASSERT_FALSE(rm.trivially_infeasible);
+
+  milp::MipOptions mo;
+  mo.num_threads = 1;  // deterministic node counts
+  mo.abs_gap = 2.0;    // displacement units; the portfolio's sprint regime
+  const milp::MipResult unseeded = solve_milp(rm.model, mo);
+  ASSERT_EQ(unseeded.status, milp::SolveStatus::kOptimal);
+  ASSERT_GT(unseeded.nodes, 1);
+  EXPECT_FALSE(unseeded.incumbent_seeded);
+
+  LocalSearchOptions ls_opts;
+  ls_opts.seed = 17;
+  ls_opts.max_iters = 6000;
+  ls_opts.restarts = 6;
+  const LocalSearchResult lsr = local_search_remap(f.spec, ls_opts);
+  ASSERT_TRUE(lsr.feasible && lsr.certified);
+  const std::vector<double> seed = rm.encode(lsr.floorplan);
+  ASSERT_FALSE(seed.empty());
+
+  milp::MipOptions seeded_opts = mo;
+  seeded_opts.initial_incumbent = &seed;
+  const milp::MipResult seeded = solve_milp(rm.model, seeded_opts);
+  EXPECT_TRUE(seeded.incumbent_seeded);
+  EXPECT_EQ(seeded.status, milp::SolveStatus::kOptimal);
+  EXPECT_LE(seeded.obj, unseeded.obj + mo.abs_gap + 1e-6);
+  EXPECT_LT(seeded.nodes, unseeded.nodes);
+}
+
+TEST(Portfolio, RaceInvariantsHoldAcrossThreadCounts) {
+  // The TSan lane's target: exercise the full race (sprint, seeding, both
+  // racers, cancellation, join) under 1/2/4 B&B workers. Whatever the
+  // interleaving, the returned floorplan must be valid and stress-feasible
+  // and both racers must have come to rest.
+  const double target = kDmuStress + 1e-6;
+  for (const int threads : {1, 2, 4}) {
+    Fixture f(8, 4);
+    TwoStepOptions solver;
+    solver.mip.num_threads = threads;
+    ProbeSession session(f.spec, solver);
+    PortfolioOptions popts;
+    popts.ls.seed = 23;
+    const PortfolioResult pr = race_portfolio(session, f.spec, target, popts);
+    ASSERT_NE(pr.winner, PortfolioWinner::kNone) << threads << " threads";
+    const Floorplan fp = winning_floorplan(pr);
+    std::string why;
+    ASSERT_TRUE(is_valid(f.design, fp, &why)) << threads << ": " << why;
+    const StressMap stress = compute_stress(f.design, fp);
+    EXPECT_LE(stress.max_accumulated(), target + 1e-9);
+    if (pr.ls.feasible) {
+      EXPECT_TRUE(pr.ls.certified);
+    }
+  }
+}
+
+TEST(Portfolio, LocalSearchSideIsSeedDeterministic) {
+  // The racing LS is single-threaded and seed-deterministic; when it wins
+  // uncancelled it must reproduce the standalone search bit-for-bit.
+  Fixture f(8, 4);
+  f.spec.st_target = kDmuStress + 1e-6;
+  LocalSearchOptions ls_opts;
+  ls_opts.seed = 29;
+  const LocalSearchResult standalone = local_search_remap(f.spec, ls_opts);
+  ASSERT_TRUE(standalone.feasible);
+
+  ProbeSession session(f.spec, {});
+  PortfolioOptions popts;
+  popts.ls = ls_opts;
+  popts.seed_incumbent = false;
+  const PortfolioResult pr =
+      race_portfolio(session, f.spec, f.spec.st_target, popts);
+  if (pr.winner == PortfolioWinner::kLocalSearch) {
+    EXPECT_EQ(pr.ls.floorplan.op_to_pe, standalone.floorplan.op_to_pe);
+    EXPECT_EQ(pr.ls.score, standalone.score);
+  }
+}
+
+TEST(Portfolio, WinnerNamesMatchTheEventVocabulary) {
+  EXPECT_STREQ(to_string(PortfolioWinner::kNone), "none");
+  EXPECT_STREQ(to_string(PortfolioWinner::kExact), "exact");
+  EXPECT_STREQ(to_string(PortfolioWinner::kLocalSearch), "ls");
+}
+
+}  // namespace
+}  // namespace cgraf::core

@@ -1,0 +1,92 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace cgraf::core {
+namespace {
+
+TEST(Strategy, TableCoversEveryEnumeratorExactlyOnce) {
+  const auto& table = strategy_table();
+  ASSERT_EQ(table.size(), 5u);
+  std::set<SolveStrategy> seen;
+  for (const StrategyInfo& row : table) {
+    EXPECT_TRUE(seen.insert(row.strategy).second);
+    EXPECT_NE(row.name[0], '\0');
+    EXPECT_NE(row.summary[0], '\0');
+    // Exactly one engine class per row; the portfolio runs both.
+    EXPECT_TRUE(row.exact || row.heuristic);
+  }
+  for (const SolveStrategy s :
+       {SolveStrategy::kExactDive, SolveStrategy::kExactFixOnce,
+        SolveStrategy::kExactIlp, SolveStrategy::kLocalSearch,
+        SolveStrategy::kPortfolio}) {
+    EXPECT_EQ(seen.count(s), 1u) << to_string(s);
+  }
+}
+
+TEST(Strategy, InfoByEnumMatchesTableRow) {
+  for (const StrategyInfo& row : strategy_table()) {
+    const StrategyInfo& info = strategy_info(row.strategy);
+    EXPECT_EQ(&info, &row);
+  }
+}
+
+TEST(Strategy, ParseResolvesCanonicalNamesAndAliases) {
+  for (const StrategyInfo& row : strategy_table()) {
+    const StrategyInfo* by_name = parse_strategy(row.name);
+    ASSERT_NE(by_name, nullptr) << row.name;
+    EXPECT_EQ(by_name->strategy, row.strategy);
+    if (row.alias[0] != '\0') {
+      const StrategyInfo* by_alias = parse_strategy(row.alias);
+      ASSERT_NE(by_alias, nullptr) << row.alias;
+      EXPECT_EQ(by_alias->strategy, row.strategy);
+    }
+  }
+  // The two documented secondary spellings.
+  ASSERT_NE(parse_strategy("exact"), nullptr);
+  EXPECT_EQ(parse_strategy("exact")->strategy, SolveStrategy::kExactDive);
+  ASSERT_NE(parse_strategy("ls"), nullptr);
+  EXPECT_EQ(parse_strategy("ls")->strategy, SolveStrategy::kLocalSearch);
+}
+
+TEST(Strategy, ParseRejectsUnknownNames) {
+  EXPECT_EQ(parse_strategy(""), nullptr);
+  EXPECT_EQ(parse_strategy("simulated-annealing"), nullptr);
+  EXPECT_EQ(parse_strategy("DIVE"), nullptr);  // spellings are exact
+}
+
+TEST(Strategy, ToStringRoundTripsThroughParse) {
+  for (const StrategyInfo& row : strategy_table()) {
+    const char* name = to_string(row.strategy);
+    EXPECT_STREQ(name, row.name);
+    const StrategyInfo* back = parse_strategy(name);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->strategy, row.strategy);
+  }
+}
+
+TEST(Strategy, EngineClassFlagsMatchSemantics) {
+  EXPECT_TRUE(strategy_info(SolveStrategy::kExactDive).exact);
+  EXPECT_FALSE(strategy_info(SolveStrategy::kExactDive).heuristic);
+  EXPECT_FALSE(strategy_info(SolveStrategy::kLocalSearch).exact);
+  EXPECT_TRUE(strategy_info(SolveStrategy::kLocalSearch).heuristic);
+  EXPECT_TRUE(strategy_info(SolveStrategy::kPortfolio).exact);
+  EXPECT_TRUE(strategy_info(SolveStrategy::kPortfolio).heuristic);
+  EXPECT_EQ(strategy_info(SolveStrategy::kExactFixOnce).rounding,
+            RoundingStrategy::kThresholdFixOnce);
+  EXPECT_EQ(strategy_info(SolveStrategy::kExactIlp).rounding,
+            RoundingStrategy::kNone);
+}
+
+TEST(Strategy, CliValuesListEveryCanonicalName) {
+  const std::string values = strategy_cli_values();
+  for (const StrategyInfo& row : strategy_table()) {
+    EXPECT_NE(values.find(row.name), std::string::npos) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace cgraf::core

@@ -1,4 +1,4 @@
-// Fixture tests for the cgraf_lint engine (rules CL001-CL010).
+// Fixture tests for the cgraf_lint engine (rules CL001-CL011).
 //
 // Each rule has a bad fixture that must fire it and a good fixture that
 // must stay clean; fixtures live in tests/verify/fixtures/cl/ (excluded
@@ -231,6 +231,30 @@ TEST(CodeLint, Cl010CleanAndSuppressionAbsorbsFinding) {
   EXPECT_TRUE(r.clean());
 }
 
+TEST(CodeLint, Cl011FiresOnAdHocStrategyNameParsing) {
+  const LintReport r =
+      lint_rule("CL011", "src/core/dispatch.cpp", "cl011_bad.cpp");
+  ASSERT_EQ(count_rule(r, "CL011"), 1);  // one finding per file, not per hit
+  EXPECT_NE(r.findings[0].message.find("'dive'"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("'portfolio'"), std::string::npos);
+}
+
+TEST(CodeLint, Cl011CleanOnSingleNameAndTableUse) {
+  const LintReport r =
+      lint_rule("CL011", "src/obs/postmortem.cpp", "cl011_good.cpp");
+  EXPECT_EQ(count_rule(r, "CL011"), 0);
+}
+
+TEST(CodeLint, Cl011ExemptsTheStrategyTableItself) {
+  // The table's own parser/printer is the one sanctioned home for the
+  // canonical spellings.
+  CodeLintOptions opts;
+  opts.rules = {"CL011"};
+  const LintReport r = lint_sources(
+      {{"src/core/strategy.cpp", fixture("cl011_bad.cpp")}}, opts);
+  EXPECT_EQ(count_rule(r, "CL011"), 0);
+}
+
 TEST(CodeLint, SuppressionOnSameLineAlsoWorks) {
   CodeLintOptions opts;
   const LintReport r = lint_sources(
@@ -272,10 +296,10 @@ TEST(CodeLint, ExtraFindingsMergeUnderSuppressions) {
 
 TEST(CodeLint, RuleCatalogIsCompleteAndQueryable) {
   const auto& rules = verify::code_rules();
-  ASSERT_EQ(rules.size(), 10u);
-  for (int i = 1; i <= 10; ++i) {
+  ASSERT_EQ(rules.size(), 11u);
+  for (int i = 1; i <= 11; ++i) {
     const std::string id = "CL00" + std::to_string(i);
-    const std::string norm = i == 10 ? "CL010" : id;
+    const std::string norm = i >= 10 ? "CL0" + std::to_string(i) : id;
     const verify::CodeRuleInfo* info = verify::find_code_rule(norm);
     ASSERT_NE(info, nullptr) << norm;
     EXPECT_EQ(info->severity, Severity::kError);

@@ -1,0 +1,11 @@
+// CL011 bad fixture: a hand-rolled strategy parser — distinct canonical
+// names compared against strings with ==/!= outside core/strategy.*.
+#include <string>
+
+int pick(const std::string& s) {
+  if (s == "dive") return 0;
+  if (s == "ilp") return 2;
+  if ("fix-once" == s) return 1;
+  if (s != "portfolio") return -1;
+  return 4;
+}

@@ -1,0 +1,13 @@
+// CL011 good fixture: a single name in a comparison is fine (an event
+// vocabulary, a test expectation); resolution of many names goes through
+// the strategy table.
+#include <string>
+
+struct StrategyInfo;
+const StrategyInfo* parse_strategy(const std::string& s);
+
+bool is_portfolio_record(const std::string& type) {
+  return type == "portfolio";  // one name: not a parser
+}
+
+const StrategyInfo* pick(const std::string& s) { return parse_strategy(s); }

@@ -55,7 +55,8 @@ int usage(int code = 2) {
                "  place  --design FILE --out FILE [--seed S]\n"
                "  remap  --design FILE --floorplan FILE --out FILE"
                " [--mode freeze|rotate] [--margin F] [--seed S]\n"
-               "         [--strategy dive|fix-once|ilp] [--threads N]"
+               "         [--strategy dive|fix-once|ilp|ls|portfolio]"
+               " [--ls-seed S] [--ls-iters N] [--threads N]"
                " [--warm-probes on|off]\n"
                "         [--lp-algorithm primal|dual|auto] [--verbose]\n"
                "  report --design FILE --floorplan FILE [--compare FILE]\n"
@@ -304,20 +305,39 @@ int cmd_remap(const Args& args) {
   opts.path_margin = *margin;
   opts.seed = std::strtoull(args.get_or("seed", "1").c_str(), nullptr, 10);
   opts.verbose = args.has("verbose");
-  // Solver controls, mostly useful together with --trace: `--strategy ilp
-  // --threads N` forces every attempt through the parallel branch & bound,
-  // so the trace shows one lane per worker.
+  // Solve strategy, resolved through the one shared table
+  // (core/strategy.h): exact rounding modes, the local-search heuristic,
+  // or the portfolio race. `--strategy ilp --threads N` forces every
+  // attempt through the parallel branch & bound, so the trace shows one
+  // lane per worker.
   const std::string strategy = args.get_or("strategy", "dive");
-  if (strategy == "dive") {
-    opts.solver.strategy = core::RoundingStrategy::kIterativeDive;
-  } else if (strategy == "fix-once") {
-    opts.solver.strategy = core::RoundingStrategy::kThresholdFixOnce;
-  } else if (strategy == "ilp") {
-    opts.solver.strategy = core::RoundingStrategy::kNone;
-  } else {
-    std::fprintf(stderr, "unknown --strategy '%s' (dive|fix-once|ilp)\n",
-                 strategy.c_str());
+  const core::StrategyInfo* sinfo = core::parse_strategy(strategy);
+  if (sinfo == nullptr) {
+    std::fprintf(stderr, "unknown --strategy '%s' (%s)\n", strategy.c_str(),
+                 core::strategy_cli_values().c_str());
     return 1;
+  }
+  opts.strategy = sinfo->strategy;
+  // Local-search knobs (meaningful for the ls and portfolio strategies).
+  if (const auto ls_seed = args.get("ls-seed")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(ls_seed->c_str(), &end, 10);
+    if (end == ls_seed->c_str() || *end != '\0') {
+      std::fprintf(stderr, "invalid --ls-seed '%s'\n", ls_seed->c_str());
+      return 1;
+    }
+    opts.ls.seed = v;
+  }
+  if (const auto ls_iters = args.get("ls-iters")) {
+    char* end = nullptr;
+    const long v = std::strtol(ls_iters->c_str(), &end, 10);
+    if (end == ls_iters->c_str() || *end != '\0' || v <= 0) {
+      std::fprintf(stderr,
+                   "invalid --ls-iters '%s': expected a positive integer\n",
+                   ls_iters->c_str());
+      return 1;
+    }
+    opts.ls.max_iters = static_cast<int>(v);
   }
   if (const auto threads = args.get("threads")) {
     // Strict parse: a typo like "-2" or "2x" must fail loudly, not fall
@@ -384,6 +404,20 @@ int cmd_remap(const Args& args) {
     // how much of the work the dual loop carried.
     std::printf("%s", core::format_solver_stats(result.last_solve).c_str());
   }
+  std::printf("strategy: %s", core::to_string(opts.strategy));
+  if (result.portfolio_races > 0) {
+    std::printf(" | races: %d (exact %d, ls %d, seeded %d)",
+                result.portfolio_races, result.portfolio_exact_wins,
+                result.portfolio_ls_wins, result.portfolio_seeded);
+  }
+  if (result.ls_stats.restarts_run > 0) {
+    std::printf(" | ls: %ld/%ld moves, %ld oracle calls",
+                result.ls_stats.moves_accepted,
+                result.ls_stats.moves_examined, result.ls_stats.oracle_calls);
+    if (result.ls_stats.start_repairs > 0)
+      std::printf(", %ld start repairs", result.ls_stats.start_repairs);
+  }
+  std::printf("\n");
   std::printf("cpd: %.3f -> %.3f ns | max stress: %.3f -> %.3f | "
               "MTTF: %.2f -> %.2f years (%.2fx)\n",
               result.cpd_before_ns, result.cpd_after_ns, result.st_max_before,
@@ -733,8 +767,9 @@ int main(int argc, char** argv) {
       args.check_allowed({"design", "out", "seed"});
     } else if (cmd == "remap") {
       args.check_allowed({"design", "floorplan", "out", "mode", "margin",
-                          "seed", "strategy", "threads", "warm-probes",
-                          "lp-algorithm", "verbose"});
+                          "seed", "strategy", "ls-seed", "ls-iters",
+                          "threads", "warm-probes", "lp-algorithm",
+                          "verbose"});
     } else if (cmd == "report") {
       args.check_allowed({"design", "floorplan", "compare"});
     } else if (cmd == "lint") {

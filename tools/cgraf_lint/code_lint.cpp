@@ -725,6 +725,47 @@ void rules_cl007_cl008(const Corpus& c, std::vector<RawFinding>* out,
   }
 }
 
+// CL011: ad-hoc strategy-name string comparisons outside the one table
+// (core/strategy.*). A single name in a comparison can be legitimate (an
+// event-vocabulary check, a test expectation); two or more distinct
+// canonical names compared in one file is the shape of a hand-rolled
+// parser/printer that will silently miss the next strategy added to the
+// table. The alias spellings ("exact", "ls") are excluded — they are
+// generic words that appear in unrelated vocabularies (e.g. the portfolio
+// winner strings the postmortem folds).
+void rule_cl011(const LexedFile& f, std::vector<RawFinding>* out) {
+  if (path_ends_with(f.path, "core/strategy.h") ||
+      path_ends_with(f.path, "core/strategy.cpp")) {
+    return;
+  }
+  static const std::set<std::string> kNames = {
+      "dive", "fix-once", "ilp", "local-search", "portfolio"};
+  const auto& T = f.tokens;
+  std::set<std::string> seen;
+  int first_line = 0;
+  for (std::size_t i = 1; i + 1 < T.size(); ++i) {
+    if (!is_punct(T[i], "==") && !is_punct(T[i], "!=")) continue;
+    const Token* lit = nullptr;
+    if (T[i - 1].kind == TokKind::kString) lit = &T[i - 1];
+    if (T[i + 1].kind == TokKind::kString) lit = &T[i + 1];
+    if (lit == nullptr || kNames.count(lit->text) == 0) continue;
+    if (seen.empty()) first_line = T[i].line;
+    seen.insert(lit->text);
+  }
+  if (seen.size() < 2) return;
+  std::string names;
+  for (const std::string& n : seen) {
+    if (!names.empty()) names += ", ";
+    names += "'" + n + "'";
+  }
+  out->push_back(RawFinding{
+      "CL011", f.path, first_line,
+      "ad-hoc strategy-name comparisons (" + names +
+          ") outside core/strategy.*; resolve names through "
+          "parse_strategy()/to_string() so the table stays the single "
+          "source of strategy spellings"});
+}
+
 void rule_cl009(const Corpus& c, std::vector<RawFinding>* out) {
   struct Declared {
     std::size_t file;
@@ -809,6 +850,7 @@ verify::LintReport lint_sources(const std::vector<SourceFile>& sources,
     if (enabled("CL004")) rule_cl004(c.lexed[i], &raw);
     if (enabled("CL005")) rule_cl005(c.lexed[i], &raw);
     if (enabled("CL006")) rule_cl006(c.lexed[i], &raw);
+    if (enabled("CL011")) rule_cl011(c.lexed[i], &raw);
   }
   if (enabled("CL007") || enabled("CL008")) {
     rules_cl007_cl008(c, &raw, enabled("CL007"), enabled("CL008"));

@@ -1,4 +1,4 @@
-// cgraf_lint engine: project-specific AST/token analysis (rules CL001-CL010)
+// cgraf_lint engine: project-specific AST/token analysis (rules CL001-CL011)
 // over the repo's own sources, reporting on the shared verify::LintReport
 // machinery so `cgraf_cli lint`, cgraf_lint and CI speak one format.
 //
@@ -42,7 +42,8 @@ struct CodeLintOptions {
   std::vector<std::string> rules;
   // Structs held to the CL007/CL008 consistency contract (operator+= and
   // JSON emission must cover every field).
-  std::vector<std::string> stats_structs = {"LpStageStats", "TwoStepStats"};
+  std::vector<std::string> stats_structs = {"LpStageStats", "TwoStepStats",
+                                            "LocalSearchStats"};
   // Files whose CL003 was already produced by the AST frontend; the lexical
   // CL003 variant skips them so findings are not doubled.
   std::vector<std::string> ast_cl003_files;

@@ -1,4 +1,4 @@
-// cgraf_lint: project-specific static analysis (CL001-CL010) over the
+// cgraf_lint: project-specific static analysis (CL001-CL011) over the
 // repo's own sources. See DESIGN.md §14 for the rule catalog and the
 // suppression syntax.
 //
@@ -37,7 +37,7 @@ int usage(const char* argv0) {
                "  --rules CL001,CL003     run only these rules\n"
                "  --stats-struct NAME     add a struct to the CL007/CL008\n"
                "                          contract (default: LpStageStats,"
-               " TwoStepStats)\n"
+               " TwoStepStats, LocalSearchStats)\n"
                "  --json                  emit the report as JSON\n"
                "  --no-clang              skip the libclang AST frontend\n"
                "  --list-rules            print the rule catalog and exit\n"
